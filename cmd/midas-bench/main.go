@@ -1,0 +1,146 @@
+// Command midas-bench regenerates the paper's tables and figures
+// (see DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+// recorded outputs).
+//
+// Usage:
+//
+//	midas-bench -exp fig11            # one experiment
+//	midas-bench -exp all              # everything (minutes)
+//
+// Experiments: fig3, fig7, fig8, fig9, fig9-nell, fig10-reverb,
+// fig10-nell, fig11, annotation, scaling, costmodel, ablation-pruning,
+// ablation-flat, ablation-parallel, ablation-combo,
+// ablation-traversal, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"midas/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (see doc comment)")
+		seed  = flag.Int64("seed", 7, "generator seed")
+		scale = flag.Float64("scale", 0.5, "corpus scale for fig10")
+	)
+	flag.Parse()
+
+	run := map[string]func(){
+		"fig3": func() { fig3(*seed) },
+		"fig7": func() { fig7(*scale, *seed) },
+		"fig8": func() { fig8(*seed) },
+		"fig9": func() { fig9("reverb-slim", *seed) },
+		"fig9-nell": func() {
+			fig9("nell-slim", *seed)
+		},
+		"fig10-reverb": func() { fig10("reverb", *scale, *seed) },
+		"fig10-nell":   func() { fig10("nell", *scale, *seed) },
+		"fig11":        func() { fig11(*seed) },
+		"ablation-pruning": func() {
+			experiments.RenderAblation(os.Stdout, "Ablation: MIDASalg pruning strategies (dense source, 400 entities):",
+				experiments.AblationPruning(400, *seed))
+		},
+		"ablation-flat": func() {
+			experiments.RenderAblation(os.Stdout, "Ablation: flat per-granularity sweep vs. hierarchical framework (ReVerb-Slim):",
+				experiments.AblationFlatVsHierarchical(*seed, 0))
+		},
+		"ablation-parallel": func() {
+			experiments.RenderAblation(os.Stdout, "Ablation: framework worker count (ReVerb-Slim):",
+				experiments.AblationParallelism(*seed, []int{1, 2, 4, 8}))
+		},
+		"costmodel": func() {
+			experiments.RenderCostSensitivity(os.Stdout, experiments.CostSensitivity(*seed, 0))
+		},
+		"annotation": func() {
+			experiments.RenderAnnotation(os.Stdout, experiments.Annotation(*seed, 20, 20, 0))
+		},
+		"scaling": func() {
+			experiments.RenderScaling(os.Stdout, experiments.Scaling([]float64{0.25, 0.5, 1.0, 2.0}, *seed, 0))
+		},
+		"ablation-traversal": func() {
+			experiments.RenderAblation(os.Stdout, "Ablation: within-level traversal order (40 random dense sources):",
+				experiments.AblationTraversalOrder(40, *seed))
+		},
+		"ablation-combo": func() {
+			experiments.RenderAblation(os.Stdout, "Ablation: initial-slice combination cap (multi-valued source):",
+				experiments.AblationComboCap(*seed, []int{1, 4, 16, 64, 256}))
+		},
+	}
+
+	order := []string{
+		"fig3", "fig7", "fig8", "fig9", "fig9-nell", "fig10-reverb",
+		"fig10-nell", "fig11", "annotation", "scaling", "costmodel", "ablation-pruning",
+		"ablation-flat", "ablation-parallel", "ablation-combo", "ablation-traversal",
+	}
+	if *exp == "all" {
+		for _, id := range order {
+			banner(id)
+			run[id]()
+		}
+		return
+	}
+	fn, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "midas-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	banner(*exp)
+	fn()
+}
+
+func banner(id string) {
+	fmt.Printf("\n================ %s ================\n", id)
+}
+
+func fig3(seed int64) {
+	start := time.Now()
+	rows := experiments.Fig3(seed, 6, 0)
+	experiments.RenderFig3(os.Stdout, rows)
+	fmt.Printf("(%.1fs)\n", time.Since(start).Seconds())
+}
+
+func fig7(scale float64, seed int64) {
+	experiments.RenderFig7(os.Stdout, experiments.Fig7(scale, seed))
+}
+
+func fig8(seed int64) {
+	experiments.RenderFig8(os.Stdout, experiments.Fig8("reverb-slim", 5, seed))
+}
+
+func fig9(dataset string, seed int64) {
+	start := time.Now()
+	cfg := experiments.DefaultFig9Config()
+	cfg.Dataset = dataset
+	cfg.Seed = seed
+	res := experiments.Fig9(cfg)
+	experiments.RenderFig9(os.Stdout, res)
+	for _, cov := range []float64{0, 0.4, 0.8} {
+		experiments.RenderFig9Curves(os.Stdout, res, cov)
+		fmt.Println()
+	}
+	fmt.Printf("(%.1fs)\n", time.Since(start).Seconds())
+}
+
+func fig10(dataset string, scale float64, seed int64) {
+	start := time.Now()
+	cfg := experiments.DefaultFig10Config(dataset)
+	cfg.Scale = scale
+	cfg.Seed = seed
+	res := experiments.Fig10(cfg)
+	experiments.RenderFig10(os.Stdout, res)
+	fmt.Printf("(%.1fs)\n", time.Since(start).Seconds())
+}
+
+func fig11(seed int64) {
+	start := time.Now()
+	cfg := experiments.DefaultFig11Config()
+	cfg.Seed = seed
+	res := experiments.Fig11(cfg)
+	experiments.RenderFig11(os.Stdout, res)
+	fmt.Printf("(%.1fs)\n", time.Since(start).Seconds())
+}

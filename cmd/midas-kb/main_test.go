@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"midas/internal/kb"
+)
+
+func sampleKB() *kb.KB {
+	k := kb.New(nil)
+	k.AddStrings("Atlas", "category", "rocket_family")
+	k.AddStrings("Atlas", "sponsor", "NASA")
+	k.AddStrings("Castor-4", "category", "rocket_family")
+	return k
+}
+
+// TestLoadSaveAllFormats: every extension round-trips through loadInto
+// and saveAs, including cross-format conversion chains.
+func TestLoadSaveAllFormats(t *testing.T) {
+	dir := t.TempDir()
+	src := sampleKB()
+
+	// tsv → bin → nt → tsv chain.
+	paths := []string{
+		filepath.Join(dir, "a.tsv"),
+		filepath.Join(dir, "b.bin"),
+		filepath.Join(dir, "c.nt"),
+		filepath.Join(dir, "d.tsv"),
+	}
+	if err := saveAs(src, paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(paths); i++ {
+		k := kb.New(nil)
+		n, err := loadInto(k, paths[i-1])
+		if err != nil || n != 3 {
+			t.Fatalf("load %s: n=%d err=%v", paths[i-1], n, err)
+		}
+		if err := saveAs(k, paths[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final := kb.New(nil)
+	if _, err := loadInto(final, paths[len(paths)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if final.Size() != 3 || !final.ContainsStrings("Atlas", "sponsor", "NASA") {
+		t.Error("conversion chain lost facts")
+	}
+}
+
+func TestLoadIntoMissingFile(t *testing.T) {
+	if _, err := loadInto(kb.New(nil), filepath.Join(t.TempDir(), "nope.tsv")); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestSaveAsBadPath(t *testing.T) {
+	if err := saveAs(sampleKB(), filepath.Join(t.TempDir(), "no-such-dir", "x.tsv")); err == nil {
+		t.Error("want error for unwritable path")
+	}
+}
+
+func TestDiffOutput(t *testing.T) {
+	dir := t.TempDir()
+	a, b := sampleKB(), sampleKB()
+	b.AddStrings("Castor-4", "started", "1971")
+	pa, pb := filepath.Join(dir, "a.tsv"), filepath.Join(dir, "b.tsv")
+	if err := saveAs(a, pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveAs(b, pb); err != nil {
+		t.Fatal(err)
+	}
+	if err := diff(pa, pb, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsDoesNotPanic(t *testing.T) {
+	printStats(sampleKB(), 10)
+	printStats(kb.New(nil), 3)
+	_ = os.Stdout // stats write to stdout; reaching here is the assertion
+}

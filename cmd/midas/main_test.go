@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"midas"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadFacts(t *testing.T) {
+	path := writeTemp(t, "facts.tsv", strings.Join([]string{
+		"Atlas\tsponsor\tNASA\t0.9\thttp://a.com/x.htm",
+		"# a comment line",
+		"",
+		"Castor\tsponsor\tNASA", // confidence and URL optional
+		"Gemini\tcategory\tprogram\t0.5",
+	}, "\n")+"\n")
+	corpus := midas.NewCorpus(nil)
+	if err := loadFacts(corpus, path); err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 3 {
+		t.Errorf("facts = %d, want 3", corpus.Len())
+	}
+}
+
+func TestLoadFactsErrors(t *testing.T) {
+	tooFew := writeTemp(t, "short.tsv", "only\ttwo\n")
+	if err := loadFacts(midas.NewCorpus(nil), tooFew); err == nil {
+		t.Error("want field-count error")
+	}
+	badConf := writeTemp(t, "conf.tsv", "a\tb\tc\tnot-a-number\tu\n")
+	if err := loadFacts(midas.NewCorpus(nil), badConf); err == nil {
+		t.Error("want confidence parse error")
+	}
+	if err := loadFacts(midas.NewCorpus(nil), filepath.Join(t.TempDir(), "missing.tsv")); err == nil {
+		t.Error("want open error")
+	}
+}

@@ -1,0 +1,78 @@
+// Extension features: extraction budgets and generalized numeric-range
+// properties.
+//
+// A museum aggregator lists artifacts with exact creation years — every
+// year distinct, so the year predicate contributes nothing to any slice
+// definition. Numeric bucketing rewrites the years into century ranges:
+// the canonical slices now carry the period ("created = [1500,1600)")
+// in their defining property sets, exactly the "year > 2000"-style
+// generalization the paper sketches. MaxSlices then imposes an
+// extraction budget, keeping only the most profitable slices.
+//
+//	go run ./examples/budget
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"midas"
+)
+
+func main() {
+	corpus := midas.NewCorpus(nil)
+	eras := []struct {
+		name    string
+		century int
+		count   int
+	}{
+		{"renaissance paintings", 1500, 40},
+		{"baroque sculptures", 1600, 30},
+		{"impressionist paintings", 1800, 24},
+		{"modernist prints", 1900, 14},
+	}
+	id := 0
+	for _, era := range eras {
+		for i := 0; i < era.count; i++ {
+			id++
+			subject := fmt.Sprintf("%s #%d", era.name, i)
+			url := fmt.Sprintf("https://artifacts.example.museum/catalog/item%d.htm", id)
+			corpus.Add(midas.Fact{Subject: subject, Predicate: "created",
+				Object:     fmt.Sprintf("%d", era.century+(i*83)%100), // all years distinct
+				Confidence: 0.9, URL: url})
+			corpus.Add(midas.Fact{Subject: subject, Predicate: "medium",
+				Object: era.name, Confidence: 0.9, URL: url})
+		}
+	}
+
+	base := &midas.Options{Cost: midas.CostModel{Fp: 2, Fc: 0.001, Fd: 0.01, Fv: 0.1}}
+
+	fmt.Println("without numeric bucketing (distinct years contribute nothing to slice definitions):")
+	show(midas.Discover(corpus, nil, base))
+
+	fmt.Println("\nwith NumericBucketWidth=100 (per-century range properties):")
+	withBuckets := *base
+	withBuckets.NumericBucketWidth = 100
+	show(midas.Discover(corpus, nil, &withBuckets))
+
+	fmt.Println("\nsame, under an extraction budget of 2 slices:")
+	capped := withBuckets
+	capped.MaxSlices = 2
+	res := midas.Discover(corpus, nil, &capped)
+	show(res)
+
+	fmt.Println("\nMarkdown report of the budgeted result:")
+	if err := res.WriteMarkdownReport(os.Stdout, 2); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+func show(res *midas.Result) {
+	for _, s := range res.Slices {
+		fmt.Printf("  %-50s new=%-4d entities=%-3d profit=%.1f\n",
+			s.Description, s.NewFacts, len(s.Entities), s.Profit)
+	}
+	if len(res.Slices) == 0 {
+		fmt.Println("  (no profitable slices)")
+	}
+}

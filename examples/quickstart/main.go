@@ -1,0 +1,68 @@
+// Quickstart: discover what to extract from a small web corpus to
+// augment an existing knowledge base.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"midas"
+)
+
+func main() {
+	// The knowledge base we want to augment. It already knows a few
+	// cocktails but nothing about their ingredients.
+	existing := midas.NewKB()
+	existing.Add("Margarita", "type", "cocktail")
+	existing.Add("Daiquiri", "type", "cocktail")
+	existing.Add("Mojito", "type", "cocktail")
+
+	// Facts produced by an automated extraction pipeline over the Web —
+	// noisy, partial, but enough for MIDAS to spot a promising source.
+	corpus := midas.NewCorpus(existing)
+	cocktails := []struct{ name, base, glass string }{
+		{"Margarita", "tequila", "coupe"},
+		{"Daiquiri", "rum", "coupe"},
+		{"Mojito", "rum", "highball"},
+		{"Negroni", "gin", "rocks"},
+		{"Martini", "gin", "martini"},
+		{"Paloma", "tequila", "highball"},
+		{"Gimlet", "gin", "coupe"},
+		{"Sidecar", "cognac", "coupe"},
+		{"Sazerac", "whiskey", "rocks"},
+		{"Manhattan", "whiskey", "coupe"},
+	}
+	for i, c := range cocktails {
+		url := fmt.Sprintf("https://drinks.example.com/recipes/c%d.htm", i)
+		corpus.Add(midas.Fact{Subject: c.name, Predicate: "type", Object: "cocktail", Confidence: 0.9, URL: url})
+		corpus.Add(midas.Fact{Subject: c.name, Predicate: "base spirit", Object: c.base, Confidence: 0.85, URL: url})
+		corpus.Add(midas.Fact{Subject: c.name, Predicate: "served in", Object: c.glass, Confidence: 0.8, URL: url})
+	}
+	// A news page the extractor also processed: many facts, no coherent
+	// content — MIDAS should ignore it.
+	for i := 0; i < 12; i++ {
+		corpus.Add(midas.Fact{
+			Subject: fmt.Sprintf("headline %d", i), Predicate: "mentions",
+			Object:     fmt.Sprintf("story-%d", i),
+			Confidence: 0.9, URL: "https://news.example.com/today.htm",
+		})
+	}
+
+	result := midas.Discover(corpus, existing, &midas.Options{
+		// Small example: use a unit training cost so a 10-entity slice
+		// is worth reporting (the default f_p=10 targets web-scale
+		// sources with dozens of new facts).
+		Cost:          midas.CostModel{Fp: 1, Fc: 0.001, Fd: 0.01, Fv: 0.1},
+		MinConfidence: 0.7,
+	})
+
+	fmt.Printf("processed %d web sources in %d rounds\n\n", result.SourcesProcessed, result.Rounds)
+	for _, s := range result.Slices {
+		fmt.Printf("extract %q\n  from  %s\n  worth %d new facts of %d total (profit %.2f)\n\n",
+			s.Description, s.Source, s.NewFacts, s.Facts, s.Profit)
+	}
+	if len(result.Slices) == 0 {
+		fmt.Println("no profitable slices found")
+	}
+}

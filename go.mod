@@ -1,0 +1,3 @@
+module midas
+
+go 1.22

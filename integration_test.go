@@ -1,0 +1,220 @@
+package midas_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"midas"
+	"midas/internal/datagen"
+	"midas/internal/eval"
+	"midas/internal/experiments"
+	"midas/internal/framework"
+	"midas/internal/kb"
+	"midas/internal/rdf"
+)
+
+// TestIntegrationRDFPipeline: generate a corpus, persist KB and corpus
+// through the public RDF round trip, rediscover from the files, and
+// verify the result matches the direct in-memory run and still scores
+// against the silver standard.
+func TestIntegrationRDFPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	world := datagen.ReVerbSlim(datagen.DefaultSlimParams(7))
+	dir := t.TempDir()
+
+	// Persist via internal writers (what midas-datagen does).
+	kbPath := filepath.Join(dir, "kb.nt")
+	corpusPath := filepath.Join(dir, "facts.nq")
+	kf, err := os.Create(kbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rdf.SaveKB(kf, world.KB); err != nil {
+		t.Fatal(err)
+	}
+	kf.Close()
+	cf, err := os.Create(corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rdf.SaveCorpus(cf, world.Corpus); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+
+	// Reload through the public API.
+	existing := midas.NewKB()
+	kf2, _ := os.Open(kbPath)
+	if _, err := existing.LoadNTriples(kf2); err != nil {
+		t.Fatal(err)
+	}
+	kf2.Close()
+	if existing.Size() != world.KB.Size() {
+		t.Fatalf("KB size after round trip: %d vs %d", existing.Size(), world.KB.Size())
+	}
+	corpus := midas.NewCorpus(existing)
+	cf2, _ := os.Open(corpusPath)
+	if _, err := corpus.LoadNQuads(cf2, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	cf2.Close()
+	if corpus.Len() != len(world.Corpus.Facts) {
+		t.Fatalf("corpus size after round trip: %d vs %d", corpus.Len(), len(world.Corpus.Facts))
+	}
+
+	// Discover from the reloaded state and compare against the direct
+	// in-memory run: same slice count, same total new facts.
+	fromFiles := midas.Discover(corpus, existing, nil)
+	direct := experimentsRunDirect(t, world)
+	if len(fromFiles.Slices) != len(direct) {
+		t.Errorf("slices from files = %d, direct = %d", len(fromFiles.Slices), len(direct))
+	}
+
+	// Score the file-based run against the silver standard by matching
+	// each silver slice to a predicted slice with the same fact counts
+	// and source. (The full Jaccard scoring runs in the experiments
+	// tests; here the cross-format agreement is what's under test.)
+	bySource := make(map[string]int)
+	for _, s := range fromFiles.Slices {
+		bySource[s.Source]++
+	}
+	missing := 0
+	for _, gs := range world.Silver {
+		if bySource[gs.Source] == 0 {
+			missing++
+		}
+	}
+	if missing > len(world.Silver)/10 {
+		t.Errorf("%d of %d silver sources have no predicted slice", missing, len(world.Silver))
+	}
+}
+
+// experimentsRunDirect runs MIDAS directly on the in-memory world.
+func experimentsRunDirect(t *testing.T, world *datagen.World) []string {
+	t.Helper()
+	existing := midas.NewKB()
+	for _, tr := range world.KB.Triples() {
+		s, p, o := world.Corpus.Space.StringTriple(tr)
+		existing.Add(s, p, o)
+	}
+	corpus := midas.NewCorpus(existing)
+	for _, e := range world.Corpus.Facts {
+		s, p, o := world.Corpus.Space.StringTriple(e.Triple)
+		corpus.Add(midas.Fact{Subject: s, Predicate: p, Object: o,
+			Confidence: float64(e.Conf), URL: world.Corpus.URLs.String(e.URL)})
+	}
+	res := midas.Discover(corpus, existing, nil)
+	out := make([]string, len(res.Slices))
+	for i, s := range res.Slices {
+		out[i] = s.Source + "|" + s.Description
+	}
+	return out
+}
+
+// TestIntegrationSessionOverSilver: a Session over the slim corpus,
+// absorbing everything it discovers, must drive the silver slices'
+// recall to ~1 and then return (near-)nothing.
+func TestIntegrationSessionOverSilver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	world := datagen.NELLSlim(datagen.DefaultSlimParams(3))
+	existing := midas.NewKB()
+	for _, tr := range world.KB.Triples() {
+		s, p, o := world.Corpus.Space.StringTriple(tr)
+		existing.Add(s, p, o)
+	}
+	sess := midas.NewSession(existing, nil)
+	for _, e := range world.Corpus.Facts {
+		s, p, o := world.Corpus.Space.StringTriple(e.Triple)
+		sess.AddFacts(midas.Fact{Subject: s, Predicate: p, Object: o,
+			Confidence: float64(e.Conf), URL: world.Corpus.URLs.String(e.URL)})
+	}
+
+	first := sess.Discover()
+	if len(first.Slices) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	for _, s := range first.Slices {
+		sess.Absorb(s)
+	}
+	second := sess.Discover()
+	if len(second.Slices) > len(first.Slices)/5 {
+		t.Errorf("after absorbing everything, %d slices remain (first round had %d)",
+			len(second.Slices), len(first.Slices))
+	}
+	// Coverage rises well past the initial KB's share but not to 1.0:
+	// the forum noise and known-content residue are never worth
+	// extracting, which is the point of the profit function.
+	_, covered := sess.Progress()
+	if covered < 0.6 || covered > 0.95 {
+		t.Errorf("corpus coverage after absorption = %.3f, want 0.6–0.95", covered)
+	}
+}
+
+// TestIntegrationOracleAgreesWithSilver: on the slim corpus the two
+// evaluation methodologies — silver-standard Jaccard matching and the
+// human-labeling oracle — must broadly agree on MIDAS's output quality.
+func TestIntegrationOracleAgreesWithSilver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	world := datagen.ReVerbSlim(datagen.DefaultSlimParams(7))
+	out := experimentsMIDAS(world)
+
+	silverSets := make([][]kb.Triple, len(world.Silver))
+	for i := range world.Silver {
+		silverSets[i] = world.Silver[i].Facts
+	}
+	silverScore := eval.Score(out.FactSets, silverSets)
+
+	oracle := &eval.Oracle{VerticalOf: world.VerticalOf, KB: world.KB, Seed: 1}
+	correct := 0
+	for i := range out.Slices {
+		if oracle.Correct(out.Slices[i], out.FactSets[i]) {
+			correct++
+		}
+	}
+	oraclePrecision := float64(correct) / float64(len(out.Slices))
+	if diff := silverScore.Precision - oraclePrecision; diff > 0.15 || diff < -0.15 {
+		t.Errorf("silver precision %.3f and oracle precision %.3f disagree by %.3f",
+			silverScore.Precision, oraclePrecision, diff)
+	}
+}
+
+// TestIntegrationReportFiles: the CLI-facing report writers produce
+// parseable files for a real discovery result.
+func TestIntegrationReportFiles(t *testing.T) {
+	corpus := midas.NewCorpus(nil)
+	for i := 0; i < 30; i++ {
+		corpus.Add(midas.Fact{
+			Subject: fmt.Sprintf("thing %d", i), Predicate: "kind", Object: "gadget",
+			Confidence: 0.9, URL: fmt.Sprintf("http://shop.example.com/g/%d.htm", i),
+		})
+	}
+	res := midas.Discover(corpus, nil, nil)
+	var md, csv bytes.Buffer
+	if err := res.WriteMarkdownReport(&md, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteCSVReport(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "kind = gadget") {
+		t.Error("markdown report missing slice")
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != len(res.Slices)+1 {
+		t.Errorf("csv lines = %d, want %d", lines, len(res.Slices)+1)
+	}
+}
+
+// experimentsMIDAS runs the framework directly over a generated world.
+func experimentsMIDAS(world *datagen.World) *framework.Output {
+	return experiments.MIDAS.Run(world.Corpus, world.KB, experiments.DefaultCost(), 0)
+}

@@ -1,0 +1,279 @@
+package baselines
+
+import (
+	"container/heap"
+	"sort"
+
+	"midas/internal/dict"
+	"midas/internal/fact"
+	"midas/internal/slice"
+)
+
+// AggCluster discovers slices in one fact table by agglomerative
+// clustering of its entities (Section IV-B): every entity starts as its
+// own cluster; at each iteration the two clusters whose merge yields the
+// highest non-negative profit gain are merged. A cluster is scored by
+// the profit of the slice its common properties induce (the slice
+// selecting every entity of the table that carries all of the cluster's
+// common properties); clusters with no common properties never merge,
+// since they would describe no slice. The surviving clusters' induced
+// slices with positive profit are returned, deduplicated.
+//
+// The complexity is O(|E|² log |E|) in the number of entities, which is
+// what makes this baseline an order of magnitude slower than MIDASalg
+// on large sources (Figures 10b/10d).
+func AggCluster(table *fact.Table, cost slice.CostModel) []*slice.Slice {
+	n := len(table.Entities)
+	if n == 0 {
+		return nil
+	}
+	ind := newInducer(table, cost)
+
+	// Initial clusters: one per entity, as in classic agglomerative
+	// clustering. (No shortcuts: the O(|E|²) pair evaluation below is
+	// the algorithm's actual cost profile, which Figures 10/11 measure.)
+	clusters := make([]*cluster, 0, n)
+	for i := range table.Entities {
+		c := &cluster{id: i, props: table.Entities[i].Props, rows: []int32{int32(i)}, active: true}
+		c.profit = ind.profit(c.props)
+		clusters = append(clusters, c)
+	}
+
+	// All-pairs initial gains; merges with no common properties are
+	// invalid (they would describe no slice) and are not enqueued.
+	h := &gainHeap{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pushGain(h, ind, clusters[i], clusters[j])
+		}
+	}
+	heap.Init(h)
+
+	// Merge while the best gain is non-negative.
+	for h.Len() > 0 {
+		e := heap.Pop(h).(gainEntry)
+		a, b := clusters[e.a], clusters[e.b]
+		if !a.active || !b.active || a.version != e.va || b.version != e.vb {
+			continue
+		}
+		if e.gain < 0 {
+			break
+		}
+		a.active, b.active = false, false
+		m := &cluster{
+			id:     len(clusters),
+			props:  intersectProps(a.props, b.props),
+			rows:   append(append([]int32{}, a.rows...), b.rows...),
+			active: true,
+		}
+		m.profit = ind.profit(m.props)
+		clusters = append(clusters, m)
+		for _, c := range clusters[:m.id] {
+			if c.active {
+				pushHeapGain(h, ind, m, c)
+			}
+		}
+	}
+
+	// Induced slices of the surviving clusters, deduplicated.
+	outKeys := make(map[string]struct{})
+	var out []*slice.Slice
+	for _, c := range clusters {
+		if !c.active || len(c.props) == 0 {
+			continue
+		}
+		key := propsKey(c.props)
+		if _, dup := outKeys[key]; dup {
+			continue
+		}
+		outKeys[key] = struct{}{}
+		if sl := ind.slice(c.props); sl != nil && sl.Profit > 0 {
+			out = append(out, sl)
+		}
+	}
+	slice.ByProfitDesc(out)
+	return out
+}
+
+type cluster struct {
+	id      int
+	props   []fact.Property // common properties of the cluster's rows
+	rows    []int32
+	profit  float64 // profit of the induced slice
+	active  bool
+	version int
+}
+
+type gainEntry struct {
+	gain   float64
+	a, b   int
+	va, vb int
+}
+
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int            { return len(h) }
+func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// pushGain appends a gain entry without restoring heap order (bulk
+// initialization; call heap.Init afterwards).
+func pushGain(h *gainHeap, ind *inducer, a, b *cluster) {
+	if g, ok := mergeGain(ind, a, b); ok {
+		*h = append(*h, gainEntry{gain: g, a: a.id, b: b.id, va: a.version, vb: b.version})
+	}
+}
+
+// pushHeapGain pushes a gain entry maintaining heap order.
+func pushHeapGain(h *gainHeap, ind *inducer, a, b *cluster) {
+	if g, ok := mergeGain(ind, a, b); ok {
+		heap.Push(h, gainEntry{gain: g, a: a.id, b: b.id, va: a.version, vb: b.version})
+	}
+}
+
+func mergeGain(ind *inducer, a, b *cluster) (float64, bool) {
+	common := intersectProps(a.props, b.props)
+	if len(common) == 0 {
+		return 0, false
+	}
+	return ind.profit(common) - a.profit - b.profit, true
+}
+
+// inducer evaluates the slice induced by a property set, with caching.
+type inducer struct {
+	table *fact.Table
+	cost  slice.CostModel
+	post  map[fact.Property][]int32 // rows carrying each property
+	cache map[string]inducedStats
+}
+
+type inducedStats struct {
+	rows         []int32
+	facts, fresh int
+	profit       float64
+}
+
+func newInducer(table *fact.Table, cost slice.CostModel) *inducer {
+	ind := &inducer{
+		table: table,
+		cost:  cost,
+		post:  make(map[fact.Property][]int32),
+		cache: make(map[string]inducedStats),
+	}
+	for i := range table.Entities {
+		for _, p := range table.Entities[i].Props {
+			ind.post[p] = append(ind.post[p], int32(i))
+		}
+	}
+	return ind
+}
+
+func (ind *inducer) stats(props []fact.Property) inducedStats {
+	key := propsKey(props)
+	if s, ok := ind.cache[key]; ok {
+		return s
+	}
+	// Intersect posting lists, smallest first.
+	lists := make([][]int32, len(props))
+	for i, p := range props {
+		lists[i] = ind.post[p]
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	rows := lists[0]
+	for _, l := range lists[1:] {
+		rows = intersectRows(rows, l)
+		if len(rows) == 0 {
+			break
+		}
+	}
+	s := inducedStats{rows: rows}
+	for _, r := range rows {
+		s.facts += ind.table.Entities[r].Facts()
+		s.fresh += ind.table.Entities[r].NewCount
+	}
+	s.profit = ind.cost.SliceProfit(s.fresh, s.facts, ind.table.TotalFacts)
+	ind.cache[key] = s
+	return s
+}
+
+func (ind *inducer) profit(props []fact.Property) float64 {
+	if len(props) == 0 {
+		return 0
+	}
+	return ind.stats(props).profit
+}
+
+func (ind *inducer) slice(props []fact.Property) *slice.Slice {
+	s := ind.stats(props)
+	if len(s.rows) == 0 {
+		return nil
+	}
+	ents := make([]dict.ID, len(s.rows))
+	for i, r := range s.rows {
+		ents[i] = ind.table.Entities[r].Subject
+	}
+	ps := make([]fact.Property, len(props))
+	copy(ps, props)
+	return &slice.Slice{
+		Source:   ind.table.Source,
+		Props:    ps,
+		Entities: ents,
+		Facts:    s.facts,
+		NewFacts: s.fresh,
+		Profit:   s.profit,
+	}
+}
+
+func intersectProps(a, b []fact.Property) []fact.Property {
+	var out []fact.Property
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func intersectRows(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func propsKey(props []fact.Property) string {
+	buf := make([]byte, 0, len(props)*8)
+	for _, p := range props {
+		buf = append(buf,
+			byte(p>>56), byte(p>>48), byte(p>>40), byte(p>>32),
+			byte(p>>24), byte(p>>16), byte(p>>8), byte(p))
+	}
+	return string(buf)
+}

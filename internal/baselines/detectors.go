@@ -1,0 +1,43 @@
+package baselines
+
+import (
+	"midas/internal/fact"
+	"midas/internal/hierarchy"
+	"midas/internal/slice"
+)
+
+// The functions below adapt the baselines to the multi-source
+// framework's Detector signature. All baselines ignore the child-slice
+// seeds: none of them reasons about the source hierarchy (which is
+// exactly why the framework's consolidation matters for them — without
+// seeds, redundant parent/child slices are only caught by the
+// consolidation phase).
+
+// NaiveDetector returns a Detector producing NAIVE's whole-source slice.
+func NaiveDetector() func(*fact.Table, []hierarchy.Seed) []*slice.Slice {
+	return func(t *fact.Table, _ []hierarchy.Seed) []*slice.Slice {
+		if s := Naive(t); s != nil {
+			return []*slice.Slice{s}
+		}
+		return nil
+	}
+}
+
+// GreedyDetector returns a Detector producing GREEDY's single best
+// slice per source.
+func GreedyDetector(cost slice.CostModel) func(*fact.Table, []hierarchy.Seed) []*slice.Slice {
+	return func(t *fact.Table, _ []hierarchy.Seed) []*slice.Slice {
+		if s := Greedy(t, cost); s != nil {
+			return []*slice.Slice{s}
+		}
+		return nil
+	}
+}
+
+// AggClusterDetector returns a Detector running agglomerative
+// clustering per source.
+func AggClusterDetector(cost slice.CostModel) func(*fact.Table, []hierarchy.Seed) []*slice.Slice {
+	return func(t *fact.Table, _ []hierarchy.Seed) []*slice.Slice {
+		return AggCluster(t, cost)
+	}
+}

@@ -1,0 +1,101 @@
+package baselines
+
+import (
+	"sort"
+
+	"midas/internal/dict"
+	"midas/internal/fact"
+	"midas/internal/slice"
+)
+
+// Greedy derives at most one slice from a fact table: starting from an
+// empty condition set, it repeatedly adds the (predicate, value)
+// property that improves the profit of the prospective slice the most
+// (the first iteration picks the single most profitable property), and
+// stops when no property improves it. It returns nil when even the best
+// reachable slice has non-positive profit.
+func Greedy(table *fact.Table, cost slice.CostModel) *slice.Slice {
+	if len(table.Entities) == 0 {
+		return nil
+	}
+	// Current state: no conditions yet. The condition-less state is not
+	// a slice (Definition 5 requires C ≠ ∅), so its profit is the zero
+	// baseline the first condition must beat.
+	rows := make([]int32, len(table.Entities))
+	for i := range table.Entities {
+		rows[i] = int32(i)
+	}
+	facts, newFacts := 0, 0
+	var props []fact.Property
+	profit := 0.0
+
+	for {
+		// Candidate properties: those held by at least one current
+		// entity and not yet selected.
+		cands := make(map[fact.Property]struct{})
+		for _, r := range rows {
+			for _, p := range table.Entities[r].Props {
+				cands[p] = struct{}{}
+			}
+		}
+		for _, p := range props {
+			delete(cands, p)
+		}
+		ordered := make([]fact.Property, 0, len(cands))
+		for p := range cands {
+			ordered = append(ordered, p)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+
+		bestProfit := profit
+		var bestProp fact.Property
+		var bestRows []int32
+		found := false
+		for _, p := range ordered {
+			nRows := make([]int32, 0, len(rows))
+			nFacts, nNew := 0, 0
+			for _, r := range rows {
+				if table.Entities[r].HasProp(p) {
+					nRows = append(nRows, r)
+					nFacts += table.Entities[r].Facts()
+					nNew += table.Entities[r].NewCount
+				}
+			}
+			if len(nRows) == 0 {
+				continue
+			}
+			pr := cost.SliceProfit(nNew, nFacts, table.TotalFacts)
+			if pr > bestProfit {
+				bestProfit, bestProp, bestRows, found = pr, p, nRows, true
+			}
+		}
+		if !found {
+			break
+		}
+		props = append(props, bestProp)
+		rows = bestRows
+		profit = bestProfit
+		facts, newFacts = 0, 0
+		for _, r := range rows {
+			facts += table.Entities[r].Facts()
+			newFacts += table.Entities[r].NewCount
+		}
+	}
+
+	if profit <= 0 {
+		return nil
+	}
+	sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
+	ents := make([]dict.ID, len(rows))
+	for i, r := range rows {
+		ents[i] = table.Entities[r].Subject
+	}
+	return &slice.Slice{
+		Source:   table.Source,
+		Props:    props,
+		Entities: ents,
+		Facts:    facts,
+		NewFacts: newFacts,
+		Profit:   profit,
+	}
+}

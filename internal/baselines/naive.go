@@ -1,0 +1,42 @@
+// Package baselines implements the three comparison methods of
+// Section IV-B:
+//
+//   - NAIVE ranks entire web sources (not slices of their content) by
+//     the number of new facts they contribute;
+//   - GREEDY derives a single slice per web source by iteratively adding
+//     the property that improves the profit function the most;
+//   - AGGCLUSTER runs agglomerative clustering over the source's
+//     entities, merging the two clusters with the highest non-negative
+//     profit gain at each iteration, with the profit function as the
+//     merge objective (O(|E|² log |E|)).
+//
+// All three expose framework.Detector-compatible entry points so they
+// run under the same parallel multi-source framework as MIDASalg.
+package baselines
+
+import (
+	"midas/internal/dict"
+	"midas/internal/fact"
+	"midas/internal/slice"
+)
+
+// Naive returns the whole-source slice of a fact table: no properties,
+// every entity. Its Profit field is set to the number of new facts —
+// NAIVE's ranking score — because NAIVE ranks sources by new-fact count
+// rather than by the profit function.
+func Naive(table *fact.Table) *slice.Slice {
+	if table.TotalNew == 0 {
+		return nil
+	}
+	ents := make([]dict.ID, len(table.Entities))
+	for i := range table.Entities {
+		ents[i] = table.Entities[i].Subject
+	}
+	return &slice.Slice{
+		Source:   table.Source,
+		Entities: ents,
+		Facts:    table.TotalFacts,
+		NewFacts: table.TotalNew,
+		Profit:   float64(table.TotalNew),
+	}
+}

@@ -1,0 +1,160 @@
+// Package core implements MIDASalg, the paper's single-source slice
+// discovery algorithm (Section III-A).
+//
+// MIDASalg works in two steps. Step 1 (package hierarchy) constructs the
+// slice lattice bottom-up with canonicity and profit-lower-bound pruning.
+// Step 2 (this package, Algorithm 1) traverses the trimmed hierarchy
+// top-down — coarsest slices first, since they cover more facts — adding
+// every valid, uncovered slice that improves the total profit of the
+// result set and marking its descendants covered.
+package core
+
+import (
+	"midas/internal/dict"
+	"midas/internal/fact"
+	"midas/internal/hierarchy"
+	"midas/internal/kb"
+	"midas/internal/slice"
+	"sort"
+)
+
+// Options configures MIDASalg.
+type Options struct {
+	// Cost is the profit model; the zero value means the paper's
+	// defaults (f_p=10, f_c=0.001, f_d=0.01, f_v=0.1).
+	Cost slice.CostModel
+	// MaxPropsPerEntity and MaxInitCombos bound initial-slice
+	// generation; zero means the hierarchy package defaults.
+	MaxPropsPerEntity int
+	MaxInitCombos     int
+	// Ablation switches (see DESIGN.md §4).
+	DisableCanonicalPrune bool
+	DisableProfitPrune    bool
+	// ProfitOrderTraversal visits each level's nodes in decreasing
+	// profit order instead of the paper's deterministic property-key
+	// order. On the evaluation corpora the two are indistinguishable;
+	// on dense adversarial tables key order tiles overlapping slices
+	// slightly better (see the ablation-traversal bench), so the
+	// paper's order is the default.
+	ProfitOrderTraversal bool
+}
+
+func (o Options) cost() slice.CostModel {
+	if o.Cost == (slice.CostModel{}) {
+		return slice.DefaultCostModel()
+	}
+	return o.Cost
+}
+
+// Result is the output of MIDASalg on one web source.
+type Result struct {
+	// Slices are the reported slices, in traversal order (coarsest
+	// first). Their total profit is ≥ the profit of any individual
+	// slice, and every slice improved the running total when added.
+	Slices []*slice.Slice
+	// Nodes are the hierarchy nodes backing Slices, index-aligned.
+	Nodes []*hierarchy.Node
+	// TotalProfit is f over the reported set.
+	TotalProfit float64
+	// Stats reports hierarchy-construction effort.
+	Stats hierarchy.Stats
+	// Hierarchy is the trimmed lattice (retained for diagnostics and for
+	// the framework's consolidation step).
+	Hierarchy *hierarchy.Hierarchy
+}
+
+// Discover runs MIDASalg over the extracted triples of a single web
+// source, classifying newness against existing (nil = empty KB).
+func Discover(source string, space *kb.Space, triples []kb.Triple, existing *kb.KB, opts Options) *Result {
+	table := fact.Build(source, space, triples, existing)
+	return DiscoverTable(table, opts)
+}
+
+// DiscoverTable runs MIDASalg over a prepared fact table.
+func DiscoverTable(table *fact.Table, opts Options) *Result {
+	return DiscoverSeeded(table, nil, opts)
+}
+
+// DiscoverSeeded runs MIDASalg with extra initial slices, used by the
+// multi-source framework to start a parent source's hierarchy from the
+// slices already detected in its children.
+func DiscoverSeeded(table *fact.Table, seeds []hierarchy.Seed, opts Options) *Result {
+	b := &hierarchy.Builder{
+		Table:                 table,
+		Cost:                  opts.cost(),
+		MaxPropsPerEntity:     opts.MaxPropsPerEntity,
+		MaxInitCombos:         opts.MaxInitCombos,
+		DisableCanonicalPrune: opts.DisableCanonicalPrune,
+		DisableProfitPrune:    opts.DisableProfitPrune,
+	}
+	h := b.Build(seeds)
+	res := &Result{Stats: h.Stats, Hierarchy: h}
+	if h.MaxLevel == 0 {
+		return res
+	}
+
+	entFacts, entNew := b.EntityStats()
+	cost := opts.cost()
+	covered := make(map[int32]struct{})
+	first := true
+
+	// Algorithm 1: top-down, level by level; within a level, the
+	// paper's deterministic order (by property key) unless the
+	// profit-order variant is requested.
+	for l := 1; l <= h.MaxLevel; l++ {
+		level := h.Levels[l]
+		if opts.ProfitOrderTraversal {
+			level = make([]*hierarchy.Node, len(h.Levels[l]))
+			copy(level, h.Levels[l])
+			sort.SliceStable(level, func(i, j int) bool { return level[i].Profit > level[j].Profit })
+		}
+		for _, n := range level {
+			if n.Valid && !n.Covered {
+				dFacts, dNew := 0, 0
+				for _, e := range n.Entities {
+					if _, dup := covered[e]; !dup {
+						dFacts += int(entFacts[e])
+						dNew += int(entNew[e])
+					}
+				}
+				delta := float64(dNew)*(1-cost.Fv) - cost.Fp - cost.Fd*float64(dFacts)
+				if first {
+					delta -= cost.Fc * float64(table.TotalFacts)
+				}
+				if delta > 0 {
+					first = false
+					res.TotalProfit += delta
+					for _, e := range n.Entities {
+						covered[e] = struct{}{}
+					}
+					res.Nodes = append(res.Nodes, n)
+					res.Slices = append(res.Slices, nodeToSlice(table, n))
+					n.Covered = true
+				}
+			}
+			if n.Covered {
+				for _, c := range n.Children {
+					c.Covered = true
+				}
+			}
+		}
+	}
+	return res
+}
+
+func nodeToSlice(table *fact.Table, n *hierarchy.Node) *slice.Slice {
+	ents := make([]dict.ID, len(n.Entities))
+	for i, e := range n.Entities {
+		ents[i] = table.Entities[e].Subject
+	}
+	props := make([]fact.Property, len(n.Props))
+	copy(props, n.Props)
+	return &slice.Slice{
+		Source:   table.Source,
+		Props:    props,
+		Entities: ents,
+		Facts:    n.Facts,
+		NewFacts: n.NewFacts,
+		Profit:   n.Profit,
+	}
+}

@@ -1,0 +1,229 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"midas/internal/core"
+	"midas/internal/fact"
+	"midas/internal/kb"
+	"midas/internal/slice"
+)
+
+// approx reports whether two floats agree to three decimals (the
+// precision the paper's Figure 5 reports).
+func approx(a, b float64) bool { return math.Abs(a-b) < 5e-4 }
+
+func exampleOpts() core.Options {
+	return core.Options{Cost: slice.ExampleCostModel()}
+}
+
+// allTriples flattens the corpus into one source (the web domain
+// granularity used by the single-source walkthrough of Section III-A).
+func allTriples(c *fact.Corpus) []kb.Triple {
+	out := make([]kb.Triple, len(c.Facts))
+	for i, e := range c.Facts {
+		out[i] = e.Triple
+	}
+	return out
+}
+
+// TestRunningExampleSingleSource replays Examples 13 and 14: on the
+// whole-domain fact table, MIDASalg must report exactly slice S5
+// ("rocket families sponsored by NASA") with the profit shown in
+// Figure 5c.
+func TestRunningExampleSingleSource(t *testing.T) {
+	corpus, existing := exampleSetup()
+	res := core.Discover("space.skyrocket.de", corpus.Space, allTriples(corpus), existing, exampleOpts())
+
+	if len(res.Slices) != 1 {
+		for _, s := range res.Slices {
+			t.Logf("got slice %s profit=%.3f", s.Description(corpus.Space), s.Profit)
+		}
+		t.Fatalf("want exactly 1 slice, got %d", len(res.Slices))
+	}
+	s := res.Slices[0]
+	if got, want := s.Description(corpus.Space), "category = rocket_family AND sponsor = NASA"; got != want {
+		t.Errorf("slice description = %q, want %q", got, want)
+	}
+	if s.Facts != 6 || s.NewFacts != 6 {
+		t.Errorf("slice facts/new = %d/%d, want 6/6", s.Facts, s.NewFacts)
+	}
+	// Figure 5c: f(S5) = 6·0.9 − 1 − 0.06 − 0.013 = 4.327.
+	if !approx(s.Profit, 4.327) {
+		t.Errorf("profit = %.4f, want 4.327", s.Profit)
+	}
+	if len(s.Entities) != 2 {
+		t.Errorf("entities = %d, want 2 (Atlas, Castor-4)", len(s.Entities))
+	}
+}
+
+// TestRunningExampleHierarchyNumbers checks the per-slice profits of
+// Figure 5 (S2, S3 at 1.657; S4 negative; S6 pruned as low-profit
+// because its subtree bound 4.327 beats its own 4.257).
+func TestRunningExampleHierarchyNumbers(t *testing.T) {
+	corpus, existing := exampleSetup()
+	table := fact.Build("space.skyrocket.de", corpus.Space, allTriples(corpus), existing)
+	res := core.DiscoverTable(table, exampleOpts())
+	h := res.Hierarchy
+
+	find := func(desc string) profitInfo {
+		for l := 1; l <= h.MaxLevel; l++ {
+			for _, n := range h.Levels[l] {
+				sl := slice.Slice{Props: n.Props}
+				if sl.Description(corpus.Space) == desc {
+					return profitInfo{found: true, profit: n.Profit, valid: n.Valid, flb: n.FLB}
+				}
+			}
+		}
+		return profitInfo{}
+	}
+
+	s2 := find("category = rocket_family AND started = 1957 AND sponsor = NASA")
+	if !s2.found || !approx(s2.profit, 1.657) {
+		t.Errorf("S2 = %+v, want profit 1.657", s2)
+	}
+	s3 := find("category = rocket_family AND started = 1971 AND sponsor = NASA")
+	if !s3.found || !approx(s3.profit, 1.657) {
+		t.Errorf("S3 = %+v, want profit 1.657", s3)
+	}
+	s4 := find("category = space_program AND sponsor = NASA")
+	if !s4.found || !approx(s4.profit, -1.083) || s4.valid {
+		t.Errorf("S4 = %+v, want profit -1.083 and invalid", s4)
+	}
+	s5 := find("category = rocket_family AND sponsor = NASA")
+	if !s5.found || !approx(s5.profit, 4.327) || !s5.valid {
+		t.Errorf("S5 = %+v, want profit 4.327 and valid", s5)
+	}
+	s6 := find("sponsor = NASA")
+	if !s6.found || !approx(s6.profit, 4.257) || s6.valid || !approx(s6.flb, 4.327) {
+		t.Errorf("S6 = %+v, want profit 4.257, FLB 4.327, invalid", s6)
+	}
+}
+
+type profitInfo struct {
+	found  bool
+	profit float64
+	valid  bool
+	flb    float64
+}
+
+// TestCanonicalPruning checks Figure 5b: the eight candidate two-property
+// slices collapse to the two canonical ones (S4, S5).
+func TestCanonicalPruning(t *testing.T) {
+	corpus, existing := exampleSetup()
+	table := fact.Build("space.skyrocket.de", corpus.Space, allTriples(corpus), existing)
+	res := core.DiscoverTable(table, exampleOpts())
+
+	if got := len(res.Hierarchy.Levels[2]); got != 2 {
+		t.Errorf("level-2 canonical slices = %d, want 2 (S4, S5)", got)
+	}
+	if got := len(res.Hierarchy.Levels[3]); got != 3 {
+		t.Errorf("level-3 canonical slices = %d, want 3 (S1, S2, S3)", got)
+	}
+	if got := len(res.Hierarchy.Levels[1]); got != 1 {
+		t.Errorf("level-1 canonical slices = %d, want 1 (S6)", got)
+	}
+	if res.Stats.NodesRemoved == 0 {
+		t.Error("expected non-canonical nodes to be removed")
+	}
+}
+
+// TestEmptyKBDiscovery: with an empty KB everything is new; the
+// whole-source-dominating slice should still be canonical and selected
+// slices must cover all six rocket-family facts plus the space programs.
+func TestEmptyKBDiscovery(t *testing.T) {
+	corpus, _ := exampleSetup()
+	res := core.Discover("space.skyrocket.de", corpus.Space, allTriples(corpus), nil, exampleOpts())
+	if len(res.Slices) == 0 {
+		t.Fatal("want at least one slice on an empty KB")
+	}
+	totalNew := 0
+	for _, s := range res.Slices {
+		totalNew += s.NewFacts
+	}
+	if totalNew < 13 {
+		t.Errorf("selected slices cover %d new facts, want all 13", totalNew)
+	}
+	if res.TotalProfit <= 0 {
+		t.Errorf("total profit = %f, want > 0", res.TotalProfit)
+	}
+}
+
+// TestNoSlicesWhenNothingNew: a source whose facts all exist in the KB
+// must produce no slices.
+func TestNoSlicesWhenNothingNew(t *testing.T) {
+	corpus, _ := exampleSetup()
+	full := kb.New(corpus.Space)
+	for _, e := range corpus.Facts {
+		full.Add(e.Triple)
+	}
+	res := core.Discover("space.skyrocket.de", corpus.Space, allTriples(corpus), full, exampleOpts())
+	if len(res.Slices) != 0 {
+		t.Errorf("want no slices, got %d", len(res.Slices))
+	}
+}
+
+// TestDiscoverEmptyTable handles the degenerate empty input.
+func TestDiscoverEmptyTable(t *testing.T) {
+	corpus, _ := exampleSetup()
+	res := core.Discover("empty.example.com", corpus.Space, nil, nil, exampleOpts())
+	if len(res.Slices) != 0 || res.TotalProfit != 0 {
+		t.Errorf("want empty result, got %d slices profit %f", len(res.Slices), res.TotalProfit)
+	}
+}
+
+// TestTotalProfitMatchesSetFormula: the traversal's incremental total
+// must equal the closed-form set profit of the reported slices.
+func TestTotalProfitMatchesSetFormula(t *testing.T) {
+	corpus, existing := exampleSetup()
+	table := fact.Build("space.skyrocket.de", corpus.Space, allTriples(corpus), existing)
+	res := core.DiscoverTable(table, exampleOpts())
+
+	sets := make([][]kb.Triple, len(res.Slices))
+	for i, s := range res.Slices {
+		sets[i] = s.FactSet(table)
+	}
+	unionFacts, unionNew := slice.UnionStats(sets, existing)
+	want := slice.ExampleCostModel().SetProfit(len(res.Slices), unionFacts, unionNew, []int{table.TotalFacts})
+	if !approx(res.TotalProfit, want) {
+		t.Errorf("TotalProfit = %f, want %f", res.TotalProfit, want)
+	}
+}
+
+// TestAblationSwitchesStillCoverFacts: disabling either pruning must not
+// change which facts the reported slices cover (only efficiency and
+// possibly redundancy), and node counts must not shrink.
+func TestAblationSwitchesStillCoverFacts(t *testing.T) {
+	corpus, existing := exampleSetup()
+	base := core.Discover("space.skyrocket.de", corpus.Space, allTriples(corpus), existing, exampleOpts())
+
+	for _, opts := range []core.Options{
+		{Cost: slice.ExampleCostModel(), DisableCanonicalPrune: true},
+		{Cost: slice.ExampleCostModel(), DisableProfitPrune: true},
+		{Cost: slice.ExampleCostModel(), DisableCanonicalPrune: true, DisableProfitPrune: true},
+	} {
+		res := core.Discover("space.skyrocket.de", corpus.Space, allTriples(corpus), existing, opts)
+		if res.Stats.NodesRemoved > base.Stats.NodesRemoved {
+			t.Errorf("ablation removed more nodes than baseline")
+		}
+		newCovered := func(r *core.Result) int {
+			seen := make(map[int32]struct{})
+			n := 0
+			for _, node := range r.Nodes {
+				for _, e := range node.Entities {
+					if _, dup := seen[e]; !dup {
+						seen[e] = struct{}{}
+					}
+				}
+			}
+			for _, s := range r.Slices {
+				n += s.NewFacts
+			}
+			return n
+		}
+		if got, want := newCovered(res), newCovered(base); got < want {
+			t.Errorf("ablation covers %d new facts, baseline covers %d", got, want)
+		}
+	}
+}

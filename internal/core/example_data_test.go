@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"midas/internal/fact"
+	"midas/internal/kb"
+)
+
+// The running example of the paper: the 13 facts of Figure 2, extracted
+// from five pages of space.skyrocket.de, with Freebase (the existing KB)
+// already containing t1–t5, t9, t10. Facts t6–t8 and t11–t13 are new.
+
+type exampleFact struct {
+	s, p, o string
+	url     string
+	inKB    bool
+}
+
+var exampleFacts = []exampleFact{
+	{"Project Mercury", "category", "space_program", "http://space.skyrocket.de/doc_sat/mercury-history.htm", true}, // t1
+	{"Project Mercury", "started", "1959", "http://space.skyrocket.de/doc_sat/mercury-history.htm", true},           // t2
+	{"Project Mercury", "sponsor", "NASA", "http://space.skyrocket.de/doc_sat/mercury-history.htm", true},           // t3
+	{"Project Gemini", "category", "space_program", "http://space.skyrocket.de/doc_sat/gemini-history.htm", true},   // t4
+	{"Project Gemini", "sponsor", "NASA", "http://space.skyrocket.de/doc_sat/gemini-history.htm", true},             // t5
+	{"Atlas", "category", "rocket_family", "http://space.skyrocket.de/doc_lau_fam/atlas.htm", false},                // t6
+	{"Atlas", "sponsor", "NASA", "http://space.skyrocket.de/doc_lau_fam/atlas.htm", false},                          // t7
+	{"Atlas", "started", "1957", "http://space.skyrocket.de/doc_lau_fam/atlas.htm", false},                          // t8
+	{"Apollo program", "category", "space_program", "http://space.skyrocket.de/doc_sat/apollo-history.htm", true},   // t9
+	{"Apollo program", "sponsor", "NASA", "http://space.skyrocket.de/doc_sat/apollo-history.htm", true},             // t10
+	{"Castor-4", "category", "rocket_family", "http://space.skyrocket.de/doc_lau_fam/castor-4.htm", false},          // t11
+	{"Castor-4", "started", "1971", "http://space.skyrocket.de/doc_lau_fam/castor-4.htm", false},                    // t12
+	{"Castor-4", "sponsor", "NASA", "http://space.skyrocket.de/doc_lau_fam/castor-4.htm", false},                    // t13
+}
+
+// exampleSetup interns the running example into a corpus and the
+// corresponding Freebase-like KB.
+func exampleSetup() (*fact.Corpus, *kb.KB) {
+	corpus := fact.NewCorpus(nil)
+	existing := kb.New(corpus.Space)
+	for _, f := range exampleFacts {
+		corpus.Add(fact.Fact{Subject: f.s, Predicate: f.p, Object: f.o, Confidence: 0.9, URL: f.url})
+		if f.inKB {
+			existing.AddStrings(f.s, f.p, f.o)
+		}
+	}
+	return corpus, existing
+}

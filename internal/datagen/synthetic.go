@@ -1,0 +1,202 @@
+// Package datagen generates the datasets of the paper's evaluation:
+// the synthetic single-source workloads of Section IV-D, web corpora
+// with ReVerb-like and NELL-like statistics, the Slim corpora with their
+// silver standards and adjustable KB coverage, and the themed
+// KnowledgeVault-style corpus behind the Figure 3 qualitative results.
+//
+// All generators are deterministic given their seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"midas/internal/dict"
+	"midas/internal/fact"
+	"midas/internal/kb"
+)
+
+// SyntheticParams configures the Section IV-D generator. The paper's
+// two sweeps use {Slices: 20, Optimal: 10, Facts: 1000..10000} and
+// {Slices: 20, Optimal: 1..10, Facts: 5000}.
+type SyntheticParams struct {
+	// Slices is k: the number of slices planted in the web source.
+	Slices int
+	// Optimal is m ≤ k: how many planted slices remain profitable (the
+	// facts of the others are 95% covered by the generated KB).
+	Optimal int
+	// Facts is n: the approximate number of facts in the source. Each
+	// slice gets n·1% entities with ~5 facts each, so k=20 slices fill
+	// the budget.
+	Facts int
+	// CondsPerRule is the number of conditions in each slice's
+	// selection rule (paper: 5).
+	CondsPerRule int
+	// PCond is the probability that an entity carries each condition of
+	// its slice's rule (paper: above 0.95; default 0.99).
+	PCond float64
+	// PNoise is the probability that an entity carries one condition
+	// drawn uniformly from the other slices' rules (paper: below 0.05).
+	PNoise float64
+	// KnownRatio is the fraction of non-optimal slices' facts placed in
+	// the existing KB (paper: 0.95).
+	KnownRatio float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// DefaultSyntheticParams returns the paper's configuration.
+func DefaultSyntheticParams() SyntheticParams {
+	return SyntheticParams{
+		Slices:       20,
+		Optimal:      10,
+		Facts:        5000,
+		CondsPerRule: 5,
+		PCond:        0.99,
+		PNoise:       0.05,
+		KnownRatio:   0.95,
+		Seed:         1,
+	}
+}
+
+// GroundSlice is a planted slice: the expected output of a discovery
+// method, identified by its fact set.
+type GroundSlice struct {
+	// Source is the web source the slice lives in.
+	Source string
+	// Props is the selection rule.
+	Props []fact.Property
+	// Subjects are the entities generated for the slice.
+	Subjects []dict.ID
+	// Facts is the slice's full fact set (all facts of its entities,
+	// including noise conditions), sorted.
+	Facts []kb.Triple
+	// Description is a human-readable rule summary.
+	Description string
+}
+
+// Synthetic is a generated single-source workload.
+type Synthetic struct {
+	Params  SyntheticParams
+	Corpus  *fact.Corpus
+	KB      *kb.KB
+	Source  string
+	Optimal []GroundSlice // the expected output (the m optimal slices)
+	Planted []GroundSlice // all k planted slices
+}
+
+// NewSynthetic generates a Section IV-D workload.
+func NewSynthetic(p SyntheticParams) *Synthetic {
+	if p.CondsPerRule == 0 {
+		p.CondsPerRule = 5
+	}
+	if p.PCond == 0 {
+		p.PCond = 0.99
+	}
+	if p.KnownRatio == 0 {
+		p.KnownRatio = 0.95
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	corpus := fact.NewCorpus(nil)
+	existing := kb.New(corpus.Space)
+	const src = "http://synthetic.example.com/data"
+
+	// Selection rules: rule i uses predicates pred0..pred4 with values
+	// unique to the rule, so rules are disjoint property sets on shared
+	// predicates (entities across slices still collide on predicates,
+	// which is what makes pruning matter).
+	type rule struct {
+		preds  []string
+		values []string
+	}
+	rules := make([]rule, p.Slices)
+	for i := range rules {
+		r := rule{}
+		for c := 0; c < p.CondsPerRule; c++ {
+			r.preds = append(r.preds, fmt.Sprintf("pred%d", c))
+			r.values = append(r.values, fmt.Sprintf("slice%d_val%d", i, c))
+		}
+		rules[i] = r
+	}
+
+	entitiesPerSlice := p.Facts / 100
+	if entitiesPerSlice < 2 {
+		entitiesPerSlice = 2
+	}
+
+	out := &Synthetic{Params: p, Corpus: corpus, KB: existing, Source: src}
+	for i, r := range rules {
+		optimal := i < p.Optimal
+		gs := GroundSlice{Source: src, Description: fmt.Sprintf("slice %d", i)}
+		for c := range r.preds {
+			gs.Props = append(gs.Props, fact.Prop(
+				corpus.Space.Predicates.Put(r.preds[c]),
+				corpus.Space.Objects.Put(r.values[c]),
+			))
+		}
+		sortProps(gs.Props)
+
+		for e := 0; e < entitiesPerSlice; e++ {
+			subject := fmt.Sprintf("entity_%d_%d", i, e)
+			var entityFacts []kb.Triple
+			for c := range r.preds {
+				if rng.Float64() < p.PCond {
+					t := corpus.Space.Intern(subject, r.preds[c], r.values[c])
+					entityFacts = append(entityFacts, t)
+				}
+			}
+			// Noise: with probability PNoise the entity carries one
+			// condition absent from its selection rule, drawn from a
+			// diffuse pool (so the noise itself never forms a slice:
+			// each noise property's support stays ≈ 0.5 entities).
+			if rng.Float64() < p.PNoise {
+				t := corpus.Space.Intern(subject,
+					fmt.Sprintf("npred%d", rng.Intn(10)),
+					fmt.Sprintf("nval%d", rng.Intn(200)))
+				entityFacts = append(entityFacts, t)
+			}
+			if len(entityFacts) == 0 {
+				// Guarantee the entity exists: keep its first condition.
+				t := corpus.Space.Intern(subject, r.preds[0], r.values[0])
+				entityFacts = append(entityFacts, t)
+			}
+			subj := entityFacts[0].S
+			gs.Subjects = append(gs.Subjects, subj)
+			for _, t := range entityFacts {
+				corpus.AddTriple(t, corpus.URLs.Put(src), 0.9)
+				gs.Facts = append(gs.Facts, t)
+				if !optimal && rng.Float64() < p.KnownRatio {
+					existing.Add(t)
+				}
+			}
+		}
+		sortTriples(gs.Facts)
+		out.Planted = append(out.Planted, gs)
+		if optimal {
+			out.Optimal = append(out.Optimal, gs)
+		}
+	}
+	return out
+}
+
+// Triples returns the corpus facts as a flat slice (one web source).
+func (s *Synthetic) Triples() []kb.Triple {
+	out := make([]kb.Triple, len(s.Corpus.Facts))
+	for i, e := range s.Corpus.Facts {
+		out[i] = e.Triple
+	}
+	return out
+}
+
+func sortProps(ps []fact.Property) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func sortTriples(ts []kb.Triple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+}

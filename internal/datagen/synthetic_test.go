@@ -1,0 +1,130 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"midas/internal/baselines"
+	"midas/internal/core"
+	"midas/internal/datagen"
+	"midas/internal/eval"
+	"midas/internal/fact"
+	"midas/internal/kb"
+	"midas/internal/slice"
+)
+
+func syntheticTable(s *datagen.Synthetic) *fact.Table {
+	return fact.Build(s.Source, s.Corpus.Space, s.Triples(), s.KB)
+}
+
+func silverSets(gs []datagen.GroundSlice) [][]kb.Triple {
+	out := make([][]kb.Triple, len(gs))
+	for i := range gs {
+		out[i] = gs[i].Facts
+	}
+	return out
+}
+
+// TestSyntheticShape checks the generator's basic accounting: ~n facts,
+// k planted slices, m optimal, non-optimal facts mostly in the KB.
+func TestSyntheticShape(t *testing.T) {
+	p := datagen.DefaultSyntheticParams()
+	s := datagen.NewSynthetic(p)
+	if len(s.Planted) != p.Slices || len(s.Optimal) != p.Optimal {
+		t.Fatalf("planted/optimal = %d/%d, want %d/%d", len(s.Planted), len(s.Optimal), p.Slices, p.Optimal)
+	}
+	n := len(s.Corpus.Facts)
+	if n < p.Facts*8/10 || n > p.Facts*13/10 {
+		t.Errorf("facts = %d, want ≈ %d", n, p.Facts)
+	}
+	if s.KB.Size() == 0 {
+		t.Error("KB empty; non-optimal slices should be covered")
+	}
+	// Optimal slices must be ≥5% of input facts each (paper guarantee).
+	for i, gs := range s.Optimal {
+		if len(gs.Facts)*22 < n { // ≈5% with slack for PCond drops
+			t.Errorf("optimal slice %d covers %d facts < 5%% of %d", i, len(gs.Facts), n)
+		}
+	}
+}
+
+// TestMIDASRecoversSyntheticSlices is Figure 11's headline: MIDAS
+// achieves (near-)perfect F-measure recovering the planted optimal
+// slices, while GREEDY recovers only one.
+func TestMIDASRecoversSyntheticSlices(t *testing.T) {
+	p := datagen.DefaultSyntheticParams()
+	p.KnownRatio = 0.98
+	s := datagen.NewSynthetic(p)
+	table := syntheticTable(s)
+
+	res := core.DiscoverTable(table, core.Options{})
+	pred := make([][]kb.Triple, len(res.Slices))
+	for i, sl := range res.Slices {
+		pred[i] = sl.FactSet(table)
+	}
+	score := eval.Score(pred, silverSets(s.Optimal))
+	if score.F1 < 0.9 {
+		for i, sl := range res.Slices {
+			t.Logf("pred %d: %s facts=%d new=%d profit=%.1f", i, sl.Description(s.Corpus.Space), sl.Facts, sl.NewFacts, sl.Profit)
+		}
+		t.Errorf("MIDAS F1 = %.3f (P=%.3f R=%.3f), want ≥ 0.9", score.F1, score.Precision, score.Recall)
+	}
+
+	g := baselines.Greedy(table, slice.DefaultCostModel())
+	if g == nil {
+		t.Fatal("greedy found nothing")
+	}
+	gScore := eval.Score([][]kb.Triple{g.FactSet(table)}, silverSets(s.Optimal))
+	if gScore.TruePos > 1 {
+		t.Errorf("greedy matched %d slices, can match at most 1", gScore.TruePos)
+	}
+	if gScore.Recall >= score.Recall {
+		t.Errorf("greedy recall %.3f should be below MIDAS %.3f", gScore.Recall, score.Recall)
+	}
+}
+
+// TestAggClusterOnSynthetic: AGGCLUSTER should find some planted slices
+// but not beat MIDAS.
+func TestAggClusterOnSynthetic(t *testing.T) {
+	p := datagen.DefaultSyntheticParams()
+	p.Facts = 2000
+	p.KnownRatio = 0.98
+	s := datagen.NewSynthetic(p)
+	table := syntheticTable(s)
+
+	agg := baselines.AggCluster(table, slice.DefaultCostModel())
+	pred := make([][]kb.Triple, len(agg))
+	for i, sl := range agg {
+		pred[i] = sl.FactSet(table)
+	}
+	score := eval.Score(pred, silverSets(s.Optimal))
+	if score.Recall == 0 {
+		t.Errorf("aggcluster recovered nothing (returned %d slices)", len(agg))
+	}
+
+	res := core.DiscoverTable(table, core.Options{})
+	mpred := make([][]kb.Triple, len(res.Slices))
+	for i, sl := range res.Slices {
+		mpred[i] = sl.FactSet(table)
+	}
+	mscore := eval.Score(mpred, silverSets(s.Optimal))
+	if mscore.F1 < score.F1 {
+		t.Errorf("MIDAS F1 %.3f below AGGCLUSTER %.3f", mscore.F1, score.F1)
+	}
+}
+
+// TestSyntheticDeterminism: same seed, same corpus.
+func TestSyntheticDeterminism(t *testing.T) {
+	a := datagen.NewSynthetic(datagen.DefaultSyntheticParams())
+	b := datagen.NewSynthetic(datagen.DefaultSyntheticParams())
+	if len(a.Corpus.Facts) != len(b.Corpus.Facts) {
+		t.Fatalf("fact counts differ: %d vs %d", len(a.Corpus.Facts), len(b.Corpus.Facts))
+	}
+	for i := range a.Corpus.Facts {
+		if a.Corpus.Facts[i].Triple != b.Corpus.Facts[i].Triple {
+			t.Fatalf("fact %d differs", i)
+		}
+	}
+	if a.KB.Size() != b.KB.Size() {
+		t.Errorf("KB sizes differ: %d vs %d", a.KB.Size(), b.KB.Size())
+	}
+}

@@ -1,0 +1,89 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"midas/internal/datagen"
+	"midas/internal/eval"
+	"midas/internal/framework"
+	"midas/internal/kb"
+	"midas/internal/source"
+)
+
+// TestWikiLikeDeepHierarchy: the encyclopedia corpus is one domain with
+// a 4-level URL hierarchy; the framework must walk all levels and
+// recover the silver slices without reporting redundant granularities.
+func TestWikiLikeDeepHierarchy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run")
+	}
+	w := datagen.WikiLike(datagen.DefaultWikiParams(11))
+
+	// Single domain, deep URLs.
+	domains := make(map[string]bool)
+	maxDepth := 0
+	for _, e := range w.Corpus.Facts {
+		src := source.Normalize(w.Corpus.URLs.String(e.URL))
+		domains[source.Domain(src)] = true
+		if d := source.Depth(src); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if len(domains) != 1 {
+		t.Fatalf("domains = %d, want 1", len(domains))
+	}
+	if maxDepth < 4 {
+		t.Fatalf("max URL depth = %d, want ≥ 4 (portal/category/article)", maxDepth)
+	}
+	if len(w.Silver) < 15 {
+		t.Fatalf("silver slices = %d, want a substantial catalogue", len(w.Silver))
+	}
+
+	out := framework.Run(w.Corpus, w.KB, framework.Options{})
+	if out.Rounds < 4 {
+		t.Errorf("rounds = %d, want ≥ 4 (deep hierarchy)", out.Rounds)
+	}
+	if len(out.Levels) != out.Rounds {
+		t.Errorf("level stats = %d, want %d", len(out.Levels), out.Rounds)
+	}
+	for i := 1; i < len(out.Levels); i++ {
+		if out.Levels[i].Depth >= out.Levels[i-1].Depth {
+			t.Error("level stats must be deepest-first")
+		}
+	}
+
+	silverSets := make([][]kb.Triple, len(w.Silver))
+	for i := range w.Silver {
+		silverSets[i] = w.Silver[i].Facts
+	}
+	score := eval.Score(out.FactSets, silverSets)
+	t.Logf("wiki: P=%.3f R=%.3f F=%.3f (%d predicted, %d silver, %d rounds)",
+		score.Precision, score.Recall, score.F1, score.Predicted, score.Expected, out.Rounds)
+	if score.Recall < 0.9 {
+		t.Errorf("recall = %.3f, want ≥ 0.9", score.Recall)
+	}
+	if score.F1 < 0.75 {
+		t.Errorf("F1 = %.3f, want ≥ 0.75", score.F1)
+	}
+
+	// No redundant ancestor/descendant pairs in the output: a slice's
+	// facts must not be contained in another reported slice's facts at
+	// a coarser granularity of the same path.
+	for i := range out.Slices {
+		for j := range out.Slices {
+			if i == j {
+				continue
+			}
+			a, b := out.Slices[i], out.Slices[j]
+			if a.Source != b.Source && sourceUnder(b.Source, a.Source) &&
+				a.Description(w.Corpus.Space) == b.Description(w.Corpus.Space) {
+				t.Errorf("redundant slice pair: %q at %s and %s",
+					a.Description(w.Corpus.Space), a.Source, b.Source)
+			}
+		}
+	}
+}
+
+func sourceUnder(child, parent string) bool {
+	return len(child) > len(parent) && child[:len(parent)] == parent && child[len(parent)] == '/'
+}

@@ -1,0 +1,449 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"midas/internal/dict"
+	"midas/internal/extract"
+	"midas/internal/fact"
+	"midas/internal/kb"
+	"midas/internal/slice"
+	"midas/internal/wrapper"
+)
+
+// Style selects the extraction flavor the corpus imitates.
+type Style int
+
+const (
+	// OpenIE produces unlexicalized, per-vertical predicate phrases (the
+	// ReVerb shape: hundreds of thousands of distinct predicates).
+	OpenIE Style = iota
+	// ClosedIE produces a small fixed ontology of predicates with typed
+	// object values (the NELL shape: a few hundred predicates).
+	ClosedIE
+)
+
+// VerticalSpec plants one coherent group of entities (one prospective
+// slice) under a domain path.
+type VerticalSpec struct {
+	// Name labels the vertical for silver-standard descriptions and the
+	// labeling oracle ("US golf courses").
+	Name string
+	// PathSeg is the sub-domain path segment hosting the vertical.
+	PathSeg string
+	// TypeValue is the anchor property value ("golf_course").
+	TypeValue string
+	// Entities is the number of entities (one page each unless
+	// SinglePage is set).
+	Entities int
+	// Attrs is the number of attribute predicates besides the anchor.
+	Attrs int
+	// SharedAttrs of the Attrs draw values from small pools, creating
+	// secondary common properties; the rest get unique values.
+	SharedAttrs int
+	// KnownRatio is the fraction of entities whose true facts are
+	// already in the KB.
+	KnownRatio float64
+	// SinglePage hosts every entity on one page (NELL's
+	// disproportionately large source).
+	SinglePage bool
+	// MultiValued gives each entity 1–2 values for the first shared
+	// attribute (multi-valued fact-table cells, Definition 3's set
+	// semantics), exercising the one-value-per-predicate combination
+	// logic of initial-slice generation.
+	MultiValued bool
+	// SharedPath, when non-empty, hosts the vertical's pages under this
+	// path segment instead of PathSeg. Several verticals of a domain
+	// sharing one path model real sites whose URL structure does not
+	// pre-partition their content — separating them requires slice
+	// discovery, not URL hierarchy.
+	SharedPath string
+}
+
+// hostPath returns the path segment the vertical's pages live under.
+func (v *VerticalSpec) hostPath() string {
+	if v.SharedPath != "" {
+		return v.SharedPath
+	}
+	return v.PathSeg
+}
+
+// DomainSpec plants one web domain.
+type DomainSpec struct {
+	Host      string
+	Verticals []VerticalSpec
+	// NoiseEntities adds loosely-related pages (forum/news style): many
+	// new facts with no common properties — the bait that fools NAIVE.
+	NoiseEntities int
+	// NoiseFactsPerEntity is the fact count per noise entity (≥1).
+	NoiseFactsPerEntity int
+}
+
+// WorldParams configures corpus generation.
+type WorldParams struct {
+	Style Style
+	// ExtractRecall is the probability an attribute fact survives the
+	// simulated automated extraction (the paper's pipelines miss most
+	// facts; defaults to 0.6).
+	ExtractRecall float64
+	// AnchorRecall is the survival probability of the anchor fact
+	// (defaults to 0.96: type facts are the easiest to extract).
+	AnchorRecall float64
+	// WrongRate is the expected number of wrong (corrupted-object)
+	// emissions per true fact considered; wrong emissions carry lower
+	// confidence (defaults to 0.12; set negative for none).
+	WrongRate float64
+	// TrustThreshold is the confidence bar facts must exceed to enter
+	// the trusted corpus, matching the paper's 0.75 for ReVerb/NELL
+	// (0.7 for KnowledgeVault). Defaults to 0.75.
+	TrustThreshold float64
+	// Cost scores prospective slices for silver-standard inclusion;
+	// zero means the paper's defaults.
+	Cost slice.CostModel
+	Seed int64
+}
+
+func (p WorldParams) withDefaults() WorldParams {
+	if p.ExtractRecall == 0 {
+		p.ExtractRecall = 0.6
+	}
+	if p.AnchorRecall == 0 {
+		p.AnchorRecall = 0.96
+	}
+	if p.WrongRate == 0 {
+		p.WrongRate = 0.12
+	}
+	if p.WrongRate < 0 {
+		p.WrongRate = 0
+	}
+	if p.TrustThreshold == 0 {
+		p.TrustThreshold = 0.75
+	}
+	if p.Cost == (slice.CostModel{}) {
+		p.Cost = slice.DefaultCostModel()
+	}
+	return p
+}
+
+// extractParams assembles the extraction-simulator configuration.
+func (p WorldParams) extractParams() extract.Params {
+	return extract.Params{
+		Recall:       p.ExtractRecall,
+		AnchorRecall: p.AnchorRecall,
+		WrongRate:    p.WrongRate,
+		ConfCorrect:  [2]float64{p.TrustThreshold, 1.0},
+		ConfWrong:    [2]float64{0.40, p.TrustThreshold + 0.03},
+	}
+}
+
+// World is a generated corpus with its ground truth.
+type World struct {
+	Params WorldParams
+	// Corpus holds the trusted extractions: emissions whose confidence
+	// exceeds TrustThreshold (the input MIDAS consumes). Mostly correct
+	// facts, plus the few high-confidence wrong ones that slip through.
+	Corpus *fact.Corpus
+	// RawCorpus additionally holds the low-confidence emissions the
+	// threshold rejected.
+	RawCorpus *fact.Corpus
+	KB        *kb.KB
+	// Silver lists the planted slices whose extraction would be
+	// profitable against the generated KB — the expected output.
+	Silver []GroundSlice
+	// AllPlanted lists every planted vertical slice, profitable or not.
+	AllPlanted []GroundSlice
+	// VerticalOf maps subjects to their vertical name; noise subjects
+	// are absent. The labeling oracle uses it to score homogeneity.
+	VerticalOf map[dict.ID]string
+	// GoodSources marks domain hosts that contain at least one silver
+	// slice.
+	GoodSources map[string]bool
+	// Pages are the templated ground-truth pages behind the corpus
+	// (every true fact in its template slot), consumed by the
+	// wrapper-induction experiments. Entities of one vertical share a
+	// template; noise pages scatter facts over random slots.
+	Pages   []wrapper.Page
+	Domains []DomainSpec
+}
+
+// Generate builds the corpus for the given domains.
+func Generate(domains []DomainSpec, params WorldParams) *World {
+	params = params.withDefaults()
+	rng := rand.New(rand.NewSource(params.Seed))
+	w := &World{
+		Params:      params,
+		Corpus:      fact.NewCorpus(nil),
+		VerticalOf:  make(map[dict.ID]string),
+		GoodSources: make(map[string]bool),
+		Domains:     domains,
+	}
+	w.RawCorpus = &fact.Corpus{Space: w.Corpus.Space, URLs: w.Corpus.URLs}
+	w.KB = kb.New(w.Corpus.Space)
+
+	// Ontology predicate pools.
+	closedPreds := make([]string, 24)
+	for i := range closedPreds {
+		closedPreds[i] = fmt.Sprintf("concept:relation%d", i)
+	}
+
+	for di, d := range domains {
+		domainFacts := 0
+		var domainSlices []*GroundSlice
+		for vi := range d.Verticals {
+			v := &d.Verticals[vi]
+			gs, extracted := w.generateVertical(rng, di, d.Host, v, closedPreds)
+			domainFacts += extracted
+			domainSlices = append(domainSlices, gs)
+		}
+		w.generateNoise(rng, di, d.Host, d.NoiseEntities, d.NoiseFactsPerEntity)
+
+		// Score each planted slice for silver inclusion against the
+		// *extracted* corpus: new facts are those of unknown entities.
+		for _, gs := range domainSlices {
+			newCount := 0
+			for _, t := range gs.Facts {
+				if !w.KB.Contains(t) {
+					newCount++
+				}
+			}
+			profit := params.Cost.SliceProfit(newCount, len(gs.Facts), domainFacts)
+			w.AllPlanted = append(w.AllPlanted, *gs)
+			if profit > 0 && newCount > 0 {
+				w.Silver = append(w.Silver, *gs)
+				w.GoodSources[d.Host] = true
+			}
+		}
+	}
+	return w
+}
+
+// generateVertical plants one vertical: true facts go to the KB for
+// known entities; extracted facts (with recall loss) go to the corpus
+// and the ground slice.
+func (w *World) generateVertical(rng *rand.Rand, di int, host string, v *VerticalSpec, closedPreds []string) (*GroundSlice, int) {
+	space := w.Corpus.Space
+	params := w.Params
+
+	anchorPred := "be a"
+	anchorVal := v.TypeValue
+	if params.Style == ClosedIE {
+		anchorPred = "generalizations"
+		anchorVal = "concept/" + v.TypeValue
+	}
+
+	// Attribute predicates.
+	preds := make([]string, v.Attrs)
+	for i := range preds {
+		if params.Style == ClosedIE {
+			preds[i] = closedPreds[(di+i)%len(closedPreds)]
+		} else {
+			preds[i] = fmt.Sprintf("%s attr%d of", v.PathSeg, i)
+		}
+	}
+	// Shared value pools (3 values each).
+	pools := make([][]string, v.SharedAttrs)
+	for i := range pools {
+		pools[i] = []string{
+			fmt.Sprintf("%s_pool%d_a", v.TypeValue, i),
+			fmt.Sprintf("%s_pool%d_b", v.TypeValue, i),
+			fmt.Sprintf("%s_pool%d_c", v.TypeValue, i),
+		}
+	}
+
+	gs := &GroundSlice{
+		Source:      host + "/" + v.hostPath(),
+		Description: v.Name,
+		Props: []fact.Property{fact.Prop(
+			space.Predicates.Put(anchorPred),
+			space.Objects.Put(anchorVal),
+		)},
+	}
+
+	extracted := 0
+	for e := 0; e < v.Entities; e++ {
+		subject := fmt.Sprintf("%s %d-%d", v.Name, di, e)
+		url := fmt.Sprintf("http://%s/%s/%s-e%d.htm", host, v.hostPath(), v.PathSeg, e)
+		if v.SinglePage {
+			url = fmt.Sprintf("http://%s/%s/all.htm", host, v.hostPath())
+		}
+		known := rng.Float64() < v.KnownRatio
+
+		// trueFacts and slots are parallel: the slot is the predicate's
+		// template position (multi-valued cells share their predicate's
+		// slot, like repeated list items in one DOM location).
+		var trueFacts []kb.Triple
+		var slots []int
+		trueFacts = append(trueFacts, space.Intern(subject, anchorPred, anchorVal))
+		slots = append(slots, 0)
+		for i, p := range preds {
+			values := 1
+			if v.MultiValued && i == 0 && i < len(pools) && rng.Float64() < 0.5 {
+				values = 2
+			}
+			taken := make(map[string]bool, values)
+			for k := 0; k < values; k++ {
+				var val string
+				if i < len(pools) {
+					val = pools[i][rng.Intn(len(pools[i]))]
+					if taken[val] {
+						continue
+					}
+					taken[val] = true
+				} else {
+					val = fmt.Sprintf("%s uniq%d", subject, i)
+				}
+				if params.Style == ClosedIE {
+					val = "concept/" + val
+				}
+				trueFacts = append(trueFacts, space.Intern(subject, p, val))
+				slots = append(slots, i+1)
+			}
+		}
+		if known {
+			for _, t := range trueFacts {
+				w.KB.Add(t)
+			}
+		}
+		// Simulated extraction: recall loss plus low-confidence wrong
+		// emissions (internal/extract). The silver slice is Π* over the
+		// *trusted extracted* fact table (Definition 5): an entity
+		// belongs to the slice only if its anchor fact survived
+		// extraction — an entity whose type fact was missed is
+		// unreachable by any property-based selection.
+		subjID := trueFacts[0].S
+		urlID := w.Corpus.URLs.Put(url)
+		// Render the page: the vertical's template puts the anchor in
+		// slot 0 and attribute i in slot i+1. Different verticals reuse
+		// the same slot numbers — that collision is what makes wrappers
+		// induced across verticals wrong.
+		page := wrapper.Page{URL: url}
+		for i, t := range trueFacts {
+			page.Fields = append(page.Fields, wrapper.Field{Slot: slots[i], Subject: t.S, Pred: t.P, Object: t.O})
+		}
+		w.Pages = append(w.Pages, page)
+		anchored := false
+		var entityFacts []kb.Triple
+		for _, em := range extract.Apply(rng, trueFacts, 0, space, params.extractParams()) {
+			w.RawCorpus.AddTriple(em.Triple, urlID, float32(em.Conf))
+			if em.Conf <= params.TrustThreshold {
+				continue
+			}
+			w.Corpus.AddTriple(em.Triple, urlID, float32(em.Conf))
+			extracted++
+			if !em.Wrong {
+				entityFacts = append(entityFacts, em.Triple)
+				if em.FactIdx == 0 {
+					anchored = true
+				}
+			}
+		}
+		if anchored {
+			gs.Facts = append(gs.Facts, entityFacts...)
+			gs.Subjects = append(gs.Subjects, subjID)
+			w.VerticalOf[subjID] = v.Name
+		}
+	}
+	sortTriples(gs.Facts)
+	sort.Slice(gs.Subjects, func(i, j int) bool { return gs.Subjects[i] < gs.Subjects[j] })
+	return gs, extracted
+}
+
+// generateNoise plants forum/news-style pages: every fact is new and no
+// two entities share a property, so no profitable slice exists even
+// though the new-fact count is high.
+func (w *World) generateNoise(rng *rand.Rand, di int, host string, entities, factsPer int) {
+	if factsPer < 1 {
+		factsPer = 1
+	}
+	space := w.Corpus.Space
+	var page wrapper.Page
+	for e := 0; e < entities; e++ {
+		subject := fmt.Sprintf("post %d-%d", di, e)
+		// Forum threads: ~8 loosely-related entities per page.
+		url := fmt.Sprintf("http://%s/posts/p%d.htm", host, e/8)
+		if page.URL != url {
+			if page.URL != "" {
+				w.Pages = append(w.Pages, page)
+			}
+			page = wrapper.Page{URL: url}
+		}
+		for f := 0; f < factsPer; f++ {
+			pred := fmt.Sprintf("mention%d", rng.Intn(40))
+			if w.Params.Style == ClosedIE {
+				pred = fmt.Sprintf("concept:relation%d", rng.Intn(24))
+			}
+			val := fmt.Sprintf("topic %d-%d-%d-%d", di, e, f, rng.Intn(1<<30))
+			t := space.Intern(subject, pred, val)
+			conf := w.Params.TrustThreshold + (1-w.Params.TrustThreshold)*rng.Float64()
+			urlID := w.Corpus.URLs.Put(url)
+			w.Corpus.AddTriple(t, urlID, float32(conf))
+			w.RawCorpus.AddTriple(t, urlID, float32(conf))
+			// Unstructured pages: facts land in arbitrary slots.
+			page.Fields = append(page.Fields, wrapper.Field{
+				Slot: rng.Intn(10), Subject: t.S, Pred: t.P, Object: t.O,
+			})
+		}
+	}
+	if page.URL != "" {
+		w.Pages = append(w.Pages, page)
+	}
+}
+
+// WithCoverage derives an existing KB of the requested silver coverage
+// (Section IV-B): a deterministic ratio-sized subset of the silver
+// slices has its facts added to a clone of the base KB; the remaining
+// silver slices form the expected output against that KB.
+func (w *World) WithCoverage(ratio float64, seed int64) (*kb.KB, []GroundSlice) {
+	adjusted := w.KB.Clone()
+	if ratio <= 0 {
+		out := make([]GroundSlice, len(w.Silver))
+		copy(out, w.Silver)
+		return adjusted, out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(w.Silver))
+	nCovered := int(float64(len(w.Silver))*ratio + 0.5)
+	covered := make(map[int]bool, nCovered)
+	for _, i := range idx[:nCovered] {
+		covered[i] = true
+	}
+	var remaining []GroundSlice
+	for i, gs := range w.Silver {
+		if covered[i] {
+			for _, t := range gs.Facts {
+				adjusted.Add(t)
+			}
+		} else {
+			remaining = append(remaining, gs)
+		}
+	}
+	return adjusted, remaining
+}
+
+// Stats summarizes the corpus for the Figure 7-style dataset table.
+type Stats struct {
+	Facts      int
+	Predicates int
+	URLs       int
+	Subjects   int
+	KBFacts    int
+}
+
+// Stats computes corpus statistics.
+func (w *World) Stats() Stats {
+	preds := make(map[dict.ID]struct{})
+	subs := make(map[dict.ID]struct{})
+	for _, e := range w.Corpus.Facts {
+		preds[e.Triple.P] = struct{}{}
+		subs[e.Triple.S] = struct{}{}
+	}
+	return Stats{
+		Facts:      len(w.Corpus.Facts),
+		Predicates: len(preds),
+		URLs:       w.Corpus.NumURLs(),
+		Subjects:   len(subs),
+		KBFacts:    w.KB.Size(),
+	}
+}

@@ -1,0 +1,138 @@
+package datagen_test
+
+import (
+	"strings"
+	"testing"
+
+	"midas/internal/datagen"
+	"midas/internal/eval"
+	"midas/internal/framework"
+	"midas/internal/kb"
+	"midas/internal/source"
+)
+
+// TestReVerbSlimShape: 100 domains, ~50 good, OpenIE predicate
+// diversity, a non-empty silver standard.
+func TestReVerbSlimShape(t *testing.T) {
+	w := datagen.ReVerbSlim(datagen.DefaultSlimParams(7))
+	st := w.Stats()
+	if st.Facts == 0 || st.URLs == 0 {
+		t.Fatalf("empty corpus: %+v", st)
+	}
+	if len(w.GoodSources) < 40 || len(w.GoodSources) > 60 {
+		t.Errorf("good sources = %d, want ≈ 50", len(w.GoodSources))
+	}
+	if len(w.Silver) < 50 {
+		t.Errorf("silver slices = %d, want ≥ 50 (good domains carry 1-3 each)", len(w.Silver))
+	}
+	// OpenIE: per-vertical predicates explode the vocabulary.
+	if st.Predicates < 300 {
+		t.Errorf("predicates = %d, want ≥ 300 for the ReVerb shape", st.Predicates)
+	}
+}
+
+// TestNELLSlimShape: ClosedIE keeps the predicate vocabulary small.
+func TestNELLSlimShape(t *testing.T) {
+	w := datagen.NELLSlim(datagen.DefaultSlimParams(7))
+	st := w.Stats()
+	if st.Predicates > 60 {
+		t.Errorf("predicates = %d, want ≤ 60 for the NELL shape", st.Predicates)
+	}
+	if len(w.Silver) == 0 {
+		t.Fatal("no silver slices")
+	}
+}
+
+// TestNELLLikeHasHugeSource: the full NELL corpus must contain one
+// disproportionately large leaf source (Figure 10d's runtime step).
+func TestNELLLikeHasHugeSource(t *testing.T) {
+	w := datagen.NELLLike(datagen.FullParams{Scale: 0.3, Seed: 3})
+	counts := make(map[string]int)
+	for _, e := range w.Corpus.Facts {
+		counts[source.Normalize(w.Corpus.URLs.String(e.URL))]++
+	}
+	maxCount, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount*10 < total {
+		t.Errorf("largest source holds %d of %d facts; want ≥ 10%%", maxCount, total)
+	}
+}
+
+// TestMIDASOnSlimCorpus runs the full pipeline on ReVerb-Slim at zero
+// coverage and checks MIDAS lands in the high-quality regime the paper
+// reports (precision and recall well above the baselines' range).
+func TestMIDASOnSlimCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slim corpus run")
+	}
+	w := datagen.ReVerbSlim(datagen.DefaultSlimParams(7))
+	existing, silver := w.WithCoverage(0, 1)
+	out := framework.Run(w.Corpus, existing, framework.Options{})
+
+	silverSets := make([][]kb.Triple, len(silver))
+	for i := range silver {
+		silverSets[i] = silver[i].Facts
+	}
+	score := eval.Score(out.FactSets, silverSets)
+	t.Logf("MIDAS on ReVerb-Slim: P=%.3f R=%.3f F=%.3f (%d predicted, %d silver)",
+		score.Precision, score.Recall, score.F1, score.Predicted, score.Expected)
+	if score.F1 < 0.6 {
+		for i, s := range out.Slices {
+			if i > 20 {
+				break
+			}
+			t.Logf("pred: %s @ %s facts=%d new=%d profit=%.1f", s.Description(w.Corpus.Space), s.Source, s.Facts, s.NewFacts, s.Profit)
+		}
+		t.Errorf("MIDAS F1 = %.3f, want ≥ 0.6", score.F1)
+	}
+}
+
+// TestCoverageAdjustment: raising coverage shrinks the expected output
+// and grows the KB.
+func TestCoverageAdjustment(t *testing.T) {
+	w := datagen.ReVerbSlim(datagen.DefaultSlimParams(7))
+	kb0, s0 := w.WithCoverage(0, 1)
+	kb40, s40 := w.WithCoverage(0.4, 1)
+	kb80, s80 := w.WithCoverage(0.8, 1)
+	if len(s0) != len(w.Silver) {
+		t.Errorf("coverage 0 expected output = %d, want all %d", len(s0), len(w.Silver))
+	}
+	if !(len(s80) < len(s40) && len(s40) < len(s0)) {
+		t.Errorf("expected output should shrink: %d, %d, %d", len(s0), len(s40), len(s80))
+	}
+	if !(kb80.Size() > kb40.Size() && kb40.Size() > kb0.Size()) {
+		t.Errorf("KB should grow: %d, %d, %d", kb0.Size(), kb40.Size(), kb80.Size())
+	}
+	// The base world's KB must be untouched.
+	if kb0.Size() != w.KB.Size() {
+		t.Errorf("coverage 0 must clone the base KB unchanged")
+	}
+}
+
+// TestVerticalOracleGroundTruth: subjects of planted verticals are
+// labeled; noise subjects are not.
+func TestVerticalOracleGroundTruth(t *testing.T) {
+	w := datagen.ReVerbSlim(datagen.DefaultSlimParams(7))
+	labeled := 0
+	for _, gs := range w.Silver {
+		for _, s := range gs.Subjects {
+			if v, ok := w.VerticalOf[s]; !ok || v == "" {
+				t.Fatalf("silver subject %d unlabeled", s)
+			}
+			labeled++
+		}
+	}
+	if labeled == 0 {
+		t.Fatal("no labeled subjects")
+	}
+	for s := range w.VerticalOf {
+		if strings.HasPrefix(w.Corpus.Space.Subjects.String(s), "post ") {
+			t.Errorf("noise subject labeled as vertical")
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package dict provides string interning dictionaries.
+//
+// MIDAS processes millions of (subject, predicate, object) strings; every
+// hot path in the system (knowledge-base membership, fact tables, slice
+// lattices) works on dense int32 identifiers produced by a Dict. A Dict is
+// append-only: once a string is assigned an ID the mapping never changes,
+// so IDs may be stored freely in derived structures.
+package dict
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// ID is a dense identifier for an interned string. Valid IDs are
+// non-negative; None marks "no value".
+type ID = int32
+
+// None is the zero-value "absent" ID. Dict never assigns it.
+const None ID = -1
+
+// Dict interns strings to dense int32 IDs, starting at 0.
+// The zero value is ready to use. Dict is safe for concurrent use.
+type Dict struct {
+	mu   sync.RWMutex
+	ids  map[string]ID
+	strs []string
+}
+
+// New returns an empty dictionary with capacity for n strings.
+func New(n int) *Dict {
+	return &Dict{
+		ids:  make(map[string]ID, n),
+		strs: make([]string, 0, n),
+	}
+}
+
+// Put interns s and returns its ID, assigning a fresh ID if s is new.
+func (d *Dict) Put(s string) ID {
+	d.mu.RLock()
+	id, ok := d.ids[s]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	if d.ids == nil {
+		d.ids = make(map[string]ID)
+	}
+	id = ID(len(d.strs))
+	d.ids[s] = id
+	d.strs = append(d.strs, s)
+	return id
+}
+
+// Lookup returns the ID for s, or None if s was never interned.
+func (d *Dict) Lookup(s string) ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id, ok := d.ids[s]; ok {
+		return id
+	}
+	return None
+}
+
+// String returns the string for id. It panics if id was never assigned,
+// mirroring slice indexing semantics: holding an invalid ID is a bug.
+func (d *Dict) String(id ID) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.strs[id]
+}
+
+// Len reports the number of interned strings.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.strs)
+}
+
+// Strings returns a copy of all interned strings in ID order.
+func (d *Dict) Strings() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, len(d.strs))
+	copy(out, d.strs)
+	return out
+}
+
+// WriteTo serializes the dictionary as a line-oriented stream: one string
+// per line in ID order, with backslash escaping for newlines and
+// backslashes. It implements io.WriterTo.
+func (d *Dict) WriteTo(w io.Writer) (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, s := range d.strs {
+		m, err := bw.WriteString(escape(s))
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// ReadFrom replaces the dictionary contents with a stream previously
+// produced by WriteTo. It implements io.ReaderFrom.
+func (d *Dict) ReadFrom(r io.Reader) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	d.strs = d.strs[:0]
+	d.ids = make(map[string]ID)
+	var n int64
+	for sc.Scan() {
+		line := sc.Text()
+		n += int64(len(line)) + 1
+		s, err := unescape(line)
+		if err != nil {
+			return n, fmt.Errorf("dict: line %d: %w", len(d.strs)+1, err)
+		}
+		if _, dup := d.ids[s]; dup {
+			return n, fmt.Errorf("dict: duplicate string %q at line %d", s, len(d.strs)+1)
+		}
+		d.ids[s] = ID(len(d.strs))
+		d.strs = append(d.strs, s)
+	}
+	return n, sc.Err()
+}
+
+var errBadEscape = errors.New("invalid escape sequence")
+
+func escape(s string) string {
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' || s[i] == '\\' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	out := make([]byte, 0, len(s)+8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\n':
+			out = append(out, '\\', 'n')
+		case '\\':
+			out = append(out, '\\', '\\')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+func unescape(s string) (string, error) {
+	i := 0
+	for ; i < len(s); i++ {
+		if s[i] == '\\' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s, nil
+	}
+	out := make([]byte, 0, len(s))
+	out = append(out, s[:i]...)
+	for ; i < len(s); i++ {
+		if s[i] != '\\' {
+			out = append(out, s[i])
+			continue
+		}
+		i++
+		if i == len(s) {
+			return "", errBadEscape
+		}
+		switch s[i] {
+		case 'n':
+			out = append(out, '\n')
+		case '\\':
+			out = append(out, '\\')
+		default:
+			return "", errBadEscape
+		}
+	}
+	return string(out), nil
+}
+
+// SortedIDs returns the IDs of the dictionary ordered by their string
+// values; useful for deterministic reporting.
+func (d *Dict) SortedIDs() []ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ids := make([]ID, len(d.strs))
+	for i := range ids {
+		ids[i] = ID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return d.strs[ids[a]] < d.strs[ids[b]] })
+	return ids
+}

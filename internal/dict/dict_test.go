@@ -1,0 +1,186 @@
+package dict_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"midas/internal/dict"
+)
+
+func TestPutLookupString(t *testing.T) {
+	d := dict.New(4)
+	a := d.Put("alpha")
+	b := d.Put("beta")
+	if a == b {
+		t.Fatal("distinct strings share an ID")
+	}
+	if got := d.Put("alpha"); got != a {
+		t.Errorf("re-Put = %d, want %d", got, a)
+	}
+	if got := d.Lookup("alpha"); got != a {
+		t.Errorf("Lookup = %d, want %d", got, a)
+	}
+	if got := d.Lookup("missing"); got != dict.None {
+		t.Errorf("Lookup(missing) = %d, want None", got)
+	}
+	if got := d.String(b); got != "beta" {
+		t.Errorf("String(%d) = %q", b, got)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var d dict.Dict
+	if id := d.Put("x"); id != 0 {
+		t.Errorf("first ID = %d, want 0", id)
+	}
+}
+
+func TestIDsAreDense(t *testing.T) {
+	d := dict.New(0)
+	for i := 0; i < 100; i++ {
+		if id := d.Put(fmt.Sprintf("s%d", i)); id != dict.ID(i) {
+			t.Fatalf("Put #%d = %d", i, id)
+		}
+	}
+}
+
+func TestStringsOrder(t *testing.T) {
+	d := dict.New(0)
+	in := []string{"c", "a", "b"}
+	for _, s := range in {
+		d.Put(s)
+	}
+	got := d.Strings()
+	for i, s := range in {
+		if got[i] != s {
+			t.Errorf("Strings()[%d] = %q, want %q", i, got[i], s)
+		}
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	d := dict.New(0)
+	d.Put("zebra")
+	d.Put("ant")
+	d.Put("mule")
+	ids := d.SortedIDs()
+	want := []string{"ant", "mule", "zebra"}
+	for i, id := range ids {
+		if d.String(id) != want[i] {
+			t.Errorf("sorted[%d] = %q, want %q", i, d.String(id), want[i])
+		}
+	}
+}
+
+// TestRoundTrip checks WriteTo/ReadFrom over strings containing the
+// escape-sensitive characters.
+func TestRoundTrip(t *testing.T) {
+	d := dict.New(0)
+	inputs := []string{"plain", "with\nnewline", `back\slash`, "", "tab\tok", `\n`, "trailing\\"}
+	for _, s := range inputs {
+		d.Put(s)
+	}
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2 := dict.New(0)
+	if _, err := d2.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != d.Len() {
+		t.Fatalf("len = %d, want %d", d2.Len(), d.Len())
+	}
+	for i, s := range inputs {
+		if got := d2.String(dict.ID(i)); got != s {
+			t.Errorf("string %d = %q, want %q", i, got, s)
+		}
+	}
+}
+
+// TestRoundTripQuick property: any string set survives serialization.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(raw []string) bool {
+		d := dict.New(0)
+		seen := make(map[string]bool)
+		var uniq []string
+		for _, s := range raw {
+			if !seen[s] {
+				seen[s] = true
+				uniq = append(uniq, s)
+				d.Put(s)
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := d.WriteTo(&buf); err != nil {
+			return false
+		}
+		d2 := dict.New(0)
+		if _, err := d2.ReadFrom(&buf); err != nil {
+			return false
+		}
+		if d2.Len() != len(uniq) {
+			return false
+		}
+		for i, s := range uniq {
+			if d2.String(dict.ID(i)) != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFromRejectsDuplicates(t *testing.T) {
+	d := dict.New(0)
+	if _, err := d.ReadFrom(strings.NewReader("a\nb\na\n")); err == nil {
+		t.Error("want duplicate error")
+	}
+}
+
+func TestReadFromRejectsBadEscape(t *testing.T) {
+	d := dict.New(0)
+	if _, err := d.ReadFrom(strings.NewReader(`bad\qescape`)); err == nil {
+		t.Error("want escape error")
+	}
+	if _, err := d.ReadFrom(strings.NewReader(`trailing\`)); err == nil {
+		t.Error("want truncated-escape error")
+	}
+}
+
+// TestConcurrentPut hammers Put from many goroutines; the dictionary
+// must stay consistent (run with -race).
+func TestConcurrentPut(t *testing.T) {
+	d := dict.New(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				s := fmt.Sprintf("key%d", rng.Intn(500))
+				id := d.Put(s)
+				if d.String(id) != s {
+					t.Errorf("inconsistent mapping for %q", s)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() > 500 {
+		t.Errorf("len = %d, want ≤ 500", d.Len())
+	}
+}

@@ -1,0 +1,247 @@
+// Package eval implements the paper's evaluation methodology
+// (Section IV-B): precision/recall/F-measure against a silver standard
+// with Jaccard-similarity slice matching, top-k precision, and the
+// human-labeling procedure simulated as a deterministic oracle over
+// generator ground truth (R_new and R_anno over K sampled entities).
+package eval
+
+import (
+	"math/rand"
+	"sort"
+
+	"midas/internal/dict"
+	"midas/internal/kb"
+	"midas/internal/slice"
+)
+
+// JaccardThreshold is the slice-equivalence threshold of Section IV-B.
+const JaccardThreshold = 0.95
+
+// PRF bundles precision, recall and F-measure.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	TruePos   int
+	Predicted int
+	Expected  int
+}
+
+func prf(tp, predicted, expected int) PRF {
+	out := PRF{TruePos: tp, Predicted: predicted, Expected: expected}
+	if predicted > 0 {
+		out.Precision = float64(tp) / float64(predicted)
+	}
+	if expected > 0 {
+		out.Recall = float64(tp) / float64(expected)
+	}
+	if out.Precision+out.Recall > 0 {
+		out.F1 = 2 * out.Precision * out.Recall / (out.Precision + out.Recall)
+	}
+	return out
+}
+
+// MatchSilver greedily matches each predicted fact set (in rank order)
+// to its best still-unmatched silver fact set with Jaccard similarity
+// above the threshold. It returns, per predicted slice, the index of the
+// matched silver slice or -1.
+func MatchSilver(predicted, silver [][]kb.Triple) []int {
+	out := make([]int, len(predicted))
+	used := make([]bool, len(silver))
+	for i, p := range predicted {
+		out[i] = -1
+		best, bestSim := -1, JaccardThreshold
+		for j, s := range silver {
+			if used[j] {
+				continue
+			}
+			if sim := slice.Jaccard(p, s); sim > bestSim {
+				best, bestSim = j, sim
+			}
+		}
+		if best >= 0 {
+			out[i] = best
+			used[best] = true
+		}
+	}
+	return out
+}
+
+// Score computes precision/recall/F of predicted fact sets against the
+// silver standard.
+func Score(predicted, silver [][]kb.Triple) PRF {
+	tp := 0
+	for _, m := range MatchSilver(predicted, silver) {
+		if m >= 0 {
+			tp++
+		}
+	}
+	return prf(tp, len(predicted), len(silver))
+}
+
+// PRPoint is one point of a precision-recall curve.
+type PRPoint struct {
+	K         int
+	Precision float64
+	Recall    float64
+}
+
+// PRCurve computes precision/recall at every prefix of the (profit-
+// ranked) predicted list, producing the curves of Figure 9a/c/e.
+func PRCurve(predicted, silver [][]kb.Triple) []PRPoint {
+	matches := MatchSilver(predicted, silver)
+	out := make([]PRPoint, 0, len(predicted))
+	tp := 0
+	for i := range predicted {
+		if matches[i] >= 0 {
+			tp++
+		}
+		out = append(out, PRPoint{
+			K:         i + 1,
+			Precision: float64(tp) / float64(i+1),
+			Recall:    float64(tp) / float64(max(1, len(silver))),
+		})
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Oracle simulates the human labeling of Section IV-B: a returned slice
+// is correct when, over K (or fewer) sampled entities, (a) the ratio of
+// entities contributing facts absent from the KB and (b) the ratio of
+// entities providing homogeneous information both exceed the threshold.
+// Homogeneity is judged from generator ground truth: the fraction of
+// sampled entities belonging to the sample's majority vertical (noise
+// entities belong to no vertical and never agree).
+type Oracle struct {
+	// VerticalOf maps subjects to vertical names (generator ground
+	// truth); unmapped subjects are noise.
+	VerticalOf map[dict.ID]string
+	// KB is the existing knowledge base of the evaluated run (nil =
+	// empty, making R_new binary as in the paper).
+	KB *kb.KB
+	// K is the entity sample size (paper: 20; 0 means 20).
+	K int
+	// Threshold is the correctness bar for both ratios (paper: 0.5;
+	// 0 means 0.5).
+	Threshold float64
+	// Seed drives deterministic sampling.
+	Seed int64
+}
+
+func (o *Oracle) k() int {
+	if o.K == 0 {
+		return 20
+	}
+	return o.K
+}
+
+func (o *Oracle) threshold() float64 {
+	if o.Threshold == 0 {
+		return 0.5
+	}
+	return o.Threshold
+}
+
+// Correct labels one predicted slice given its fact set.
+func (o *Oracle) Correct(s *slice.Slice, facts []kb.Triple) bool {
+	rNew, rAnno := o.Ratios(s, facts)
+	return rNew > o.threshold() && rAnno > o.threshold()
+}
+
+// Ratios returns (R_new, R_anno) for a predicted slice.
+func (o *Oracle) Ratios(s *slice.Slice, facts []kb.Triple) (rNew, rAnno float64) {
+	if len(s.Entities) == 0 {
+		return 0, 0
+	}
+	sample := o.sample(s.Entities)
+
+	// R_new: fraction of sampled entities contributing ≥1 new fact.
+	bySubject := make(map[dict.ID]bool, len(sample))
+	for _, e := range sample {
+		bySubject[e] = false
+	}
+	for _, t := range facts {
+		if seen, ok := bySubject[t.S]; ok && !seen {
+			if o.KB == nil || !o.KB.Contains(t) {
+				bySubject[t.S] = true
+			}
+		}
+	}
+	newCount := 0
+	for _, hasNew := range bySubject {
+		if hasNew {
+			newCount++
+		}
+	}
+	rNew = float64(newCount) / float64(len(sample))
+
+	// R_anno: homogeneity via majority vertical.
+	counts := make(map[string]int)
+	for _, e := range sample {
+		if v, ok := o.VerticalOf[e]; ok {
+			counts[v]++
+		}
+	}
+	majority := 0
+	for _, c := range counts {
+		if c > majority {
+			majority = c
+		}
+	}
+	rAnno = float64(majority) / float64(len(sample))
+	return rNew, rAnno
+}
+
+// sample draws K deterministic entities from the slice (all of them if
+// fewer than K).
+func (o *Oracle) sample(entities []dict.ID) []dict.ID {
+	k := o.k()
+	if len(entities) <= k {
+		return entities
+	}
+	// Derive a per-slice seed from the entity set for stability across
+	// runs regardless of evaluation order.
+	h := o.Seed
+	for _, e := range entities {
+		h = h*1099511628211 + int64(e)
+	}
+	rng := rand.New(rand.NewSource(h))
+	idx := rng.Perm(len(entities))[:k]
+	sort.Ints(idx)
+	out := make([]dict.ID, k)
+	for i, j := range idx {
+		out[i] = entities[j]
+	}
+	return out
+}
+
+// TopKPrecision labels the top-k predicted slices with the oracle and
+// returns the precision at each requested k (ks must be ascending).
+// Fewer predictions than k yield the precision over all predictions.
+func TopKPrecision(slices []*slice.Slice, factSets [][]kb.Triple, o *Oracle, ks []int) []float64 {
+	out := make([]float64, len(ks))
+	correct := 0
+	next := 0
+	for i := range slices {
+		if o.Correct(slices[i], factSets[i]) {
+			correct++
+		}
+		for next < len(ks) && ks[next] == i+1 {
+			out[next] = float64(correct) / float64(i+1)
+			next++
+		}
+	}
+	for ; next < len(ks); next++ {
+		if len(slices) > 0 {
+			out[next] = float64(correct) / float64(len(slices))
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package eval_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"midas/internal/dict"
+	"midas/internal/eval"
+	"midas/internal/kb"
+	"midas/internal/slice"
+)
+
+func triples(sp *kb.Space, n int, prefix string) []kb.Triple {
+	out := make([]kb.Triple, n)
+	for i := range out {
+		out[i] = sp.Intern(fmt.Sprintf("%s-s%d", prefix, i), "p", fmt.Sprintf("%s-o%d", prefix, i))
+	}
+	return out
+}
+
+func TestMatchSilverExactAndNear(t *testing.T) {
+	sp := kb.NewSpace()
+	a := triples(sp, 40, "a")
+	b := triples(sp, 40, "b")
+
+	// Near-duplicate of a: 39 of 40 facts shared → Jaccard 39/41 ≈ 0.95
+	// (below threshold); 40 of 41 → ≈ 0.976 (above).
+	aPlus := append(append([]kb.Triple{}, a...), sp.Intern("extra", "p", "x"))
+
+	matches := eval.MatchSilver([][]kb.Triple{a, b}, [][]kb.Triple{b, a})
+	if matches[0] != 1 || matches[1] != 0 {
+		t.Errorf("matches = %v, want [1 0]", matches)
+	}
+	matches = eval.MatchSilver([][]kb.Triple{aPlus}, [][]kb.Triple{a})
+	if matches[0] != 0 {
+		t.Errorf("near-duplicate (J≈0.976) should match; got %v", matches)
+	}
+	short := a[:30] // J = 30/40 = 0.75
+	matches = eval.MatchSilver([][]kb.Triple{short}, [][]kb.Triple{a})
+	if matches[0] != -1 {
+		t.Errorf("J=0.75 should not match; got %v", matches)
+	}
+}
+
+func TestMatchSilverOneToOne(t *testing.T) {
+	sp := kb.NewSpace()
+	a := triples(sp, 30, "a")
+	// Two identical predictions can consume only one silver slice.
+	matches := eval.MatchSilver([][]kb.Triple{a, a}, [][]kb.Triple{a})
+	if matches[0] != 0 || matches[1] != -1 {
+		t.Errorf("matches = %v, want [0 -1]", matches)
+	}
+}
+
+func TestScoreAndPRCurve(t *testing.T) {
+	sp := kb.NewSpace()
+	a := triples(sp, 30, "a")
+	b := triples(sp, 30, "b")
+	c := triples(sp, 30, "c")
+	junk := triples(sp, 30, "junk")
+
+	score := eval.Score([][]kb.Triple{a, junk, b}, [][]kb.Triple{a, b, c})
+	if score.TruePos != 2 || math.Abs(score.Precision-2.0/3) > 1e-9 || math.Abs(score.Recall-2.0/3) > 1e-9 {
+		t.Errorf("score = %+v", score)
+	}
+	if math.Abs(score.F1-2.0/3) > 1e-9 {
+		t.Errorf("F1 = %v, want 2/3", score.F1)
+	}
+
+	curve := eval.PRCurve([][]kb.Triple{a, junk, b}, [][]kb.Triple{a, b, c})
+	if len(curve) != 3 {
+		t.Fatalf("curve points = %d", len(curve))
+	}
+	if curve[0].Precision != 1 || math.Abs(curve[0].Recall-1.0/3) > 1e-9 {
+		t.Errorf("point 1 = %+v", curve[0])
+	}
+	if math.Abs(curve[1].Precision-0.5) > 1e-9 {
+		t.Errorf("point 2 = %+v", curve[1])
+	}
+	if math.Abs(curve[2].Precision-2.0/3) > 1e-9 || math.Abs(curve[2].Recall-2.0/3) > 1e-9 {
+		t.Errorf("point 3 = %+v", curve[2])
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	s := eval.Score(nil, nil)
+	if s.Precision != 0 || s.Recall != 0 || s.F1 != 0 {
+		t.Errorf("empty score = %+v", s)
+	}
+}
+
+// oracleSlice builds a slice + fact set over labeled entities.
+func oracleSlice(sp *kb.Space, verticalOf map[dict.ID]string, n int, vertical string, known *kb.KB, knownCount int) (*slice.Slice, []kb.Triple) {
+	s := &slice.Slice{Source: "src"}
+	var facts []kb.Triple
+	for i := 0; i < n; i++ {
+		tr := sp.Intern(fmt.Sprintf("%s-e%d", vertical, i), "p", fmt.Sprintf("%s-v%d", vertical, i))
+		s.Entities = append(s.Entities, tr.S)
+		facts = append(facts, tr)
+		if vertical != "" {
+			verticalOf[tr.S] = vertical
+		}
+		if known != nil && i < knownCount {
+			known.Add(tr)
+		}
+	}
+	return s, facts
+}
+
+func TestOracleHomogeneousNewSlice(t *testing.T) {
+	sp := kb.NewSpace()
+	verticalOf := make(map[dict.ID]string)
+	o := &eval.Oracle{VerticalOf: verticalOf, Seed: 1}
+	s, facts := oracleSlice(sp, verticalOf, 30, "golf", nil, 0)
+	rNew, rAnno := o.Ratios(s, facts)
+	if rNew != 1 || rAnno != 1 {
+		t.Errorf("ratios = %v/%v, want 1/1", rNew, rAnno)
+	}
+	if !o.Correct(s, facts) {
+		t.Error("homogeneous new slice should be correct")
+	}
+}
+
+func TestOracleKnownContent(t *testing.T) {
+	sp := kb.NewSpace()
+	verticalOf := make(map[dict.ID]string)
+	known := kb.New(sp)
+	o := &eval.Oracle{VerticalOf: verticalOf, KB: known, Seed: 1}
+	// All 30 entities' facts already in the KB → R_new = 0.
+	s, facts := oracleSlice(sp, verticalOf, 30, "golf", known, 30)
+	rNew, rAnno := o.Ratios(s, facts)
+	if rNew != 0 || rAnno != 1 {
+		t.Errorf("ratios = %v/%v, want 0/1", rNew, rAnno)
+	}
+	if o.Correct(s, facts) {
+		t.Error("fully-known slice must be incorrect")
+	}
+}
+
+func TestOracleHeterogeneousSlice(t *testing.T) {
+	sp := kb.NewSpace()
+	verticalOf := make(map[dict.ID]string)
+	o := &eval.Oracle{VerticalOf: verticalOf, Seed: 1}
+	// Mix four verticals evenly: majority ratio 0.25 < 0.5.
+	s := &slice.Slice{Source: "src"}
+	var facts []kb.Triple
+	for v := 0; v < 4; v++ {
+		part, pf := oracleSlice(sp, verticalOf, 10, fmt.Sprintf("v%d", v), nil, 0)
+		s.Entities = append(s.Entities, part.Entities...)
+		facts = append(facts, pf...)
+	}
+	if o.Correct(s, facts) {
+		t.Error("heterogeneous slice must be incorrect")
+	}
+	_, rAnno := o.Ratios(s, facts)
+	if rAnno > 0.5 {
+		t.Errorf("rAnno = %v, want ≤ 0.5", rAnno)
+	}
+}
+
+func TestOracleNoiseEntities(t *testing.T) {
+	sp := kb.NewSpace()
+	o := &eval.Oracle{VerticalOf: map[dict.ID]string{}, Seed: 1}
+	s, facts := oracleSlice(sp, map[dict.ID]string{}, 25, "", nil, 0)
+	if o.Correct(s, facts) {
+		t.Error("unlabeled (noise) entities can never be homogeneous")
+	}
+}
+
+func TestOracleSamplingDeterminism(t *testing.T) {
+	sp := kb.NewSpace()
+	verticalOf := make(map[dict.ID]string)
+	o := &eval.Oracle{VerticalOf: verticalOf, Seed: 9}
+	s, facts := oracleSlice(sp, verticalOf, 100, "golf", nil, 0)
+	r1a, r1b := o.Ratios(s, facts)
+	r2a, r2b := o.Ratios(s, facts)
+	if r1a != r2a || r1b != r2b {
+		t.Error("oracle sampling not deterministic")
+	}
+}
+
+func TestTopKPrecision(t *testing.T) {
+	sp := kb.NewSpace()
+	verticalOf := make(map[dict.ID]string)
+	o := &eval.Oracle{VerticalOf: verticalOf, Seed: 1}
+
+	var slices []*slice.Slice
+	var sets [][]kb.Triple
+	for i := 0; i < 4; i++ {
+		vert := fmt.Sprintf("v%d", i)
+		if i == 1 {
+			vert = "" // one incorrect (noise) slice at rank 2
+		}
+		s, facts := oracleSlice(sp, verticalOf, 25, vert, nil, 0)
+		slices = append(slices, s)
+		sets = append(sets, facts)
+	}
+	got := eval.TopKPrecision(slices, sets, o, []int{1, 2, 4, 10})
+	want := []float64{1, 0.5, 0.75, 0.75}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("top-%d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

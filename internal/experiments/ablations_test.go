@@ -1,0 +1,153 @@
+package experiments_test
+
+import (
+	"bytes"
+	"testing"
+
+	"midas/internal/experiments"
+)
+
+// TestAblationPruning: pruning is exact — all variants return the same
+// slices and profit — and the prune counters behave as designed.
+func TestAblationPruning(t *testing.T) {
+	rows := experiments.AblationPruning(120, 3)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	full := rows[0]
+	for _, r := range rows[1:] {
+		if r.Slices != full.Slices || r.TotalProfit != full.TotalProfit {
+			t.Errorf("%s: output differs from full pruning (%d/%f vs %d/%f)",
+				r.Variant, r.Slices, r.TotalProfit, full.Slices, full.TotalProfit)
+		}
+		if r.NodesCreated != full.NodesCreated {
+			t.Errorf("%s: construction size should not depend on pruning", r.Variant)
+		}
+	}
+	if full.NodesRemoved == 0 || full.NodesInvalid == 0 {
+		t.Errorf("full pruning removed %d / invalidated %d; want both > 0",
+			full.NodesRemoved, full.NodesInvalid)
+	}
+	noCanon := rows[1]
+	if noCanon.NodesRemoved != 0 {
+		t.Errorf("no-canonical variant removed %d nodes", noCanon.NodesRemoved)
+	}
+	if noCanon.NodesInvalid <= full.NodesInvalid {
+		t.Error("without canonical pruning, more nodes must be profit-invalidated")
+	}
+	noProfit := rows[2]
+	if noProfit.NodesInvalid != 0 {
+		t.Errorf("no-profit variant invalidated %d nodes", noProfit.NodesInvalid)
+	}
+}
+
+// TestAblationFlatVsHierarchical: consolidation must reduce slice count
+// without reducing total profit.
+func TestAblationFlatVsHierarchical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run")
+	}
+	rows := experiments.AblationFlatVsHierarchical(7, 0)
+	flat, hier := rows[0], rows[1]
+	if hier.Slices >= flat.Slices {
+		t.Errorf("hierarchical %d slices should be fewer than flat %d", hier.Slices, flat.Slices)
+	}
+	if hier.TotalProfit < flat.TotalProfit {
+		t.Errorf("hierarchical profit %.1f below flat %.1f", hier.TotalProfit, flat.TotalProfit)
+	}
+}
+
+// TestAblationComboCap: larger caps never lose profit and saturate.
+func TestAblationComboCap(t *testing.T) {
+	rows := experiments.AblationComboCap(7, []int{1, 16, 256})
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TotalProfit+1e-9 < rows[i-1].TotalProfit {
+			t.Errorf("cap %s profit %.1f below smaller cap %.1f",
+				rows[i].Variant, rows[i].TotalProfit, rows[i-1].TotalProfit)
+		}
+		if rows[i].NodesCreated < rows[i-1].NodesCreated {
+			t.Errorf("node count should not shrink with a larger cap")
+		}
+	}
+}
+
+// TestScalingLinearity: throughput at 2× scale stays within 3× of the
+// 0.5× throughput (loose bound; the claim is near-linear growth, and a
+// quadratic component would blow far past this).
+func TestScalingLinearity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-corpus run")
+	}
+	rows := experiments.Scaling([]float64{0.5, 2.0}, 7, 0)
+	if len(rows) != 2 {
+		t.Fatal("rows missing")
+	}
+	small, big := rows[0], rows[1]
+	if big.Facts < 3*small.Facts {
+		t.Fatalf("scale did not grow the corpus: %d vs %d", big.Facts, small.Facts)
+	}
+	if big.FactsPerSec*3 < small.FactsPerSec {
+		t.Errorf("throughput collapsed: %.0f → %.0f facts/sec", small.FactsPerSec, big.FactsPerSec)
+	}
+	var buf bytes.Buffer
+	experiments.RenderScaling(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}
+
+// TestAblationParallelism smoke-tests the sweep (this host may have a
+// single CPU, so only output validity is asserted, not speedup).
+func TestAblationParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run")
+	}
+	rows := experiments.AblationParallelism(7, []int{1, 4})
+	if len(rows) != 2 || rows[0].Slices != rows[1].Slices {
+		t.Errorf("worker count changed the output: %+v", rows)
+	}
+}
+
+// TestCostSensitivityKnobs: higher training cost must yield fewer (or
+// equal) slices; cheap training must yield at least as many as the
+// default; every variant still finds something.
+func TestCostSensitivityKnobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run")
+	}
+	rows := experiments.CostSensitivity(7, 0)
+	byLabel := make(map[string]experiments.CostRow)
+	for _, r := range rows {
+		byLabel[r.Label] = r
+		if r.Slices == 0 {
+			t.Errorf("%s: no slices", r.Label)
+		}
+	}
+	def := byLabel["defaults (fp=10)"]
+	cheap := byLabel["cheap training (fp=1)"]
+	costly := byLabel["costly training (fp=50)"]
+	if !(cheap.Slices >= def.Slices && def.Slices >= costly.Slices) {
+		t.Errorf("slice counts should fall with fp: cheap=%d default=%d costly=%d",
+			cheap.Slices, def.Slices, costly.Slices)
+	}
+	if costly.MeanSize < def.MeanSize {
+		t.Errorf("costly training should favor coarser slices: %.1f vs %.1f",
+			costly.MeanSize, def.MeanSize)
+	}
+}
+
+// TestAblationTraversalOrder: on dense tables the paper's key order
+// tiles at least as profitably as the profit-order variant, with fewer
+// slices — the reason it remains the default.
+func TestAblationTraversalOrder(t *testing.T) {
+	rows := experiments.AblationTraversalOrder(40, 5)
+	paper, profit := rows[0], rows[1]
+	if paper.TotalProfit < profit.TotalProfit-1e-9 {
+		t.Errorf("paper order profit %.2f below profit order %.2f",
+			paper.TotalProfit, profit.TotalProfit)
+	}
+	if paper.Slices > profit.Slices {
+		t.Errorf("paper order reported more slices (%d) than profit order (%d)",
+			paper.Slices, profit.Slices)
+	}
+}

@@ -1,0 +1,38 @@
+package experiments_test
+
+import (
+	"bytes"
+	"testing"
+
+	"midas/internal/experiments"
+)
+
+// TestAnnotation: wrappers induced from MIDAS slices must be
+// substantially better than wrappers induced from NAIVE's whole-source
+// recommendations — the quantified form of the paper's "easy
+// annotation" argument.
+func TestAnnotation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run")
+	}
+	rows := experiments.Annotation(7, 20, 20, 0)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	midas, naive := rows[0], rows[1]
+	if midas.Method != experiments.MIDAS || naive.Method != experiments.Naive {
+		t.Fatalf("unexpected order: %+v", rows)
+	}
+	if midas.F1 < 0.9 {
+		t.Errorf("MIDAS wrapper F1 = %.3f, want ≥ 0.9 (homogeneous templates)", midas.F1)
+	}
+	if naive.F1 > midas.F1-0.1 {
+		t.Errorf("NAIVE wrapper F1 = %.3f should trail MIDAS %.3f by ≥ 0.1", naive.F1, midas.F1)
+	}
+	if naive.Conflicts <= midas.Conflicts {
+		t.Errorf("NAIVE slot conflicts %.1f should exceed MIDAS %.1f", naive.Conflicts, midas.Conflicts)
+	}
+	var buf bytes.Buffer
+	experiments.RenderAnnotation(&buf, rows)
+	t.Logf("\n%s", buf.String())
+}

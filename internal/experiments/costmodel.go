@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"midas/internal/datagen"
+	"midas/internal/slice"
+)
+
+// CostRow reports discovery behavior under one cost model.
+type CostRow struct {
+	Label string
+	Cost  slice.CostModel
+	// Slices reported, their mean entity count, and total new facts.
+	Slices      int
+	MeanSize    float64
+	NewFacts    int
+	MeanPreds   float64 // mean distinct predicates per slice (annotation effort)
+	TotalProfit float64
+}
+
+// CostSensitivity sweeps the profit coefficients on the slim corpus and
+// reports how the output changes — the knob behavior the paper
+// describes qualitatively ("one can adjust the gain and cost
+// functions"): a higher training cost f_p favors fewer, coarser slices;
+// a higher validation cost f_v suppresses marginal slices; a higher
+// de-duplication cost f_d penalizes slices that drag along known facts.
+func CostSensitivity(seed int64, workers int) []CostRow {
+	world := datagen.ReVerbSlim(datagen.DefaultSlimParams(seed))
+	base := slice.DefaultCostModel()
+	variants := []struct {
+		label string
+		cost  slice.CostModel
+	}{
+		{"defaults (fp=10)", base},
+		{"cheap training (fp=1)", slice.CostModel{Fp: 1, Fc: base.Fc, Fd: base.Fd, Fv: base.Fv}},
+		{"costly training (fp=50)", slice.CostModel{Fp: 50, Fc: base.Fc, Fd: base.Fd, Fv: base.Fv}},
+		{"costly validation (fv=0.5)", slice.CostModel{Fp: base.Fp, Fc: base.Fc, Fd: base.Fd, Fv: 0.5}},
+		{"costly de-dup (fd=0.2)", slice.CostModel{Fp: base.Fp, Fc: base.Fc, Fd: 0.2, Fv: base.Fv}},
+	}
+
+	rows := make([]CostRow, 0, len(variants))
+	for _, v := range variants {
+		out := MIDAS.Run(world.Corpus, world.KB, v.cost, workers)
+		row := CostRow{Label: v.label, Cost: v.cost, Slices: len(out.Slices)}
+		preds := 0
+		for _, s := range out.Slices {
+			row.MeanSize += float64(len(s.Entities))
+			row.NewFacts += s.NewFacts
+			row.TotalProfit += s.Profit
+			seen := make(map[int32]struct{})
+			for _, p := range s.Props {
+				seen[p.Pred()] = struct{}{}
+			}
+			preds += len(seen)
+		}
+		if len(out.Slices) > 0 {
+			row.MeanSize /= float64(len(out.Slices))
+			row.MeanPreds = float64(preds) / float64(len(out.Slices))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderCostSensitivity prints the sweep.
+func RenderCostSensitivity(w io.Writer, rows []CostRow) {
+	fmt.Fprintln(w, "Cost-model sensitivity (MIDAS on ReVerb-Slim):")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Variant\tSlices\tMean entities\tNew facts\tMean preds\tΣ profit")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%.2f\t%.0f\n",
+			r.Label, r.Slices, r.MeanSize, r.NewFacts, r.MeanPreds, r.TotalProfit)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,185 @@
+package experiments_test
+
+import (
+	"bytes"
+	"testing"
+
+	"midas/internal/experiments"
+)
+
+// TestFig11Shapes runs a reduced synthetic sweep and checks the
+// qualitative claims of Figure 11: MIDAS's F-measure dominates and stays
+// near 1; GREEDY's F collapses as the number of optimal slices grows;
+// AGGCLUSTER is the slowest of the three on the largest input.
+func TestFig11Shapes(t *testing.T) {
+	cfg := experiments.DefaultFig11Config()
+	cfg.FactCounts = []int{1000, 4000}
+	cfg.OptimalCounts = []int{1, 5, 10}
+	cfg.Trials = 2
+	res := experiments.Fig11(cfg)
+
+	get := func(rows []experiments.Fig11Row, x int, m experiments.Method) experiments.Fig11Row {
+		for _, r := range rows {
+			if r.X == x && r.Method == m {
+				return r
+			}
+		}
+		t.Fatalf("missing row x=%d method=%s", x, m)
+		return experiments.Fig11Row{}
+	}
+
+	for _, n := range cfg.FactCounts {
+		midas := get(res.VsFacts, n, experiments.MIDAS)
+		if midas.F1 < 0.85 {
+			t.Errorf("MIDAS F1 at n=%d is %.3f, want ≥ 0.85", n, midas.F1)
+		}
+		greedy := get(res.VsFacts, n, experiments.Greedy)
+		if greedy.F1 >= midas.F1 {
+			t.Errorf("Greedy F1 %.3f should be below MIDAS %.3f at n=%d", greedy.F1, midas.F1, n)
+		}
+	}
+
+	// GREEDY finds exactly one slice: F ≈ 2/(m+1), so it must fall as m
+	// grows; at m=1 it should match MIDAS.
+	g1 := get(res.VsOptimal, 1, experiments.Greedy)
+	g10 := get(res.VsOptimal, 10, experiments.Greedy)
+	if g1.F1 < 0.9 {
+		t.Errorf("Greedy F1 at m=1 is %.3f, want ≈ 1 (it finds the single optimal slice)", g1.F1)
+	}
+	if g10.F1 > 0.4 {
+		t.Errorf("Greedy F1 at m=10 is %.3f, want ≲ 2/11", g10.F1)
+	}
+	m10 := get(res.VsOptimal, 10, experiments.MIDAS)
+	if m10.F1 < 0.85 {
+		t.Errorf("MIDAS F1 at m=10 is %.3f, want ≥ 0.85", m10.F1)
+	}
+
+	// AGGCLUSTER slowest on the larger input.
+	am := get(res.VsFacts, 4000, experiments.AggCluster)
+	mm := get(res.VsFacts, 4000, experiments.MIDAS)
+	gm := get(res.VsFacts, 4000, experiments.Greedy)
+	if am.Seconds < mm.Seconds || am.Seconds < gm.Seconds {
+		t.Errorf("AggCluster (%.3fs) should be slowest (MIDAS %.3fs, Greedy %.3fs)",
+			am.Seconds, mm.Seconds, gm.Seconds)
+	}
+
+	var buf bytes.Buffer
+	experiments.RenderFig11(&buf, res)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+	t.Logf("\n%s", buf.String())
+}
+
+// TestFig9Shapes runs a reduced coverage sweep and checks the
+// qualitative claims of Figure 9: MIDAS dominates every baseline on
+// F-measure at each coverage; NAIVE precision stays low.
+func TestFig9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep")
+	}
+	cfg := experiments.DefaultFig9Config()
+	cfg.Coverages = []float64{0, 0.4, 0.8}
+	res := experiments.Fig9(cfg)
+
+	byKey := make(map[string]experiments.Fig9Row)
+	for _, r := range res.Rows {
+		byKey[string(r.Method)+"@"+itoa(int(r.Coverage*100))] = r
+	}
+	for _, cov := range []int{0, 40, 80} {
+		midas := byKey["MIDAS@"+itoa(cov)]
+		for _, m := range []experiments.Method{experiments.Greedy, experiments.Naive, experiments.AggCluster} {
+			other := byKey[string(m)+"@"+itoa(cov)]
+			if other.Score.F1 > midas.Score.F1 {
+				t.Errorf("coverage %d%%: %s F1 %.3f beats MIDAS %.3f", cov, m, other.Score.F1, midas.Score.F1)
+			}
+		}
+		naive := byKey["Naive@"+itoa(cov)]
+		if naive.Score.Precision > 0.5 {
+			t.Errorf("coverage %d%%: NAIVE precision %.3f, want low (≤ 0.5)", cov, naive.Score.Precision)
+		}
+	}
+
+	var buf bytes.Buffer
+	experiments.RenderFig9(&buf, res)
+	experiments.RenderFig9Curves(&buf, res, 0)
+	t.Logf("\n%s", buf.String())
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+// TestFig3Qualitative checks that the six planted Figure 3 verticals
+// dominate the top returns and that the reported ratios land near the
+// paper's numbers.
+func TestFig3Qualitative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run")
+	}
+	rows := experiments.Fig3(3, 6, 0)
+	if len(rows) < 6 {
+		t.Fatalf("got %d rows, want ≥ 6", len(rows))
+	}
+	seen := make(map[string]experiments.Fig3Row)
+	for _, r := range rows {
+		seen[r.Description] = r
+	}
+	for _, want := range []string{
+		"Education organizations", "US golf courses", "Biology facts",
+		"Board games", "Skyscraper architectures", "Indian politicians",
+	} {
+		r, ok := seen[want]
+		if !ok {
+			for _, row := range rows {
+				t.Logf("row: %+v", row)
+			}
+			t.Fatalf("vertical %q missing from top returns", want)
+		}
+		if r.SliceNewRatio < 0.5 || r.SliceNewRatio > 0.95 {
+			t.Errorf("%s: slice new ratio %.2f out of the paper's 0.67-0.83 neighborhood", want, r.SliceNewRatio)
+		}
+		if r.SourceNewRatio >= r.SliceNewRatio {
+			t.Errorf("%s: source ratio %.2f should be well below slice ratio %.2f", want, r.SourceNewRatio, r.SliceNewRatio)
+		}
+	}
+}
+
+// TestFig7And8Render smoke-tests the table generators.
+func TestFig7And8Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation")
+	}
+	rows := experiments.Fig7(0.2, 7)
+	if len(rows) != 4 {
+		t.Fatalf("fig7 rows = %d, want 4", len(rows))
+	}
+	if rows[0].Predicates <= rows[1].Predicates {
+		t.Errorf("ReVerb-like predicates (%d) must exceed NELL-like (%d)", rows[0].Predicates, rows[1].Predicates)
+	}
+	var buf bytes.Buffer
+	experiments.RenderFig7(&buf, rows)
+
+	f8 := experiments.Fig8("reverb-slim", 3, 7)
+	withSlices, without := 0, 0
+	for _, r := range f8 {
+		if len(r.Descriptions) > 0 {
+			withSlices++
+		} else {
+			without++
+		}
+	}
+	if withSlices != 3 || without != 3 {
+		t.Errorf("fig8 split = %d/%d, want 3/3", withSlices, without)
+	}
+	experiments.RenderFig8(&buf, f8)
+	t.Logf("\n%s", buf.String())
+}

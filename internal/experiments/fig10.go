@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"midas/internal/datagen"
+	"midas/internal/eval"
+	"midas/internal/fact"
+	"midas/internal/slice"
+	"midas/internal/source"
+)
+
+// Fig10Config drives the full-dataset experiments: top-k precision with
+// oracle labeling (Figures 10a/10c) and execution time vs. input ratio
+// (Figures 10b/10d). The KB is empty, as in the paper.
+type Fig10Config struct {
+	// Dataset is "reverb" or "nell".
+	Dataset string
+	// Scale shrinks/grows the generated corpus (1.0 ≈ minutes).
+	Scale float64
+	// Ks are the top-k cut points (paper: 10..100 for ReVerb, 10..80
+	// for NELL).
+	Ks []int
+	// Ratios are the input ratios for the timing sweep.
+	Ratios  []float64
+	Methods []Method
+	Seed    int64
+	Workers int
+}
+
+// DefaultFig10Config mirrors the paper's ReVerb sweep at laptop scale.
+func DefaultFig10Config(dataset string) Fig10Config {
+	cfg := Fig10Config{
+		Dataset: dataset,
+		Scale:   0.5,
+		Ks:      []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+		Ratios:  []float64{0.25, 0.5, 0.75, 1.0},
+		Methods: AllMethods(),
+		Seed:    11,
+	}
+	if dataset == "nell" {
+		cfg.Ks = []int{10, 20, 30, 40, 50, 60, 70, 80}
+	}
+	return cfg
+}
+
+// Fig10Precision is one method's top-k precision series.
+type Fig10Precision struct {
+	Method    Method
+	Ks        []int
+	Precision []float64
+	Returned  int
+}
+
+// Fig10Timing is one method's execution time series over input ratios.
+type Fig10Timing struct {
+	Method  Method
+	Ratios  []float64
+	Seconds []float64
+}
+
+// Fig10Result bundles both panels for one dataset.
+type Fig10Result struct {
+	Dataset   string
+	Precision []Fig10Precision
+	Timing    []Fig10Timing
+}
+
+// Fig10 runs the full-dataset evaluation.
+func Fig10(cfg Fig10Config) *Fig10Result {
+	if len(cfg.Methods) == 0 {
+		cfg.Methods = AllMethods()
+	}
+	world := fullWorld(cfg.Dataset, cfg.Scale, cfg.Seed)
+	cost := slice.DefaultCostModel()
+	res := &Fig10Result{Dataset: cfg.Dataset}
+
+	// Top-k precision with the labeling oracle on the full corpus,
+	// empty KB (R_new is binary, as in the paper).
+	oracle := &eval.Oracle{VerticalOf: world.VerticalOf, KB: nil, Seed: cfg.Seed}
+	for _, m := range cfg.Methods {
+		out := m.Run(world.Corpus, nil, cost, cfg.Workers)
+		res.Precision = append(res.Precision, Fig10Precision{
+			Method:    m,
+			Ks:        cfg.Ks,
+			Precision: eval.TopKPrecision(out.Slices, out.FactSets, oracle, cfg.Ks),
+			Returned:  len(out.Slices),
+		})
+	}
+
+	// Timing sweep: each ratio keeps the first ratio·N domains
+	// (deterministic by sorted host), matching "the ratio of sources
+	// considered by each algorithm".
+	for _, m := range cfg.Methods {
+		t := Fig10Timing{Method: m, Ratios: cfg.Ratios}
+		for _, r := range cfg.Ratios {
+			sub := subsetCorpus(world.Corpus, r)
+			start := time.Now()
+			m.Run(sub, nil, cost, cfg.Workers)
+			t.Seconds = append(t.Seconds, time.Since(start).Seconds())
+		}
+		res.Timing = append(res.Timing, t)
+	}
+	return res
+}
+
+func fullWorld(dataset string, scale float64, seed int64) *datagen.World {
+	p := datagen.FullParams{Scale: scale, Seed: seed}
+	if dataset == "nell" {
+		return datagen.NELLLike(p)
+	}
+	return datagen.ReVerbLike(p)
+}
+
+// subsetCorpus keeps the facts of the first ratio·N domains (sorted).
+func subsetCorpus(c *fact.Corpus, ratio float64) *fact.Corpus {
+	if ratio >= 1 {
+		return c
+	}
+	domains := make(map[string]struct{})
+	for _, e := range c.Facts {
+		domains[source.Domain(source.Normalize(c.URLs.String(e.URL)))] = struct{}{}
+	}
+	sorted := make([]string, 0, len(domains))
+	for d := range domains {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	keep := make(map[string]struct{})
+	n := int(float64(len(sorted))*ratio + 0.5)
+	for _, d := range sorted[:n] {
+		keep[d] = struct{}{}
+	}
+	out := &fact.Corpus{Space: c.Space, URLs: c.URLs}
+	for _, e := range c.Facts {
+		d := source.Domain(source.Normalize(c.URLs.String(e.URL)))
+		if _, ok := keep[d]; ok {
+			out.Facts = append(out.Facts, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"midas/internal/datagen"
+	"midas/internal/slice"
+	"midas/internal/source"
+)
+
+// Fig3Row is one row of the Figure 3 qualitative table: a top slice
+// suggested for augmenting the (simulated) Freebase, with the ratio of
+// new facts inside the slice and inside its whole web source.
+type Fig3Row struct {
+	Description    string // vertical name from ground truth
+	SliceProps     string // the slice's property description
+	Source         string
+	SliceNewRatio  float64
+	SourceNewRatio float64
+	Profit         float64
+}
+
+// Fig3 runs MIDAS over the KnowledgeVault-style corpus and reports the
+// top slices (paper: the 5-6 highest-profit returns).
+func Fig3(seed int64, top int, workers int) []Fig3Row {
+	world := datagen.KnowledgeVaultSim(seed)
+	cost := slice.DefaultCostModel()
+	out := MIDAS.Run(world.Corpus, world.KB, cost, workers)
+
+	// Per-domain new/total fact ratios.
+	type counts struct{ total, fresh int }
+	byDomain := make(map[string]*counts)
+	for _, e := range world.Corpus.Facts {
+		d := source.Domain(source.Normalize(world.Corpus.URLs.String(e.URL)))
+		c := byDomain[d]
+		if c == nil {
+			c = &counts{}
+			byDomain[d] = c
+		}
+		c.total++
+		if !world.KB.Contains(e.Triple) {
+			c.fresh++
+		}
+	}
+
+	var rows []Fig3Row
+	for i, s := range out.Slices {
+		if i >= top {
+			break
+		}
+		// Majority vertical of the slice's entities names the content.
+		votes := make(map[string]int)
+		for _, e := range s.Entities {
+			votes[world.VerticalOf[e]]++
+		}
+		desc, best := "(mixed)", 0
+		for v, n := range votes {
+			if v != "" && n > best {
+				desc, best = v, n
+			}
+		}
+		row := Fig3Row{
+			Description:   desc,
+			SliceProps:    s.Description(world.Corpus.Space),
+			Source:        s.Source,
+			SliceNewRatio: float64(s.NewFacts) / float64(max(1, s.Facts)),
+			Profit:        s.Profit,
+		}
+		if c := byDomain[source.Domain(s.Source)]; c != nil && c.total > 0 {
+			row.SourceNewRatio = float64(c.fresh) / float64(c.total)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

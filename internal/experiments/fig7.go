@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"midas/internal/datagen"
+)
+
+// Fig7Row is one row of the dataset-statistics table (Figure 7).
+type Fig7Row struct {
+	Dataset    string
+	Facts      int
+	Predicates int
+	URLs       int
+	KBFacts    int
+	ExistingKB string
+}
+
+// Fig7 generates the four datasets and reports their statistics. The
+// absolute numbers are scaled down from the paper's (see DESIGN.md §2);
+// the shape relations the experiments rely on hold: ReVerb-like corpora
+// have orders of magnitude more predicates than NELL-like ones, and the
+// Slim datasets are ~100-source subsets with adjustable KBs.
+func Fig7(scale float64, seed int64) []Fig7Row {
+	rows := make([]Fig7Row, 0, 4)
+	add := func(name string, w *datagen.World, existing string) {
+		st := w.Stats()
+		rows = append(rows, Fig7Row{
+			Dataset:    name,
+			Facts:      st.Facts,
+			Predicates: st.Predicates,
+			URLs:       st.URLs,
+			KBFacts:    st.KBFacts,
+			ExistingKB: existing,
+		})
+	}
+	add("ReVerb-like", datagen.ReVerbLike(datagen.FullParams{Scale: scale, Seed: seed}), "Empty")
+	add("NELL-like", datagen.NELLLike(datagen.FullParams{Scale: scale, Seed: seed}), "Empty")
+	add("ReVerb-Slim", datagen.ReVerbSlim(datagen.DefaultSlimParams(seed)), "Adjustable")
+	add("NELL-Slim", datagen.NELLSlim(datagen.DefaultSlimParams(seed)), "Adjustable")
+	return rows
+}
+
+// Fig8Row is one row of the silver-standard snapshot (Figure 8): a web
+// source and the description of its desired slices, or "no desired
+// slice" for sources whose content the KB already covers (or that are
+// incoherent noise).
+type Fig8Row struct {
+	URL          string
+	Descriptions []string
+}
+
+// Fig8 reports a snapshot of the Slim silver standard: n sources with
+// desired slices and n without.
+func Fig8(dataset string, n int, seed int64) []Fig8Row {
+	world := slimWorld(dataset, seed)
+	byHost := make(map[string][]string)
+	for _, gs := range world.Silver {
+		h := gs.Source
+		for i := range h {
+			if h[i] == '/' {
+				h = h[:i]
+				break
+			}
+		}
+		byHost[h] = append(byHost[h], gs.Description)
+	}
+	var rows []Fig8Row
+	good, bad := 0, 0
+	for _, d := range world.Domains {
+		if descs, ok := byHost[d.Host]; ok && good < n {
+			rows = append(rows, Fig8Row{URL: "http://" + d.Host, Descriptions: descs})
+			good++
+		} else if !ok && bad < n {
+			rows = append(rows, Fig8Row{URL: "http://" + d.Host, Descriptions: nil})
+			bad++
+		}
+		if good >= n && bad >= n {
+			break
+		}
+	}
+	return rows
+}

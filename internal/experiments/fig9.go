@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"midas/internal/datagen"
+	"midas/internal/eval"
+	"midas/internal/slice"
+)
+
+// Fig9Config selects the Slim dataset and sweep for the Figure 9
+// experiments (slice quality vs. knowledge-base coverage).
+type Fig9Config struct {
+	// Dataset is "reverb-slim" or "nell-slim".
+	Dataset string
+	// Coverages lists the KB coverage ratios (paper: 0, 0.2, ..., 0.8).
+	Coverages []float64
+	// Methods to compare (default: all four).
+	Methods []Method
+	Seed    int64
+	Workers int
+}
+
+// DefaultFig9Config mirrors the paper's sweep on ReVerb-Slim.
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{
+		Dataset:   "reverb-slim",
+		Coverages: []float64{0, 0.2, 0.4, 0.6, 0.8},
+		Methods:   AllMethods(),
+		Seed:      7,
+	}
+}
+
+// Fig9Row is one (coverage, method) cell of Figures 9b/9d/9f.
+type Fig9Row struct {
+	Coverage float64
+	Method   Method
+	Score    eval.PRF
+}
+
+// Fig9Result bundles the coverage sweep and the PR curves at the three
+// coverage ratios shown in Figures 9a/9c/9e.
+type Fig9Result struct {
+	Dataset string
+	Rows    []Fig9Row
+	// Curves maps coverage → method → PR points (prefixes of the
+	// profit-ranked output).
+	Curves map[float64]map[Method][]eval.PRPoint
+}
+
+// Fig9 runs the coverage sweep.
+func Fig9(cfg Fig9Config) *Fig9Result {
+	if len(cfg.Methods) == 0 {
+		cfg.Methods = AllMethods()
+	}
+	world := slimWorld(cfg.Dataset, cfg.Seed)
+	cost := slice.DefaultCostModel()
+	res := &Fig9Result{Dataset: cfg.Dataset, Curves: make(map[float64]map[Method][]eval.PRPoint)}
+
+	for _, cov := range cfg.Coverages {
+		existing, remaining := world.WithCoverage(cov, cfg.Seed+int64(cov*100))
+		silver := silverSets(remaining)
+		curves := make(map[Method][]eval.PRPoint)
+		for _, m := range cfg.Methods {
+			out := m.Run(world.Corpus, existing, cost, cfg.Workers)
+			res.Rows = append(res.Rows, Fig9Row{
+				Coverage: cov,
+				Method:   m,
+				Score:    eval.Score(out.FactSets, silver),
+			})
+			curves[m] = eval.PRCurve(out.FactSets, silver)
+		}
+		res.Curves[cov] = curves
+	}
+	return res
+}
+
+func slimWorld(dataset string, seed int64) *datagen.World {
+	switch dataset {
+	case "nell-slim":
+		return datagen.NELLSlim(datagen.DefaultSlimParams(seed))
+	default:
+		return datagen.ReVerbSlim(datagen.DefaultSlimParams(seed))
+	}
+}

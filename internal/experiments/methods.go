@@ -1,0 +1,90 @@
+// Package experiments implements one driver per table and figure of the
+// paper's evaluation (Section IV). Each driver returns structured rows;
+// cmd/midas-bench renders them as the paper-style tables recorded in
+// EXPERIMENTS.md, and bench_test.go wraps them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+
+	"midas/internal/baselines"
+	"midas/internal/core"
+	"midas/internal/datagen"
+	"midas/internal/fact"
+	"midas/internal/framework"
+	"midas/internal/kb"
+	"midas/internal/slice"
+)
+
+// Method names one of the four compared algorithms.
+type Method string
+
+// The four methods of Section IV-B.
+const (
+	MIDAS      Method = "MIDAS"
+	Greedy     Method = "Greedy"
+	Naive      Method = "Naive"
+	AggCluster Method = "AggCluster"
+)
+
+// AllMethods lists the methods in the paper's presentation order.
+func AllMethods() []Method { return []Method{MIDAS, Greedy, Naive, AggCluster} }
+
+// Detector returns the framework detector for a method.
+func (m Method) Detector(cost slice.CostModel) framework.Detector {
+	switch m {
+	case Greedy:
+		return baselines.GreedyDetector(cost)
+	case Naive:
+		return baselines.NaiveDetector()
+	case AggCluster:
+		return baselines.AggClusterDetector(cost)
+	default:
+		return nil // framework default = MIDASalg
+	}
+}
+
+// Run executes a method over a corpus under the multi-source framework.
+func (m Method) Run(corpus *fact.Corpus, existing *kb.KB, cost slice.CostModel, workers int) *framework.Output {
+	return framework.Run(corpus, existing, framework.Options{
+		Cost:    cost,
+		Workers: workers,
+		Detect:  m.Detector(cost),
+		Core:    core.Options{Cost: cost},
+	})
+}
+
+// RunTable executes a method on a single prepared fact table (the
+// single-source setting of the Figure 11 experiments).
+func (m Method) RunTable(table *fact.Table, cost slice.CostModel) []*slice.Slice {
+	switch m {
+	case MIDAS:
+		return core.DiscoverTable(table, core.Options{Cost: cost}).Slices
+	case Greedy:
+		if s := baselines.Greedy(table, cost); s != nil {
+			return []*slice.Slice{s}
+		}
+		return nil
+	case Naive:
+		if s := baselines.Naive(table); s != nil {
+			return []*slice.Slice{s}
+		}
+		return nil
+	case AggCluster:
+		return baselines.AggCluster(table, cost)
+	}
+	panic(fmt.Sprintf("unknown method %q", m))
+}
+
+// silverSets extracts the fact sets of a silver standard.
+func silverSets(gs []datagen.GroundSlice) [][]kb.Triple {
+	out := make([][]kb.Triple, len(gs))
+	for i := range gs {
+		out[i] = gs[i].Facts
+	}
+	return out
+}
+
+// DefaultCost returns the paper's cost model (convenience for examples
+// and benches).
+func DefaultCost() slice.CostModel { return slice.DefaultCostModel() }

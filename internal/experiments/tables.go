@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// RenderFig3 prints the Figure 3-style qualitative table.
+func RenderFig3(w io.Writer, rows []Fig3Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Slice description\tWeb source\tRatio of new facts in the slice\tRatio of new facts in the web source\tProfit")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\thttp://%s\t%.0f%%\t%.0f%%\t%.1f\n",
+			r.Description, r.Source, 100*r.SliceNewRatio, 100*r.SourceNewRatio, r.Profit)
+	}
+	tw.Flush()
+}
+
+// RenderFig7 prints the dataset-statistics table.
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\t# of facts\t# of pred.\t# of URLs\tExisting KB")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\n", r.Dataset, r.Facts, r.Predicates, r.URLs, r.ExistingKB)
+	}
+	tw.Flush()
+}
+
+// RenderFig8 prints the silver-standard snapshot.
+func RenderFig8(w io.Writer, rows []Fig8Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "URL\tDesired slices description")
+	for _, r := range rows {
+		desc := "No desired slice"
+		if len(r.Descriptions) > 0 {
+			desc = strings.Join(r.Descriptions, "; ")
+		}
+		fmt.Fprintf(tw, "%s\t%s\n", r.URL, desc)
+	}
+	tw.Flush()
+}
+
+// RenderFig9 prints the coverage sweep as three blocks (recall,
+// precision, F-measure), one column per method — Figures 9b/9d/9f.
+func RenderFig9(w io.Writer, res *Fig9Result) {
+	methods := methodsOf(res.Rows)
+	covs := coveragesOf(res.Rows)
+	cell := make(map[string]Fig9Row)
+	for _, r := range res.Rows {
+		cell[fmt.Sprintf("%v|%s", r.Coverage, r.Method)] = r
+	}
+	for _, metric := range []string{"Recall", "Precision", "F-measure"} {
+		fmt.Fprintf(w, "%s on %s by KB coverage:\n", metric, res.Dataset)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "Coverage")
+		for _, m := range methods {
+			fmt.Fprintf(tw, "\t%s", m)
+		}
+		fmt.Fprintln(tw)
+		for _, cov := range covs {
+			fmt.Fprintf(tw, "%.1f", cov)
+			for _, m := range methods {
+				r := cell[fmt.Sprintf("%v|%s", cov, m)]
+				v := r.Score.Recall
+				switch metric {
+				case "Precision":
+					v = r.Score.Precision
+				case "F-measure":
+					v = r.Score.F1
+				}
+				fmt.Fprintf(tw, "\t%.3f", v)
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFig9Curves prints the PR curves at one coverage (Figures
+// 9a/9c/9e), sub-sampled to at most 12 points per method.
+func RenderFig9Curves(w io.Writer, res *Fig9Result, coverage float64) {
+	curves, ok := res.Curves[coverage]
+	if !ok {
+		fmt.Fprintf(w, "no curves at coverage %v\n", coverage)
+		return
+	}
+	fmt.Fprintf(w, "Precision-recall on %s at coverage %.1f:\n", res.Dataset, coverage)
+	var methods []Method
+	for m := range curves {
+		methods = append(methods, m)
+	}
+	sort.Slice(methods, func(i, j int) bool { return methods[i] < methods[j] })
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Method\tk\tRecall\tPrecision")
+	for _, m := range methods {
+		pts := curves[m]
+		step := 1
+		if len(pts) > 12 {
+			step = (len(pts) + 11) / 12
+		}
+		for i := 0; i < len(pts); i += step {
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\n", m, pts[i].K, pts[i].Recall, pts[i].Precision)
+		}
+		if len(pts) > 0 && (len(pts)-1)%step != 0 {
+			p := pts[len(pts)-1]
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\n", m, p.K, p.Recall, p.Precision)
+		}
+	}
+	tw.Flush()
+}
+
+// RenderFig10 prints both panels of the Figure 10 experiment.
+func RenderFig10(w io.Writer, res *Fig10Result) {
+	fmt.Fprintf(w, "Top-k precision on %s (empty KB):\n", res.Dataset)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "k")
+	for _, p := range res.Precision {
+		fmt.Fprintf(tw, "\t%s", p.Method)
+	}
+	fmt.Fprintln(tw)
+	if len(res.Precision) > 0 {
+		for i, k := range res.Precision[0].Ks {
+			fmt.Fprintf(tw, "%d", k)
+			for _, p := range res.Precision {
+				fmt.Fprintf(tw, "\t%.3f", p.Precision[i])
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "Execution time on %s by input ratio (seconds):\n", res.Dataset)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "ratio")
+	for _, t := range res.Timing {
+		fmt.Fprintf(tw, "\t%s", t.Method)
+	}
+	fmt.Fprintln(tw)
+	if len(res.Timing) > 0 {
+		for i, r := range res.Timing[0].Ratios {
+			fmt.Fprintf(tw, "%.2f", r)
+			for _, t := range res.Timing {
+				fmt.Fprintf(tw, "\t%.3f", t.Seconds[i])
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	tw.Flush()
+}
+
+// RenderFig11 prints the synthetic sweeps (accuracy + runtime).
+func RenderFig11(w io.Writer, res *Fig11Result) {
+	render := func(title, xlabel string, rows []Fig11Row) {
+		fmt.Fprintln(w, title)
+		methods := fig11MethodsOf(rows)
+		xs := fig11XsOf(rows)
+		cell := make(map[string]Fig11Row)
+		for _, r := range rows {
+			cell[fmt.Sprintf("%d|%s", r.X, r.Method)] = r
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, xlabel)
+		for _, m := range methods {
+			fmt.Fprintf(tw, "\t%s F1\t%s sec", m, m)
+		}
+		fmt.Fprintln(tw)
+		for _, x := range xs {
+			fmt.Fprintf(tw, "%d", x)
+			for _, m := range methods {
+				r := cell[fmt.Sprintf("%d|%s", x, m)]
+				fmt.Fprintf(tw, "\t%.3f\t%.3f", r.F1, r.Seconds)
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+	render("Synthetic sweep vs. number of facts (Figures 11a/11b):", "# facts", res.VsFacts)
+	render("Synthetic sweep vs. number of optimal slices (Figures 11c/11d):", "# optimal", res.VsOptimal)
+}
+
+// RenderAblation prints an ablation table.
+func RenderAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Variant\tNodes\tRemoved\tInvalid\tSlices\tProfit\tSeconds")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.1f\t%.3f\n",
+			r.Variant, r.NodesCreated, r.NodesRemoved, r.NodesInvalid, r.Slices, r.TotalProfit, r.Seconds)
+	}
+	tw.Flush()
+}
+
+func methodsOf(rows []Fig9Row) []Method {
+	seen := make(map[Method]bool)
+	var out []Method
+	for _, r := range rows {
+		if !seen[r.Method] {
+			seen[r.Method] = true
+			out = append(out, r.Method)
+		}
+	}
+	return out
+}
+
+func coveragesOf(rows []Fig9Row) []float64 {
+	seen := make(map[float64]bool)
+	var out []float64
+	for _, r := range rows {
+		if !seen[r.Coverage] {
+			seen[r.Coverage] = true
+			out = append(out, r.Coverage)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func fig11MethodsOf(rows []Fig11Row) []Method {
+	seen := make(map[Method]bool)
+	var out []Method
+	for _, r := range rows {
+		if !seen[r.Method] {
+			seen[r.Method] = true
+			out = append(out, r.Method)
+		}
+	}
+	return out
+}
+
+func fig11XsOf(rows []Fig11Row) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, r := range rows {
+		if !seen[r.X] {
+			seen[r.X] = true
+			out = append(out, r.X)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

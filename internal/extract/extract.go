@@ -1,0 +1,174 @@
+// Package extract simulates the automated knowledge-extraction
+// pipelines whose output MIDAS consumes (Figure 1b of the paper:
+// KnowledgeVault, ReVerb, NELL), and the wrapper-induction step of the
+// industry-standard pipeline (Figure 1a) that runs after MIDAS picks a
+// slice.
+//
+// The simulation reproduces the two failure modes the paper builds on:
+//
+//   - low recall: most true facts are never extracted (the TAC-KBP
+//     systems the paper cites stay below 0.3 recall), with type/anchor
+//     facts surviving more often than long-tail attributes;
+//   - low precision: a fraction of emissions are wrong — the object is
+//     corrupted — and carry systematically lower confidence, which is
+//     why the paper only trusts facts above a confidence threshold
+//     (0.7 for KnowledgeVault, 0.75 for ReVerb and NELL).
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+
+	"midas/internal/fact"
+	"midas/internal/kb"
+)
+
+// Params configures the simulated extractor.
+type Params struct {
+	// Recall is the probability a true attribute fact is extracted.
+	Recall float64
+	// AnchorRecall is the probability for the entity's anchor (type)
+	// fact; type facts are the easiest pattern for extractors.
+	AnchorRecall float64
+	// WrongRate is the expected number of wrong emissions per true fact
+	// considered (object corrupted; subject and predicate plausible).
+	WrongRate float64
+	// ConfCorrect is the confidence range assigned to correct
+	// extractions (min, max).
+	ConfCorrect [2]float64
+	// ConfWrong is the confidence range for wrong extractions; keeping
+	// most of it below the trust threshold models a calibrated
+	// extractor.
+	ConfWrong [2]float64
+}
+
+// DefaultParams mirrors the corpus generators: 60% attribute recall,
+// 96% anchor recall, 12% wrong emissions mostly below the 0.75
+// threshold.
+func DefaultParams() Params {
+	return Params{
+		Recall:       0.6,
+		AnchorRecall: 0.96,
+		WrongRate:    0.12,
+		ConfCorrect:  [2]float64{0.75, 1.0},
+		ConfWrong:    [2]float64{0.40, 0.78},
+	}
+}
+
+// Emission is one extractor output for an entity.
+type Emission struct {
+	Triple kb.Triple
+	Conf   float64
+	// Wrong marks corrupted emissions (ground truth; downstream
+	// consumers only see Conf).
+	Wrong bool
+	// FactIdx is the index of the true fact this emission derives
+	// from.
+	FactIdx int
+}
+
+func confIn(rng *rand.Rand, r [2]float64) float64 {
+	return r[0] + (r[1]-r[0])*rng.Float64()
+}
+
+// Apply simulates extraction over one entity's true facts. facts[anchor]
+// (if anchor ≥ 0) uses AnchorRecall. Wrong emissions corrupt the object
+// into a fresh value interned in space.
+func Apply(rng *rand.Rand, facts []kb.Triple, anchor int, space *kb.Space, p Params) []Emission {
+	var out []Emission
+	for i, t := range facts {
+		recall := p.Recall
+		if i == anchor {
+			recall = p.AnchorRecall
+		}
+		if rng.Float64() < recall {
+			out = append(out, Emission{Triple: t, Conf: confIn(rng, p.ConfCorrect), FactIdx: i})
+		}
+		if p.WrongRate > 0 && rng.Float64() < p.WrongRate {
+			corrupt := kb.Triple{
+				S: t.S,
+				P: t.P,
+				O: space.Objects.Put(fmt.Sprintf("spurious-%d", rng.Int63())),
+			}
+			out = append(out, Emission{Triple: corrupt, Conf: confIn(rng, p.ConfWrong), Wrong: true, FactIdx: i})
+		}
+	}
+	return out
+}
+
+// Page is one web page of ground truth: the facts a perfect extractor
+// would produce. AnchorIdx marks the entity-type fact (-1 for none).
+type Page struct {
+	URL       string
+	Facts     []kb.Triple
+	AnchorIdx int
+}
+
+// Pipeline is a reusable simulated extractor over whole pages.
+type Pipeline struct {
+	Params Params
+	Space  *kb.Space
+	rng    *rand.Rand
+}
+
+// NewPipeline returns a deterministic pipeline for the space.
+func NewPipeline(space *kb.Space, params Params, seed int64) *Pipeline {
+	return &Pipeline{Params: params, Space: space, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Run extracts a corpus from ground-truth pages. The returned kept
+// lists, parallel to pages, hold the indexes of each page's true facts
+// that were correctly extracted (wrong emissions are not listed but do
+// enter the corpus).
+func (pl *Pipeline) Run(pages []Page) (*fact.Corpus, [][]int) {
+	corpus := fact.NewCorpus(pl.Space)
+	kept := make([][]int, len(pages))
+	for pi, page := range pages {
+		url := corpus.URLs.Put(page.URL)
+		for _, e := range Apply(pl.rng, page.Facts, page.AnchorIdx, pl.Space, pl.Params) {
+			corpus.AddTriple(e.Triple, url, float32(e.Conf))
+			if !e.Wrong {
+				kept[pi] = append(kept[pi], e.FactIdx)
+			}
+		}
+	}
+	return corpus, kept
+}
+
+// WrapperExtract simulates the industry-standard step downstream of
+// MIDAS (Figure 1a): once a slice is selected, wrapper induction
+// extracts all facts of the matching entities from the ground-truth
+// pages with near-perfect fidelity. An entity matches when it carries
+// every property in props on its page.
+func WrapperExtract(pages []Page, props []fact.Property) []kb.Triple {
+	var out []kb.Triple
+	for _, page := range pages {
+		// Group the page's facts by subject.
+		bySubject := make(map[int32][]kb.Triple)
+		for _, t := range page.Facts {
+			bySubject[t.S] = append(bySubject[t.S], t)
+		}
+		for _, facts := range bySubject {
+			if matchesAll(facts, props) {
+				out = append(out, facts...)
+			}
+		}
+	}
+	return out
+}
+
+func matchesAll(facts []kb.Triple, props []fact.Property) bool {
+	for _, p := range props {
+		found := false
+		for _, t := range facts {
+			if t.P == p.Pred() && t.O == p.Value() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

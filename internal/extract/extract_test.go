@@ -1,0 +1,193 @@
+package extract_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"midas/internal/extract"
+	"midas/internal/fact"
+	"midas/internal/kb"
+)
+
+func truePage(sp *kb.Space, url string, entities, attrs int) extract.Page {
+	page := extract.Page{URL: url, AnchorIdx: -1}
+	for e := 0; e < entities; e++ {
+		s := fmt.Sprintf("%s-e%d", url, e)
+		page.Facts = append(page.Facts, sp.Intern(s, "type", "thing"))
+		for a := 0; a < attrs; a++ {
+			page.Facts = append(page.Facts, sp.Intern(s, fmt.Sprintf("attr%d", a), fmt.Sprintf("%s-v%d", s, a)))
+		}
+	}
+	return page
+}
+
+// TestApplyRecall: extraction keeps roughly Recall of the facts and
+// marks anchors with the higher rate.
+func TestApplyRecall(t *testing.T) {
+	sp := kb.NewSpace()
+	rng := rand.New(rand.NewSource(1))
+	params := extract.Params{Recall: 0.5, AnchorRecall: 1.0, ConfCorrect: [2]float64{0.8, 1}}
+
+	totalKept, totalFacts := 0, 0
+	anchors := 0
+	for e := 0; e < 500; e++ {
+		facts := []kb.Triple{
+			sp.Intern(fmt.Sprintf("e%d", e), "type", "thing"),
+			sp.Intern(fmt.Sprintf("e%d", e), "a", "1"),
+			sp.Intern(fmt.Sprintf("e%d", e), "b", "2"),
+		}
+		for _, em := range extract.Apply(rng, facts, 0, sp, params) {
+			if em.Wrong {
+				t.Fatal("WrongRate 0 must emit no wrong facts")
+			}
+			totalKept++
+			if em.FactIdx == 0 {
+				anchors++
+			}
+			if em.Conf < 0.8 || em.Conf > 1 {
+				t.Fatalf("confidence %f out of range", em.Conf)
+			}
+		}
+		totalFacts += 2 // non-anchor facts
+	}
+	if anchors != 500 {
+		t.Errorf("anchors kept = %d, want all 500 (AnchorRecall 1.0)", anchors)
+	}
+	attrKept := float64(totalKept-anchors) / float64(totalFacts)
+	if math.Abs(attrKept-0.5) > 0.06 {
+		t.Errorf("attribute recall = %.3f, want ≈ 0.5", attrKept)
+	}
+}
+
+// TestApplyWrongEmissions: wrong facts keep subject/predicate, corrupt
+// the object, and sit in the lower confidence band.
+func TestApplyWrongEmissions(t *testing.T) {
+	sp := kb.NewSpace()
+	rng := rand.New(rand.NewSource(2))
+	params := extract.Params{
+		Recall:      1,
+		WrongRate:   0.5,
+		ConfCorrect: [2]float64{0.8, 1},
+		ConfWrong:   [2]float64{0.3, 0.6},
+	}
+	facts := make([]kb.Triple, 400)
+	for i := range facts {
+		facts[i] = sp.Intern(fmt.Sprintf("e%d", i), "p", fmt.Sprintf("v%d", i))
+	}
+	wrong := 0
+	for _, em := range extract.Apply(rng, facts, -1, sp, params) {
+		if !em.Wrong {
+			continue
+		}
+		wrong++
+		orig := facts[em.FactIdx]
+		if em.Triple.S != orig.S || em.Triple.P != orig.P {
+			t.Fatal("wrong emission must keep subject and predicate")
+		}
+		if em.Triple.O == orig.O {
+			t.Fatal("wrong emission must corrupt the object")
+		}
+		if em.Conf < 0.3 || em.Conf > 0.6 {
+			t.Fatalf("wrong confidence %f out of band", em.Conf)
+		}
+	}
+	if math.Abs(float64(wrong)/400-0.5) > 0.1 {
+		t.Errorf("wrong rate = %d/400, want ≈ 0.5", wrong)
+	}
+}
+
+// TestPipelineRunAndThreshold: the trusted view of a pipeline's output
+// (confidence filter) removes most wrong emissions.
+func TestPipelineRunAndThreshold(t *testing.T) {
+	sp := kb.NewSpace()
+	pages := []extract.Page{
+		truePage(sp, "a.com/p1", 30, 4),
+		truePage(sp, "a.com/p2", 30, 4),
+	}
+	pages[0].AnchorIdx, pages[1].AnchorIdx = 0, 0
+	pl := extract.NewPipeline(sp, extract.DefaultParams(), 3)
+	corpus, kept := pl.Run(pages)
+
+	if len(kept) != 2 || len(kept[0]) == 0 {
+		t.Fatal("kept lists missing")
+	}
+	trusted := corpus.FilterConfidence(0.75)
+	if len(trusted.Facts) >= len(corpus.Facts) {
+		t.Error("threshold removed nothing")
+	}
+	// Every kept index corresponds to a true fact present in the corpus.
+	trueSet := make(map[kb.Triple]bool)
+	for _, p := range pages {
+		for _, f := range p.Facts {
+			trueSet[f] = true
+		}
+	}
+	correct, wrong := 0, 0
+	for _, e := range trusted.Facts {
+		if trueSet[e.Triple] {
+			correct++
+		} else {
+			wrong++
+		}
+	}
+	if correct == 0 {
+		t.Fatal("no correct facts survived")
+	}
+	if frac := float64(wrong) / float64(correct+wrong); frac > 0.05 {
+		t.Errorf("wrong fraction after threshold = %.3f, want ≤ 0.05", frac)
+	}
+	// Without the threshold the corpus is substantially dirtier.
+	rawWrong := 0
+	for _, e := range corpus.Facts {
+		if !trueSet[e.Triple] {
+			rawWrong++
+		}
+	}
+	if rawWrong <= wrong {
+		t.Error("raw corpus should contain more wrong facts than the trusted view")
+	}
+}
+
+// TestWrapperExtract: wrapper induction pulls every fact of matching
+// entities and nothing else.
+func TestWrapperExtract(t *testing.T) {
+	sp := kb.NewSpace()
+	page := extract.Page{URL: "a.com/p"}
+	mk := func(s, p, o string) kb.Triple {
+		tr := sp.Intern(s, p, o)
+		page.Facts = append(page.Facts, tr)
+		return tr
+	}
+	mk("atlas", "category", "rocket")
+	atlasSponsor := mk("atlas", "sponsor", "NASA")
+	mk("mercury", "category", "program")
+	mercurySponsor := mk("mercury", "sponsor", "NASA")
+
+	props := []fact.Property{fact.Prop(sp.Predicates.Lookup("category"), sp.Objects.Lookup("rocket"))}
+	got := extract.WrapperExtract([]extract.Page{page}, props)
+	if len(got) != 2 {
+		t.Fatalf("extracted %d facts, want 2", len(got))
+	}
+	seen := make(map[kb.Triple]bool)
+	for _, tr := range got {
+		seen[tr] = true
+	}
+	if !seen[atlasSponsor] || seen[mercurySponsor] {
+		t.Error("wrapper extracted the wrong entities")
+	}
+}
+
+func TestWorldTrustedVsRaw(t *testing.T) {
+	// The datagen worlds expose both views; raw must be a superset.
+	// (Covered here to keep the extract contract and datagen wiring in
+	// one place.)
+	sp := kb.NewSpace()
+	pl := extract.NewPipeline(sp, extract.DefaultParams(), 9)
+	corpus, _ := pl.Run([]extract.Page{truePage(sp, "b.org/x", 50, 5)})
+	trusted := corpus.FilterConfidence(0.75)
+	if len(trusted.Facts) == 0 || len(trusted.Facts) > len(corpus.Facts) {
+		t.Errorf("trusted %d of %d", len(trusted.Facts), len(corpus.Facts))
+	}
+}

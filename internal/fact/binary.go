@@ -1,0 +1,125 @@
+package fact
+
+import (
+	"fmt"
+	"io"
+
+	"midas/internal/binio"
+)
+
+// Binary corpus format: "MCO1", the four dictionaries actually used
+// (subjects, predicates, objects, URLs), then the fact count and the
+// facts as varint local indexes plus a 3-digit fixed-point confidence.
+// Self-contained: IDs are remapped on load into the destination corpus.
+
+const corpusMagic = "MCO1"
+
+// WriteBinary serializes the corpus.
+func (c *Corpus) WriteBinary(w io.Writer) error {
+	subjIdx := make(map[int32]uint64)
+	predIdx := make(map[int32]uint64)
+	objIdx := make(map[int32]uint64)
+	urlIdx := make(map[int32]uint64)
+	var subjs, preds, objs, urls []string
+	index := func(m map[int32]uint64, list *[]string, id int32, s string) uint64 {
+		if i, ok := m[id]; ok {
+			return i
+		}
+		i := uint64(len(*list))
+		m[id] = i
+		*list = append(*list, s)
+		return i
+	}
+
+	bw := binio.NewWriter(w)
+	bw.Magic(corpusMagic)
+	type enc struct{ s, p, o, u, conf uint64 }
+	encoded := make([]enc, len(c.Facts))
+	for i, e := range c.Facts {
+		encoded[i] = enc{
+			s:    index(subjIdx, &subjs, e.Triple.S, c.Space.Subjects.String(e.Triple.S)),
+			p:    index(predIdx, &preds, e.Triple.P, c.Space.Predicates.String(e.Triple.P)),
+			o:    index(objIdx, &objs, e.Triple.O, c.Space.Objects.String(e.Triple.O)),
+			u:    index(urlIdx, &urls, e.URL, c.URLs.String(e.URL)),
+			conf: uint64(e.Conf*1000 + 0.5),
+		}
+	}
+	for _, sec := range [][]string{subjs, preds, objs, urls} {
+		bw.Int(len(sec))
+		for _, s := range sec {
+			bw.String(s)
+		}
+	}
+	bw.Int(len(encoded))
+	for _, e := range encoded {
+		bw.Uvarint(e.s)
+		bw.Uvarint(e.p)
+		bw.Uvarint(e.o)
+		bw.Uvarint(e.u)
+		bw.Uvarint(e.conf)
+	}
+	return bw.Flush()
+}
+
+// ReadBinary appends a binary corpus stream to the receiver, interning
+// into its space and URL dictionary. It returns the number of facts
+// read.
+func (c *Corpus) ReadBinary(r io.Reader) (int, error) {
+	br := binio.NewReader(r)
+	br.Magic(corpusMagic)
+	readSection := func() []string {
+		n := br.Int()
+		if br.Err() != nil {
+			return nil
+		}
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, br.String())
+		}
+		return out
+	}
+	subjs := readSection()
+	preds := readSection()
+	objs := readSection()
+	urls := readSection()
+	count := br.Int()
+	if err := br.Err(); err != nil {
+		return 0, err
+	}
+
+	subjIDs := make([]int32, len(subjs))
+	for i, s := range subjs {
+		subjIDs[i] = c.Space.Subjects.Put(s)
+	}
+	predIDs := make([]int32, len(preds))
+	for i, s := range preds {
+		predIDs[i] = c.Space.Predicates.Put(s)
+	}
+	objIDs := make([]int32, len(objs))
+	for i, s := range objs {
+		objIDs[i] = c.Space.Objects.Put(s)
+	}
+	urlIDs := make([]int32, len(urls))
+	for i, s := range urls {
+		urlIDs[i] = c.URLs.Put(s)
+	}
+
+	for i := 0; i < count; i++ {
+		s, p, o, u := br.Uvarint(), br.Uvarint(), br.Uvarint(), br.Uvarint()
+		conf := br.Uvarint()
+		if err := br.Err(); err != nil {
+			return i, err
+		}
+		if s >= uint64(len(subjIDs)) || p >= uint64(len(predIDs)) ||
+			o >= uint64(len(objIDs)) || u >= uint64(len(urlIDs)) || conf > 1000 {
+			return i, fmt.Errorf("%w: fact %d references out-of-range value", binio.ErrCorrupt, i)
+		}
+		c.AddTriple(
+			// Reconstruct through the remap tables.
+			tripleOf(subjIDs[s], predIDs[p], objIDs[o]),
+			urlIDs[u],
+			float32(conf)/1000,
+		)
+	}
+	return count, nil
+}

@@ -1,0 +1,109 @@
+package fact_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"midas/internal/fact"
+)
+
+func TestCorpusBinaryRoundTrip(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	c.Add(fact.Fact{Subject: "Atlas", Predicate: "sponsor", Object: "NASA", Confidence: 0.92, URL: "http://a.com/x"})
+	c.Add(fact.Fact{Subject: "Castor", Predicate: "sponsor", Object: "NASA", Confidence: 0.755, URL: "http://a.com/y"})
+
+	var buf bytes.Buffer
+	if err := c.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := fact.NewCorpus(nil)
+	n, err := c2.ReadBinary(&buf)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if len(c2.Facts) != 2 {
+		t.Fatalf("facts = %d", len(c2.Facts))
+	}
+	s, p, o := c2.Space.StringTriple(c2.Facts[0].Triple)
+	if s != "Atlas" || p != "sponsor" || o != "NASA" {
+		t.Errorf("fact 0 = %q %q %q", s, p, o)
+	}
+	if got := c2.URLs.String(c2.Facts[1].URL); got != "http://a.com/y" {
+		t.Errorf("url = %q", got)
+	}
+	if math.Abs(float64(c2.Facts[0].Conf)-0.92) > 0.0005 {
+		t.Errorf("conf = %f", c2.Facts[0].Conf)
+	}
+}
+
+func TestCorpusBinaryAppends(t *testing.T) {
+	src := fact.NewCorpus(nil)
+	src.Add(fact.Fact{Subject: "x", Predicate: "p", Object: "1", Confidence: 0.8, URL: "u"})
+	var buf bytes.Buffer
+	if err := src.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := fact.NewCorpus(nil)
+	dst.Add(fact.Fact{Subject: "pre", Predicate: "q", Object: "0", Confidence: 0.9, URL: "v"})
+	if _, err := dst.ReadBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.Facts) != 2 {
+		t.Errorf("facts = %d, want 2 (append semantics)", len(dst.Facts))
+	}
+}
+
+func TestCorpusBinaryCorrupt(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	if _, err := c.ReadBinary(bytes.NewReader([]byte("BAD!stream"))); err == nil {
+		t.Error("want magic error")
+	}
+}
+
+func TestCorpusBinaryQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := fact.NewCorpus(nil)
+		for i := 0; i < rng.Intn(150); i++ {
+			c.Add(fact.Fact{
+				Subject:    fmt.Sprintf("s%d", rng.Intn(20)),
+				Predicate:  fmt.Sprintf("p%d", rng.Intn(5)),
+				Object:     fmt.Sprintf("o%d", rng.Intn(25)),
+				Confidence: float64(rng.Intn(1001)) / 1000,
+				URL:        fmt.Sprintf("http://h%d.com/p%d", rng.Intn(4), rng.Intn(10)),
+			})
+		}
+		var buf bytes.Buffer
+		if err := c.WriteBinary(&buf); err != nil {
+			return false
+		}
+		c2 := fact.NewCorpus(nil)
+		if _, err := c2.ReadBinary(&buf); err != nil {
+			return false
+		}
+		if len(c2.Facts) != len(c.Facts) {
+			return false
+		}
+		for i := range c.Facts {
+			s1, p1, o1 := c.Space.StringTriple(c.Facts[i].Triple)
+			s2, p2, o2 := c2.Space.StringTriple(c2.Facts[i].Triple)
+			if s1 != s2 || p1 != p2 || o1 != o2 {
+				return false
+			}
+			if c.URLs.String(c.Facts[i].URL) != c2.URLs.String(c2.Facts[i].URL) {
+				return false
+			}
+			if math.Abs(float64(c.Facts[i].Conf-c2.Facts[i].Conf)) > 0.0005 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,297 @@
+// Package fact models extracted facts and per-source fact tables.
+//
+// An extracted fact is an RDF triple (subject, predicate, object) with an
+// extraction confidence and the URL of the web source it came from. The
+// paper (Definition 3) organizes the facts of one web source W into a
+// fact table F_W with one row per entity (subject) and one column per
+// distinct predicate; cells hold value sets. Because each fact maps to
+// exactly one (predicate, value) cell entry, a row is equivalently the
+// set of the entity's properties (Definition 4), which is the
+// representation used here: Entity.Props lists the (pred, value) pairs,
+// one per fact, deduplicated, sorted; a parallel newness mask records
+// which of those facts are absent from the existing KB.
+package fact
+
+import (
+	"fmt"
+	"sort"
+
+	"midas/internal/dict"
+	"midas/internal/kb"
+)
+
+// Property is a (predicate, value) pair from Definition 4, packed into a
+// single comparable word: the predicate ID in the high 32 bits and the
+// object (value) ID in the low 32 bits. Packed properties sort by
+// predicate first, then value, which the hierarchy code relies on.
+type Property uint64
+
+// Prop packs a predicate and value ID into a Property.
+func Prop(pred, value dict.ID) Property {
+	return Property(uint64(uint32(pred))<<32 | uint64(uint32(value)))
+}
+
+// Pred returns the predicate ID of the property.
+func (p Property) Pred() dict.ID { return dict.ID(p >> 32) }
+
+// Value returns the value (object) ID of the property.
+func (p Property) Value() dict.ID { return dict.ID(uint32(p)) }
+
+// Format renders the property as "pred = value" using the space's
+// dictionaries.
+func (p Property) Format(space *kb.Space) string {
+	return fmt.Sprintf("%s = %s", space.Predicates.String(p.Pred()), space.Objects.String(p.Value()))
+}
+
+// Fact is a single extracted fact in string form, as emitted by an
+// extraction pipeline.
+type Fact struct {
+	Subject    string
+	Predicate  string
+	Object     string
+	Confidence float64
+	URL        string // web page the fact was extracted from
+}
+
+// Extracted is the interned form of a Fact. Confidence is kept at float32
+// precision: extraction systems report 2-3 significant digits.
+type Extracted struct {
+	Triple kb.Triple
+	URL    dict.ID
+	Conf   float32
+}
+
+// Corpus is an interned collection of extracted facts from many web
+// sources — the output of an automated extraction pipeline that MIDAS
+// consumes (e.g., the KnowledgeVault, ReVerb, or NELL datasets).
+type Corpus struct {
+	Space *kb.Space
+	URLs  *dict.Dict
+	Facts []Extracted
+}
+
+// NewCorpus returns an empty corpus over the given space (a fresh one if
+// nil).
+func NewCorpus(space *kb.Space) *Corpus {
+	if space == nil {
+		space = kb.NewSpace()
+	}
+	return &Corpus{Space: space, URLs: dict.New(1 << 10)}
+}
+
+// Add interns and appends a fact.
+func (c *Corpus) Add(f Fact) {
+	c.Facts = append(c.Facts, Extracted{
+		Triple: c.Space.Intern(f.Subject, f.Predicate, f.Object),
+		URL:    c.URLs.Put(f.URL),
+		Conf:   float32(f.Confidence),
+	})
+}
+
+// AddTriple appends an already interned fact.
+func (c *Corpus) AddTriple(t kb.Triple, url dict.ID, conf float32) {
+	c.Facts = append(c.Facts, Extracted{Triple: t, URL: url, Conf: conf})
+}
+
+// FilterConfidence returns a corpus view containing only facts with
+// confidence strictly above min — the paper keeps facts labeled with
+// confidence above 0.7 (KnowledgeVault) or 0.75 (ReVerb, NELL). The
+// returned corpus shares the space and URL dictionary.
+func (c *Corpus) FilterConfidence(min float64) *Corpus {
+	out := &Corpus{Space: c.Space, URLs: c.URLs}
+	for _, e := range c.Facts {
+		if float64(e.Conf) > min {
+			out.Facts = append(out.Facts, e)
+		}
+	}
+	return out
+}
+
+// NumURLs returns the number of distinct page URLs in the corpus
+// dictionary.
+func (c *Corpus) NumURLs() int { return c.URLs.Len() }
+
+// Entity is one row of a fact table: a subject together with its
+// deduplicated properties. Props and New are parallel; New[i] reports
+// whether the fact (Subject, Props[i].Pred, Props[i].Value) is absent
+// from the existing KB. len(Props) is the entity's fact count.
+type Entity struct {
+	Subject  dict.ID
+	Props    []Property
+	New      []bool
+	NewCount int
+}
+
+// Facts returns the entity's fact count |{(s,p,o)}|.
+func (e *Entity) Facts() int { return len(e.Props) }
+
+// HasProp reports whether the entity has property p (binary search).
+func (e *Entity) HasProp(p Property) bool {
+	i := sort.Search(len(e.Props), func(i int) bool { return e.Props[i] >= p })
+	return i < len(e.Props) && e.Props[i] == p
+}
+
+// Table is the fact table F_W of a single web source W (Definition 3),
+// annotated with newness against an existing KB.
+type Table struct {
+	// Source is the web source URL this table describes. It may be a
+	// page, sub-domain, or domain depending on the granularity the
+	// framework is processing.
+	Source string
+	Space  *kb.Space
+	// Entities holds one row per distinct subject, sorted by subject ID.
+	Entities []Entity
+	// TotalFacts is |T_W|: the number of deduplicated facts.
+	TotalFacts int
+	// TotalNew is the number of facts absent from the KB.
+	TotalNew int
+}
+
+// NumEntities returns the number of rows.
+func (t *Table) NumEntities() int { return len(t.Entities) }
+
+// NumPredicates returns the number of distinct predicates |P| in the
+// table.
+func (t *Table) NumPredicates() int {
+	seen := make(map[dict.ID]struct{})
+	for i := range t.Entities {
+		for _, p := range t.Entities[i].Props {
+			seen[p.Pred()] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Properties returns the distinct property set C_W of the table, sorted.
+func (t *Table) Properties() []Property {
+	seen := make(map[Property]struct{})
+	for i := range t.Entities {
+		for _, p := range t.Entities[i].Props {
+			seen[p] = struct{}{}
+		}
+	}
+	out := make([]Property, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Build constructs the fact table for one web source from interned
+// triples, testing each fact against the existing KB. Duplicate (s,p,o)
+// triples collapse to one fact. existing may be nil for an empty KB.
+func Build(source string, space *kb.Space, triples []kb.Triple, existing *kb.KB) *Table {
+	var m kb.Membership
+	if existing != nil {
+		m = existing
+	}
+	return BuildWith(source, space, triples, m)
+}
+
+// BuildWith is Build with any Membership view; the framework passes a
+// lock-free kb.Frozen so concurrent workers do not contend on the KB's
+// read lock. existing must be a nil interface for an empty KB.
+func BuildWith(source string, space *kb.Space, triples []kb.Triple, existing kb.Membership) *Table {
+	bySubject := make(map[dict.ID]map[Property]struct{})
+	for _, tr := range triples {
+		set, ok := bySubject[tr.S]
+		if !ok {
+			set = make(map[Property]struct{}, 4)
+			bySubject[tr.S] = set
+		}
+		set[Prop(tr.P, tr.O)] = struct{}{}
+	}
+	t := &Table{Source: source, Space: space, Entities: make([]Entity, 0, len(bySubject))}
+	subjects := make([]dict.ID, 0, len(bySubject))
+	for s := range bySubject {
+		subjects = append(subjects, s)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	for _, s := range subjects {
+		set := bySubject[s]
+		props := make([]Property, 0, len(set))
+		for p := range set {
+			props = append(props, p)
+		}
+		sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
+		e := Entity{Subject: s, Props: props, New: make([]bool, len(props))}
+		for i, p := range props {
+			isNew := existing == nil || !existing.Contains(kb.Triple{S: s, P: p.Pred(), O: p.Value()})
+			e.New[i] = isNew
+			if isNew {
+				e.NewCount++
+			}
+		}
+		t.TotalFacts += len(props)
+		t.TotalNew += e.NewCount
+		t.Entities = append(t.Entities, e)
+	}
+	return t
+}
+
+// Merge combines child fact tables into the table of their common parent
+// web source. Entities appearing in several children are unioned
+// (properties deduplicated, newness recomputed from the child masks:
+// a fact is new iff every child that carries it marks it new — they all
+// consult the same KB, so masks agree; the union keeps the first seen).
+func Merge(source string, space *kb.Space, children []*Table) *Table {
+	type acc struct {
+		props map[Property]bool // property -> isNew
+	}
+	bySubject := make(map[dict.ID]*acc)
+	for _, c := range children {
+		for i := range c.Entities {
+			e := &c.Entities[i]
+			a, ok := bySubject[e.Subject]
+			if !ok {
+				a = &acc{props: make(map[Property]bool, len(e.Props))}
+				bySubject[e.Subject] = a
+			}
+			for j, p := range e.Props {
+				if _, seen := a.props[p]; !seen {
+					a.props[p] = e.New[j]
+				}
+			}
+		}
+	}
+	t := &Table{Source: source, Space: space, Entities: make([]Entity, 0, len(bySubject))}
+	subjects := make([]dict.ID, 0, len(bySubject))
+	for s := range bySubject {
+		subjects = append(subjects, s)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	for _, s := range subjects {
+		a := bySubject[s]
+		props := make([]Property, 0, len(a.props))
+		for p := range a.props {
+			props = append(props, p)
+		}
+		sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
+		e := Entity{Subject: s, Props: props, New: make([]bool, len(props))}
+		for i, p := range props {
+			e.New[i] = a.props[p]
+			if e.New[i] {
+				e.NewCount++
+			}
+		}
+		t.TotalFacts += len(props)
+		t.TotalNew += e.NewCount
+		t.Entities = append(t.Entities, e)
+	}
+	return t
+}
+
+// GroupBySource partitions a corpus into per-URL triple lists. The keys
+// are URL dictionary IDs; callers resolve them via corpus.URLs.
+func GroupBySource(c *Corpus) map[dict.ID][]kb.Triple {
+	out := make(map[dict.ID][]kb.Triple)
+	for _, e := range c.Facts {
+		out[e.URL] = append(out[e.URL], e.Triple)
+	}
+	return out
+}
+
+// tripleOf builds a kb.Triple from position IDs (helper for the binary
+// decoder).
+func tripleOf(s, p, o dict.ID) kb.Triple { return kb.Triple{S: s, P: p, O: o} }

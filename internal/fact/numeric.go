@@ -1,0 +1,97 @@
+package fact
+
+import (
+	"fmt"
+	"strconv"
+
+	"midas/internal/dict"
+)
+
+// BucketNumeric implements the generalized-property extension the paper
+// sketches in the Definition 4 discussion ("our method can be easily
+// extended to more general properties, e.g. year > 2000"): object
+// values of predominantly-numeric predicates are rewritten into range
+// labels, so entities with nearby values ("started = 1957" and
+// "started = 1959") share a property ("started = [1950,1960)") and can
+// form one slice.
+//
+// A predicate qualifies when at least minCount of its facts and at
+// least 80% of them have numeric objects. Non-numeric objects of a
+// qualifying predicate are left untouched. The returned corpus shares
+// the space and URL dictionary; the original is not modified.
+func BucketNumeric(c *Corpus, width float64, minCount int) *Corpus {
+	if width <= 0 {
+		return c
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+
+	// First pass: per-predicate numeric statistics.
+	type stat struct{ numeric, total int }
+	stats := make(map[dict.ID]*stat)
+	numVal := make(map[dict.ID]float64) // object ID → parsed value
+	for _, e := range c.Facts {
+		st, ok := stats[e.Triple.P]
+		if !ok {
+			st = &stat{}
+			stats[e.Triple.P] = st
+		}
+		st.total++
+		if _, isNum := numVal[e.Triple.O]; !isNum {
+			v, err := strconv.ParseFloat(c.Space.Objects.String(e.Triple.O), 64)
+			if err != nil {
+				continue
+			}
+			numVal[e.Triple.O] = v
+		}
+		st.numeric++
+	}
+	qualifies := make(map[dict.ID]bool)
+	for p, st := range stats {
+		if st.numeric >= minCount && st.numeric*5 >= st.total*4 {
+			qualifies[p] = true
+		}
+	}
+	if len(qualifies) == 0 {
+		return c
+	}
+
+	// Second pass: rewrite qualifying numeric objects into bucket
+	// labels.
+	out := &Corpus{Space: c.Space, URLs: c.URLs, Facts: make([]Extracted, 0, len(c.Facts))}
+	bucketID := make(map[float64]dict.ID)
+	for _, e := range c.Facts {
+		if qualifies[e.Triple.P] {
+			if v, ok := numVal[e.Triple.O]; ok {
+				lo := bucketFloor(v, width)
+				id, cached := bucketID[lo]
+				if !cached {
+					id = c.Space.Objects.Put(bucketLabel(lo, width))
+					bucketID[lo] = id
+				}
+				e.Triple.O = id
+			}
+		}
+		out.Facts = append(out.Facts, e)
+	}
+	return out
+}
+
+func bucketFloor(v, width float64) float64 {
+	b := v / width
+	f := float64(int64(b))
+	if b < 0 && f != b {
+		f--
+	}
+	return f * width
+}
+
+func bucketLabel(lo, width float64) string {
+	return fmt.Sprintf("[%s,%s)", formatNum(lo), formatNum(lo+width))
+}
+
+// formatNum renders a float without trailing zero noise.
+func formatNum(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

@@ -1,0 +1,100 @@
+package fact_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"midas/internal/fact"
+)
+
+func TestBucketNumericRewrites(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	for i, year := range []string{"1957", "1959", "1971", "1974"} {
+		c.Add(fact.Fact{Subject: fmt.Sprintf("e%d", i), Predicate: "started", Object: year, Confidence: 1, URL: "u"})
+	}
+	c.Add(fact.Fact{Subject: "e0", Predicate: "name", Object: "Atlas", Confidence: 1, URL: "u"})
+
+	out := fact.BucketNumeric(c, 10, 3)
+	if len(out.Facts) != len(c.Facts) {
+		t.Fatalf("fact count changed: %d vs %d", len(out.Facts), len(c.Facts))
+	}
+	labels := make(map[string]int)
+	for _, e := range out.Facts {
+		p := out.Space.Predicates.String(e.Triple.P)
+		o := out.Space.Objects.String(e.Triple.O)
+		if p == "started" {
+			labels[o]++
+		}
+		if p == "name" && o != "Atlas" {
+			t.Errorf("non-numeric predicate rewritten: %q", o)
+		}
+	}
+	if labels["[1950,1960)"] != 2 || labels["[1970,1980)"] != 2 {
+		t.Errorf("bucket labels = %v, want two facts each in [1950,1960) and [1970,1980)", labels)
+	}
+}
+
+func TestBucketNumericMinCount(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	c.Add(fact.Fact{Subject: "a", Predicate: "rare", Object: "7", Confidence: 1, URL: "u"})
+	out := fact.BucketNumeric(c, 10, 5)
+	if got := out.Space.Objects.String(out.Facts[0].Triple.O); got != "7" {
+		t.Errorf("below-threshold predicate rewritten to %q", got)
+	}
+}
+
+func TestBucketNumericMixedPredicate(t *testing.T) {
+	// A predicate with < 80% numeric objects stays untouched.
+	c := fact.NewCorpus(nil)
+	for i := 0; i < 5; i++ {
+		c.Add(fact.Fact{Subject: fmt.Sprintf("n%d", i), Predicate: "mixed", Object: fmt.Sprintf("%d", i), Confidence: 1, URL: "u"})
+	}
+	for i := 0; i < 5; i++ {
+		c.Add(fact.Fact{Subject: fmt.Sprintf("t%d", i), Predicate: "mixed", Object: fmt.Sprintf("text%d", i), Confidence: 1, URL: "u"})
+	}
+	out := fact.BucketNumeric(c, 10, 3)
+	for _, e := range out.Facts {
+		if strings.HasPrefix(out.Space.Objects.String(e.Triple.O), "[") {
+			t.Fatal("50%-numeric predicate should not be bucketed")
+		}
+	}
+	// At 100% numeric it qualifies.
+	c2 := fact.NewCorpus(nil)
+	for i := 0; i < 5; i++ {
+		c2.Add(fact.Fact{Subject: fmt.Sprintf("n%d", i), Predicate: "num", Object: fmt.Sprintf("%d", i*3), Confidence: 1, URL: "u"})
+	}
+	out2 := fact.BucketNumeric(c2, 10, 3)
+	bucketed := 0
+	for _, e := range out2.Facts {
+		if strings.HasPrefix(out2.Space.Objects.String(e.Triple.O), "[") {
+			bucketed++
+		}
+	}
+	if bucketed != 5 {
+		t.Errorf("bucketed = %d, want 5", bucketed)
+	}
+}
+
+func TestBucketNumericNegativeValues(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	for i, v := range []string{"-5", "-14", "-15", "4"} {
+		c.Add(fact.Fact{Subject: fmt.Sprintf("e%d", i), Predicate: "temp", Object: v, Confidence: 1, URL: "u"})
+	}
+	out := fact.BucketNumeric(c, 10, 3)
+	want := map[string]string{"-5": "[-10,0)", "-14": "[-20,-10)", "-15": "[-20,-10)", "4": "[0,10)"}
+	for i, e := range out.Facts {
+		orig := c.Space.Objects.String(c.Facts[i].Triple.O)
+		if got := out.Space.Objects.String(e.Triple.O); got != want[orig] {
+			t.Errorf("bucket(%s) = %q, want %q", orig, got, want[orig])
+		}
+	}
+}
+
+func TestBucketNumericDisabled(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	c.Add(fact.Fact{Subject: "a", Predicate: "p", Object: "1", Confidence: 1, URL: "u"})
+	if out := fact.BucketNumeric(c, 0, 1); out != c {
+		t.Error("width 0 must return the corpus unchanged")
+	}
+}

@@ -1,0 +1,397 @@
+// Package framework implements the highly-parallelizable multi-source
+// pipeline of Section III-B: shard → detect → consolidate, iterated up
+// the URL hierarchy.
+//
+// Each round processes the deepest unprocessed web sources. The facts of
+// a source and the slices already detected in its children are sharded
+// by the one-level-coarser parent URL; the detector (MIDASalg by
+// default, but the phase is pluggable and the baselines run under the
+// same framework) re-runs at the parent granularity seeded with the
+// child slices; consolidation then compares parent slices against the
+// child slices they cover and keeps whichever side yields higher profit.
+// Surviving slices propagate upward; slices surviving at the domain
+// level are the framework's output.
+//
+// The paper runs this topology on MapReduce; here each round's shards
+// are dispatched to a local worker pool, which preserves the
+// communication structure (keyed sharding, independent detection per
+// key) at laptop scale.
+package framework
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"midas/internal/core"
+	"midas/internal/dict"
+	"midas/internal/fact"
+	"midas/internal/hierarchy"
+	"midas/internal/kb"
+	"midas/internal/slice"
+	"midas/internal/source"
+)
+
+// Detector runs slice detection over one web source's fact table, seeded
+// with the slices detected in its children (seeds hold row indexes into
+// the table). Implementations must be safe for concurrent use.
+type Detector func(table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice
+
+// Options configures a framework run.
+type Options struct {
+	// Cost is the profit model used for consolidation; zero means the
+	// paper's defaults. It should match the detector's model.
+	Cost slice.CostModel
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Detect is the detection phase; nil means MIDASalg with Core.
+	Detect Detector
+	// Core configures the default MIDASalg detector.
+	Core core.Options
+}
+
+func (o Options) cost() slice.CostModel {
+	if o.Cost == (slice.CostModel{}) {
+		return slice.DefaultCostModel()
+	}
+	return o.Cost
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) detector() Detector {
+	if o.Detect != nil {
+		return o.Detect
+	}
+	copts := o.Core
+	if copts.Cost == (slice.CostModel{}) {
+		copts.Cost = o.cost()
+	}
+	return func(table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice {
+		return core.DiscoverSeeded(table, seeds, copts).Slices
+	}
+}
+
+// Output is the result of a framework run.
+type Output struct {
+	// Slices are the surviving slices across all sources, sorted by
+	// decreasing profit.
+	Slices []*slice.Slice
+	// FactSets holds each slice's materialized fact set (sorted),
+	// index-aligned with Slices; the evaluation harness matches slices
+	// by fact-set Jaccard similarity.
+	FactSets [][]kb.Triple
+	// Rounds is the number of hierarchy levels processed.
+	Rounds int
+	// SourcesProcessed counts detector invocations (one per web source
+	// at every granularity that had facts or child slices).
+	SourcesProcessed int
+	// Levels reports per-round effort, deepest level first.
+	Levels []LevelStat
+}
+
+// LevelStat is the per-hierarchy-level effort breakdown of a run.
+type LevelStat struct {
+	// Depth is the URL-hierarchy depth processed this round (1 = domain).
+	Depth int
+	// Sources is the number of shards (web sources) detected.
+	Sources int
+	// Slices is the number of slices surviving this round's
+	// consolidation.
+	Slices int
+	// Seconds is the wall time of the round (shard + detect +
+	// consolidate).
+	Seconds float64
+}
+
+// scored couples a slice with its materialized fact set and the fact
+// count of its origin source, both needed for consolidation.
+type scored struct {
+	sl          *slice.Slice
+	facts       []kb.Triple
+	sourceTotal int
+}
+
+// item is a processed web source moving up the hierarchy.
+type item struct {
+	src       string
+	table     *fact.Table
+	surviving []scored
+}
+
+// pendingEntry accumulates the leaf facts and processed children of a
+// source until its own depth is reached.
+type pendingEntry struct {
+	triples  []kb.Triple
+	children []*item
+}
+
+// Run executes the framework over an extraction corpus against an
+// existing KB (nil = empty).
+func Run(corpus *fact.Corpus, existing *kb.KB, opts Options) *Output {
+	out, _ := RunContext(context.Background(), corpus, existing, opts)
+	return out
+}
+
+// RunContext is Run with cancellation: between hierarchy levels the
+// context is checked, and on cancellation the partial output (slices
+// finalized so far — i.e. those whose domains completed) is returned
+// together with the context's error. A level in flight runs to
+// completion; per-source detection is not interrupted mid-lattice.
+func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts Options) (*Output, error) {
+	detect := opts.detector()
+	cost := opts.cost()
+	// Discovery never mutates the KB: freeze it once so the worker pool
+	// probes membership lock-free instead of contending on its RWMutex.
+	var member kb.Membership
+	if existing != nil {
+		member = existing.Frozen()
+	}
+
+	// Group facts by normalized leaf source.
+	bySource := make(map[string][]kb.Triple)
+	for _, e := range corpus.Facts {
+		src := source.Normalize(corpus.URLs.String(e.URL))
+		if src == "" {
+			continue
+		}
+		bySource[src] = append(bySource[src], e.Triple)
+	}
+
+	pending := make(map[string]*pendingEntry)
+	maxDepth := 0
+	for src, triples := range bySource {
+		pending[src] = &pendingEntry{triples: triples}
+		if d := source.Depth(src); d > maxDepth {
+			maxDepth = d
+		}
+	}
+
+	out := &Output{}
+	var final []scored
+
+	finish := func(err error) (*Output, error) {
+		sort.SliceStable(final, func(i, j int) bool {
+			a, b := final[i].sl, final[j].sl
+			if a.Profit != b.Profit {
+				return a.Profit > b.Profit
+			}
+			return a.Source < b.Source
+		})
+		out.Slices = make([]*slice.Slice, len(final))
+		out.FactSets = make([][]kb.Triple, len(final))
+		for i, s := range final {
+			out.Slices[i] = s.sl
+			out.FactSets[i] = s.facts
+		}
+		return out, err
+	}
+
+	for d := maxDepth; d >= 1; d-- {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		// Shard: collect the sources whose depth is d; every deeper
+		// descendant has already been folded into them.
+		batch := make([]string, 0)
+		for src := range pending {
+			if source.Depth(src) == d {
+				batch = append(batch, src)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		sort.Strings(batch)
+		out.Rounds++
+		out.SourcesProcessed += len(batch)
+		roundStart := time.Now()
+
+		// Detect + consolidate each shard on the worker pool.
+		results := make([]*item, len(batch))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opts.workers())
+		for i, src := range batch {
+			wg.Add(1)
+			go func(i int, src string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i] = processSource(src, pending[src], corpus.Space, member, detect, cost)
+			}(i, src)
+		}
+		wg.Wait()
+
+		surviving := 0
+		for _, it := range results {
+			surviving += len(it.surviving)
+		}
+		out.Levels = append(out.Levels, LevelStat{
+			Depth:   d,
+			Sources: len(batch),
+			Slices:  surviving,
+			Seconds: time.Since(roundStart).Seconds(),
+		})
+
+		// Route surviving slices: to the parent's pending entry, or to
+		// the final output for domain-level sources.
+		for _, it := range results {
+			delete(pending, it.src)
+			if parent, ok := source.Parent(it.src); ok {
+				pe := pending[parent]
+				if pe == nil {
+					pe = &pendingEntry{}
+					pending[parent] = pe
+				}
+				pe.children = append(pe.children, it)
+			} else {
+				final = append(final, it.surviving...)
+			}
+		}
+	}
+
+	return finish(nil)
+}
+
+// processSource builds the source's fact table (merging leaf facts with
+// the children's tables), detects slices seeded with the children's
+// surviving slices, and consolidates parent against child slices.
+func processSource(src string, pe *pendingEntry, space *kb.Space, existing kb.Membership, detect Detector, cost slice.CostModel) *item {
+	// Assemble the fact table at this granularity.
+	var table *fact.Table
+	var leaf *fact.Table
+	if len(pe.triples) > 0 {
+		leaf = fact.BuildWith(src, space, pe.triples, existing)
+	}
+	switch {
+	case len(pe.children) == 0 && leaf != nil:
+		table = leaf
+	default:
+		tables := make([]*fact.Table, 0, len(pe.children)+1)
+		if leaf != nil {
+			tables = append(tables, leaf)
+		}
+		for _, c := range pe.children {
+			tables = append(tables, c.table)
+		}
+		table = fact.Merge(src, space, tables)
+	}
+
+	// Map subjects to rows for seeding.
+	rowOf := make(map[dict.ID]int32, len(table.Entities))
+	for i := range table.Entities {
+		rowOf[table.Entities[i].Subject] = int32(i)
+	}
+
+	var children []scored
+	var seeds []hierarchy.Seed
+	for _, c := range pe.children {
+		for _, s := range c.surviving {
+			children = append(children, s)
+			rows := make([]int32, 0, len(s.sl.Entities))
+			for _, subj := range s.sl.Entities {
+				if r, ok := rowOf[subj]; ok {
+					rows = append(rows, r)
+				}
+			}
+			seeds = append(seeds, hierarchy.Seed{Props: s.sl.Props, Entities: rows})
+		}
+	}
+
+	detected := detect(table, seeds)
+	parents := make([]scored, len(detected))
+	for i, sl := range detected {
+		parents[i] = scored{sl: sl, facts: sl.FactSet(table), sourceTotal: table.TotalFacts}
+	}
+
+	return &item{src: src, table: table, surviving: consolidate(parents, children, cost, existing)}
+}
+
+// consolidate compares each parent slice against the child slices whose
+// entities it covers: if the child set's combined profit beats the
+// parent slice, the parent is pruned and the children survive;
+// otherwise the parent survives and those children are discarded
+// (Example 16). Children not covered by any parent slice survive too —
+// a coarser ancestor may still consolidate them later.
+func consolidate(parents, children []scored, cost slice.CostModel, existing kb.Membership) []scored {
+	if len(children) == 0 {
+		return parents
+	}
+	consumed := make([]bool, len(children))
+	surviving := make([]scored, 0, len(parents))
+	for _, p := range parents {
+		var cs []int
+		for i := range children {
+			if !consumed[i] && entitySubset(children[i].sl.Entities, p.sl.Entities) {
+				cs = append(cs, i)
+			}
+		}
+		if len(cs) == 0 {
+			surviving = append(surviving, p)
+			continue
+		}
+		// Ties go to the children: same profit at a finer granularity
+		// means a narrower crawl for the same value.
+		if childSetProfit(children, cs, cost, existing) >= p.sl.Profit {
+			// The children win: they survive, the parent slice is pruned.
+			for _, i := range cs {
+				consumed[i] = true
+				surviving = append(surviving, children[i])
+			}
+		} else {
+			// The parent wins: keep it, discard the covered children.
+			for _, i := range cs {
+				consumed[i] = true
+			}
+			surviving = append(surviving, p)
+		}
+	}
+	for i := range children {
+		if !consumed[i] {
+			surviving = append(surviving, children[i])
+		}
+	}
+	return surviving
+}
+
+// childSetProfit computes f over the indexed child slices, with exact
+// fact-union statistics and the crawl term charged once per distinct
+// origin source.
+func childSetProfit(children []scored, idx []int, cost slice.CostModel, existing kb.Membership) float64 {
+	sets := make([][]kb.Triple, len(idx))
+	totals := make(map[string]int)
+	for i, j := range idx {
+		sets[i] = children[j].facts
+		totals[children[j].sl.Source] = children[j].sourceTotal
+	}
+	unionFacts, unionNew := slice.UnionStats(sets, existing)
+	perSource := make([]int, 0, len(totals))
+	for _, t := range totals {
+		perSource = append(perSource, t)
+	}
+	return cost.SetProfit(len(idx), unionFacts, unionNew, perSource)
+}
+
+// entitySubset reports whether sorted a ⊆ sorted b.
+func entitySubset(a, b []dict.ID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			return false
+		default:
+			j++
+		}
+	}
+	return i == len(a)
+}

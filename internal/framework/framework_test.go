@@ -1,0 +1,241 @@
+package framework_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"midas/internal/baselines"
+	"midas/internal/core"
+	"midas/internal/fact"
+	"midas/internal/framework"
+	"midas/internal/kb"
+	"midas/internal/slice"
+)
+
+// exampleCorpus rebuilds the paper's running example (Figure 2) and the
+// Freebase-like KB holding t1–t5, t9, t10.
+func exampleCorpus() (*fact.Corpus, *kb.KB) {
+	type row struct {
+		s, p, o, url string
+		inKB         bool
+	}
+	rows := []row{
+		{"Project Mercury", "category", "space_program", "http://space.skyrocket.de/doc_sat/mercury-history.htm", true},
+		{"Project Mercury", "started", "1959", "http://space.skyrocket.de/doc_sat/mercury-history.htm", true},
+		{"Project Mercury", "sponsor", "NASA", "http://space.skyrocket.de/doc_sat/mercury-history.htm", true},
+		{"Project Gemini", "category", "space_program", "http://space.skyrocket.de/doc_sat/gemini-history.htm", true},
+		{"Project Gemini", "sponsor", "NASA", "http://space.skyrocket.de/doc_sat/gemini-history.htm", true},
+		{"Atlas", "category", "rocket_family", "http://space.skyrocket.de/doc_lau_fam/atlas.htm", false},
+		{"Atlas", "sponsor", "NASA", "http://space.skyrocket.de/doc_lau_fam/atlas.htm", false},
+		{"Atlas", "started", "1957", "http://space.skyrocket.de/doc_lau_fam/atlas.htm", false},
+		{"Apollo program", "category", "space_program", "http://space.skyrocket.de/doc_sat/apollo-history.htm", true},
+		{"Apollo program", "sponsor", "NASA", "http://space.skyrocket.de/doc_sat/apollo-history.htm", true},
+		{"Castor-4", "category", "rocket_family", "http://space.skyrocket.de/doc_lau_fam/castor-4.htm", false},
+		{"Castor-4", "started", "1971", "http://space.skyrocket.de/doc_lau_fam/castor-4.htm", false},
+		{"Castor-4", "sponsor", "NASA", "http://space.skyrocket.de/doc_lau_fam/castor-4.htm", false},
+	}
+	corpus := fact.NewCorpus(nil)
+	existing := kb.New(corpus.Space)
+	for _, r := range rows {
+		corpus.Add(fact.Fact{Subject: r.s, Predicate: r.p, Object: r.o, Confidence: 0.9, URL: r.url})
+		if r.inKB {
+			existing.AddStrings(r.s, r.p, r.o)
+		}
+	}
+	return corpus, existing
+}
+
+func exampleFrameworkOpts() framework.Options {
+	return framework.Options{
+		Cost: slice.ExampleCostModel(),
+		Core: core.Options{Cost: slice.ExampleCostModel()},
+	}
+}
+
+// TestExample16 replays the two-round walkthrough of Example 16: the
+// framework must report exactly one slice, "rocket families sponsored by
+// NASA", attached to the sub-domain space.skyrocket.de/doc_lau_fam (not
+// to the individual pages, and not to the whole domain whose larger
+// crawl cost makes it slightly less profitable).
+func TestExample16(t *testing.T) {
+	corpus, existing := exampleCorpus()
+	out := framework.Run(corpus, existing, exampleFrameworkOpts())
+
+	if len(out.Slices) != 1 {
+		for _, s := range out.Slices {
+			t.Logf("slice %q at %s profit %.3f", s.Description(corpus.Space), s.Source, s.Profit)
+		}
+		t.Fatalf("want 1 slice, got %d", len(out.Slices))
+	}
+	s := out.Slices[0]
+	if got, want := s.Source, "space.skyrocket.de/doc_lau_fam"; got != want {
+		t.Errorf("source = %q, want %q", got, want)
+	}
+	if got, want := s.Description(corpus.Space), "category = rocket_family AND sponsor = NASA"; got != want {
+		t.Errorf("description = %q, want %q", got, want)
+	}
+	if s.NewFacts != 6 || s.Facts != 6 {
+		t.Errorf("facts/new = %d/%d, want 6/6", s.Facts, s.NewFacts)
+	}
+	// At the doc_lau_fam granularity |T_W| = 6, so f = 5.4−1−0.06−0.006.
+	if want := 4.334; math.Abs(s.Profit-want) > 5e-4 {
+		t.Errorf("profit = %.4f, want %.4f", s.Profit, want)
+	}
+	// Rounds: pages (depth 3), sub-domains (depth 2), domain (depth 1).
+	if out.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3", out.Rounds)
+	}
+	// 5 pages + 2 sub-domains + 1 domain.
+	if out.SourcesProcessed != 8 {
+		t.Errorf("sources processed = %d, want 8", out.SourcesProcessed)
+	}
+}
+
+// TestFrameworkBeatsFlatSweep: the naive strategy of Section III-B's
+// opening (run MIDASalg on every granularity independently) reports
+// redundant overlapping slices; the framework must consolidate them so
+// that no reported slice's facts are contained in another's.
+func TestFrameworkConsolidatesRedundancy(t *testing.T) {
+	corpus, existing := exampleCorpus()
+	out := framework.Run(corpus, existing, exampleFrameworkOpts())
+
+	for i, a := range out.Slices {
+		for j, b := range out.Slices {
+			if i == j {
+				continue
+			}
+			if contains(a.Entities, b.Entities) && a.Source == b.Source {
+				t.Errorf("slice %d is contained in slice %d at the same source", j, i)
+			}
+		}
+	}
+}
+
+func contains(sup, sub []int32) bool {
+	set := make(map[int32]struct{}, len(sup))
+	for _, e := range sup {
+		set[e] = struct{}{}
+	}
+	for _, e := range sub {
+		if _, ok := set[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFrameworkEmptyCorpus degenerate input.
+func TestFrameworkEmptyCorpus(t *testing.T) {
+	corpus := fact.NewCorpus(nil)
+	out := framework.Run(corpus, nil, exampleFrameworkOpts())
+	if len(out.Slices) != 0 || out.Rounds != 0 {
+		t.Errorf("want empty output, got %d slices %d rounds", len(out.Slices), out.Rounds)
+	}
+}
+
+// TestFrameworkWithBaselineDetectors: the framework must accept the
+// alternative detection algorithms (Section III-B closing remark).
+func TestFrameworkWithBaselineDetectors(t *testing.T) {
+	corpus, existing := exampleCorpus()
+	cost := slice.ExampleCostModel()
+
+	greedyOut := framework.Run(corpus, existing, framework.Options{
+		Cost:   cost,
+		Detect: baselines.GreedyDetector(cost),
+	})
+	if len(greedyOut.Slices) == 0 {
+		t.Error("greedy under framework found no slices")
+	}
+
+	naiveOut := framework.Run(corpus, existing, framework.Options{
+		Cost:   cost,
+		Detect: baselines.NaiveDetector(),
+	})
+	if len(naiveOut.Slices) == 0 {
+		t.Error("naive under framework found no slices")
+	}
+
+	aggOut := framework.Run(corpus, existing, framework.Options{
+		Cost:   cost,
+		Detect: baselines.AggClusterDetector(cost),
+	})
+	if len(aggOut.Slices) == 0 {
+		t.Error("aggcluster under framework found no slices")
+	}
+	// AGGCLUSTER on this tiny example should also find the rocket
+	// families slice somewhere in the hierarchy.
+	found := false
+	for _, s := range aggOut.Slices {
+		if s.Description(corpus.Space) == "category = rocket_family AND sponsor = NASA" ||
+			s.NewFacts == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("aggcluster did not recover the rocket-family content")
+	}
+}
+
+// TestFrameworkDeterminism: repeated runs must produce identical output
+// despite the worker pool.
+func TestFrameworkDeterminism(t *testing.T) {
+	corpus, existing := exampleCorpus()
+	a := framework.Run(corpus, existing, exampleFrameworkOpts())
+	for i := 0; i < 5; i++ {
+		b := framework.Run(corpus, existing, exampleFrameworkOpts())
+		if len(a.Slices) != len(b.Slices) {
+			t.Fatalf("run %d: slice count changed: %d vs %d", i, len(a.Slices), len(b.Slices))
+		}
+		for j := range a.Slices {
+			if a.Slices[j].Source != b.Slices[j].Source || a.Slices[j].Profit != b.Slices[j].Profit {
+				t.Fatalf("run %d: slice %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestConsolidationChildrenWin constructs the opposite case from
+// Example 16: the parent-granularity slice drags along a huge block of
+// already-known entities (de-duplication cost), so the children's
+// slices must survive consolidation and the parent must be pruned.
+func TestConsolidationChildrenWin(t *testing.T) {
+	corpus := fact.NewCorpus(nil)
+	existing := kb.New(corpus.Space)
+
+	addEntity := func(sub, url string, known bool) {
+		for f := 0; f < 2; f++ {
+			tr := corpus.Space.Intern(sub, fmt.Sprintf("p%d", f), "widget-v")
+			corpus.AddTriple(tr, corpus.URLs.Put(url), 0.9)
+			if known {
+				existing.Add(tr)
+			}
+		}
+	}
+	// Two fresh sub-domains, 15 entities each.
+	for i := 0; i < 15; i++ {
+		addEntity(fmt.Sprintf("fresh-a-%d", i), fmt.Sprintf("http://big.example.com/sub1/e%d.htm", i), false)
+		addEntity(fmt.Sprintf("fresh-b-%d", i), fmt.Sprintf("http://big.example.com/sub2/e%d.htm", i), false)
+	}
+	// One huge known sub-domain: 1000 entities sharing the same
+	// properties, already in the KB.
+	for i := 0; i < 1000; i++ {
+		addEntity(fmt.Sprintf("known-%d", i), fmt.Sprintf("http://big.example.com/sub3/e%d.htm", i), true)
+	}
+
+	out := framework.Run(corpus, existing, framework.Options{})
+	if len(out.Slices) != 2 {
+		for _, s := range out.Slices {
+			t.Logf("slice @ %s new=%d facts=%d profit=%.2f", s.Source, s.NewFacts, s.Facts, s.Profit)
+		}
+		t.Fatalf("want the 2 sub-domain slices, got %d", len(out.Slices))
+	}
+	for _, s := range out.Slices {
+		if s.Source != "big.example.com/sub1" && s.Source != "big.example.com/sub2" {
+			t.Errorf("slice at %q; the domain-level slice should have been pruned", s.Source)
+		}
+		if s.NewFacts != 30 {
+			t.Errorf("slice new facts = %d, want 30", s.NewFacts)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package fuse implements the knowledge-fusion preprocessing the paper
+// notes it relies on ("we leverage existing techniques [15, 25] to
+// identify correct facts in T_W and reduce the noises in web sources"):
+// confidence-weighted truth finding over conflicting extractions.
+//
+// The extractor emits the same (subject, predicate) with different
+// objects — a correct value and corrupted ones, across one or many
+// pages. For predicates that are functional (one true value per
+// subject), fusion keeps the object with the highest accumulated
+// confidence and drops the rest. Functionality is itself estimated from
+// the data: a predicate is treated as functional when most subjects
+// have a single dominant value.
+package fuse
+
+import (
+	"sort"
+
+	"midas/internal/dict"
+	"midas/internal/fact"
+)
+
+// Params tunes fusion.
+type Params struct {
+	// FunctionalShare is the fraction of a predicate's subjects that
+	// must be single-valued for the predicate to be treated as
+	// functional (default 0.8).
+	FunctionalShare float64
+	// MinSupport is the minimum number of subjects required to judge a
+	// predicate's functionality; rarer predicates are left untouched
+	// (default 5).
+	MinSupport int
+}
+
+// DefaultParams returns the defaults.
+func DefaultParams() Params { return Params{FunctionalShare: 0.8, MinSupport: 5} }
+
+// Stats reports what fusion did.
+type Stats struct {
+	// FunctionalPredicates judged functional.
+	FunctionalPredicates int
+	// Conflicts is the number of (subject, predicate) groups that had
+	// more than one object on a functional predicate.
+	Conflicts int
+	// Dropped is the number of facts removed as losing conflict values.
+	Dropped int
+}
+
+// Fuse resolves conflicts in a corpus and returns the cleaned corpus
+// (sharing the space and URL dictionary) plus statistics. Order is
+// preserved for surviving facts.
+func Fuse(c *fact.Corpus, p Params) (*fact.Corpus, Stats) {
+	if p.FunctionalShare == 0 {
+		p.FunctionalShare = 0.8
+	}
+	if p.MinSupport == 0 {
+		p.MinSupport = 5
+	}
+
+	type sp struct{ s, p dict.ID }
+	// Accumulate per-(subject, predicate) object confidence mass.
+	objMass := make(map[sp]map[dict.ID]float64)
+	for _, e := range c.Facts {
+		key := sp{e.Triple.S, e.Triple.P}
+		m, ok := objMass[key]
+		if !ok {
+			m = make(map[dict.ID]float64, 2)
+			objMass[key] = m
+		}
+		m[e.Triple.O] += float64(e.Conf)
+	}
+
+	// Judge predicate functionality: share of subjects with one value.
+	type fn struct{ single, total int }
+	perPred := make(map[dict.ID]*fn)
+	for key, m := range objMass {
+		f, ok := perPred[key.p]
+		if !ok {
+			f = &fn{}
+			perPred[key.p] = f
+		}
+		f.total++
+		if len(m) == 1 {
+			f.single++
+		}
+	}
+	functional := make(map[dict.ID]bool)
+	st := Stats{}
+	for pred, f := range perPred {
+		if f.total >= p.MinSupport && float64(f.single) >= p.FunctionalShare*float64(f.total) {
+			functional[pred] = true
+			st.FunctionalPredicates++
+		}
+	}
+
+	// Pick winners for conflicted functional cells.
+	winner := make(map[sp]dict.ID)
+	for key, m := range objMass {
+		if !functional[key.p] || len(m) == 1 {
+			continue
+		}
+		st.Conflicts++
+		// Deterministic argmax: highest mass, ties to the lower ID.
+		objs := make([]dict.ID, 0, len(m))
+		for o := range m {
+			objs = append(objs, o)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		best := objs[0]
+		for _, o := range objs[1:] {
+			if m[o] > m[best] {
+				best = o
+			}
+		}
+		winner[key] = best
+	}
+
+	out := &fact.Corpus{Space: c.Space, URLs: c.URLs, Facts: make([]fact.Extracted, 0, len(c.Facts))}
+	for _, e := range c.Facts {
+		if w, conflicted := winner[sp{e.Triple.S, e.Triple.P}]; conflicted && e.Triple.O != w {
+			st.Dropped++
+			continue
+		}
+		out.Facts = append(out.Facts, e)
+	}
+	return out, st
+}

@@ -1,0 +1,161 @@
+package fuse_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"midas/internal/extract"
+	"midas/internal/fact"
+	"midas/internal/fuse"
+	"midas/internal/kb"
+)
+
+func addFact(c *fact.Corpus, s, p, o string, conf float64) {
+	c.Add(fact.Fact{Subject: s, Predicate: p, Object: o, Confidence: conf, URL: "http://x.com/p"})
+}
+
+// TestFuseResolvesConflicts: on a functional predicate, the
+// high-confidence value wins and the corrupted one is dropped.
+func TestFuseResolvesConflicts(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	// Ten clean subjects establish "capital" as functional.
+	for i := 0; i < 10; i++ {
+		addFact(c, fmt.Sprintf("country%d", i), "capital", fmt.Sprintf("city%d", i), 0.9)
+	}
+	// One conflicted subject: the true value seen twice at high
+	// confidence, a corrupted value once at low confidence.
+	addFact(c, "atlantis", "capital", "poseidonia", 0.9)
+	addFact(c, "atlantis", "capital", "poseidonia", 0.8)
+	addFact(c, "atlantis", "capital", "spurious-123", 0.5)
+
+	out, st := fuse.Fuse(c, fuse.DefaultParams())
+	if st.FunctionalPredicates != 1 {
+		t.Errorf("functional predicates = %d, want 1", st.FunctionalPredicates)
+	}
+	if st.Conflicts != 1 || st.Dropped != 1 {
+		t.Errorf("conflicts/dropped = %d/%d, want 1/1", st.Conflicts, st.Dropped)
+	}
+	if len(out.Facts) != len(c.Facts)-1 {
+		t.Errorf("surviving facts = %d, want %d", len(out.Facts), len(c.Facts)-1)
+	}
+	for _, e := range out.Facts {
+		if out.Space.Objects.String(e.Triple.O) == "spurious-123" {
+			t.Error("corrupted value survived fusion")
+		}
+	}
+}
+
+// TestFuseKeepsMultiValuedPredicates: predicates that are genuinely
+// multi-valued (most subjects have several values) are untouched.
+func TestFuseKeepsMultiValuedPredicates(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	for i := 0; i < 10; i++ {
+		addFact(c, fmt.Sprintf("film%d", i), "starring", fmt.Sprintf("actorA%d", i), 0.9)
+		addFact(c, fmt.Sprintf("film%d", i), "starring", fmt.Sprintf("actorB%d", i), 0.6)
+	}
+	out, st := fuse.Fuse(c, fuse.DefaultParams())
+	if st.FunctionalPredicates != 0 || st.Dropped != 0 {
+		t.Errorf("stats = %+v, want nothing dropped", st)
+	}
+	if len(out.Facts) != len(c.Facts) {
+		t.Errorf("facts = %d, want all %d", len(out.Facts), len(c.Facts))
+	}
+}
+
+// TestFuseMinSupport: rare predicates are never judged.
+func TestFuseMinSupport(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	addFact(c, "a", "rarepred", "x", 0.9)
+	addFact(c, "a", "rarepred", "y", 0.2)
+	out, st := fuse.Fuse(c, fuse.DefaultParams())
+	if st.FunctionalPredicates != 0 || len(out.Facts) != 2 {
+		t.Errorf("rare predicate was fused: %+v, %d facts", st, len(out.Facts))
+	}
+}
+
+// TestFuseAgainstExtractor: fusing the extractor's output recovers most
+// corrupted functional cells — the end-to-end cleanup loop the paper
+// assumes.
+func TestFuseAgainstExtractor(t *testing.T) {
+	sp := kb.NewSpace()
+	rng := rand.New(rand.NewSource(4))
+	params := extract.Params{
+		Recall:      1,
+		WrongRate:   0.15,
+		ConfCorrect: [2]float64{0.8, 1},
+		ConfWrong:   [2]float64{0.3, 0.7},
+	}
+	corpus := fact.NewCorpus(sp)
+	truth := make(map[kb.Triple]bool)
+	for e := 0; e < 200; e++ {
+		facts := []kb.Triple{sp.Intern(fmt.Sprintf("e%d", e), "status", fmt.Sprintf("v%d", e%3))}
+		truth[facts[0]] = true
+		for _, em := range extract.Apply(rng, facts, -1, sp, params) {
+			corpus.AddTriple(em.Triple, corpus.URLs.Put("http://x.com/p"), float32(em.Conf))
+		}
+	}
+	wrongBefore := countWrong(corpus, truth)
+	fused, st := fuse.Fuse(corpus, fuse.DefaultParams())
+	wrongAfter := countWrong(fused, truth)
+	if st.Dropped == 0 {
+		t.Fatal("fusion dropped nothing on a noisy corpus")
+	}
+	if wrongAfter*2 > wrongBefore {
+		t.Errorf("wrong facts only fell %d → %d; want at least halved", wrongBefore, wrongAfter)
+	}
+	// Correct facts must survive.
+	correct := 0
+	for _, e := range fused.Facts {
+		if truth[e.Triple] {
+			correct++
+		}
+	}
+	if correct < 195 {
+		t.Errorf("only %d correct facts survive, want ≥ 195", correct)
+	}
+}
+
+func countWrong(c *fact.Corpus, truth map[kb.Triple]bool) int {
+	n := 0
+	for _, e := range c.Facts {
+		if !truth[e.Triple] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestFuseDeterministic property: fusion output is stable and never
+// grows the corpus.
+func TestFuseDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := fact.NewCorpus(nil)
+		for i := 0; i < 150; i++ {
+			addFact(c,
+				fmt.Sprintf("s%d", rng.Intn(20)),
+				fmt.Sprintf("p%d", rng.Intn(3)),
+				fmt.Sprintf("o%d", rng.Intn(6)),
+				0.3+0.7*rng.Float64())
+		}
+		a, sa := fuse.Fuse(c, fuse.DefaultParams())
+		b, sb := fuse.Fuse(c, fuse.DefaultParams())
+		if len(a.Facts) != len(b.Facts) || sa != sb {
+			return false
+		}
+		if len(a.Facts) > len(c.Facts) {
+			return false
+		}
+		for i := range a.Facts {
+			if a.Facts[i].Triple != b.Facts[i].Triple {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

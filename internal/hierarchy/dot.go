@@ -1,0 +1,91 @@
+package hierarchy
+
+import (
+	"fmt"
+	"io"
+
+	"midas/internal/kb"
+)
+
+// WriteDOT renders the trimmed hierarchy in Graphviz DOT format for
+// debugging and documentation: one node per surviving slice, labeled
+// with its property set and statistics; invalid (low-profit) nodes are
+// drawn dashed and gray; initial slices get a double border. Edges
+// follow the lattice's parent→child links.
+//
+//	dot -Tsvg hierarchy.dot -o hierarchy.svg
+func (h *Hierarchy) WriteDOT(w io.Writer, space *kb.Space) error {
+	bw := &errWriter{w: w}
+	bw.printf("digraph slices {\n")
+	bw.printf("  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+
+	id := make(map[*Node]int)
+	next := 0
+	nodeID := func(n *Node) int {
+		if i, ok := id[n]; ok {
+			return i
+		}
+		id[n] = next
+		next++
+		return id[n]
+	}
+
+	for l := 1; l <= h.MaxLevel; l++ {
+		for _, n := range h.Levels[l] {
+			label := ""
+			for i, p := range n.Props {
+				if i > 0 {
+					label += `\n`
+				}
+				label += escapeDOT(p.Format(space))
+			}
+			label += fmt.Sprintf(`\n|Π|=%d new=%d f=%.2f`, len(n.Entities), n.NewFacts, n.Profit)
+			attrs := fmt.Sprintf("label=\"%s\"", label)
+			if !n.Valid {
+				attrs += ", style=dashed, color=gray"
+			}
+			if n.Initial {
+				attrs += ", peripheries=2"
+			}
+			bw.printf("  n%d [%s];\n", nodeID(n), attrs)
+		}
+	}
+	for l := 1; l <= h.MaxLevel; l++ {
+		for _, n := range h.Levels[l] {
+			for _, c := range n.Children {
+				bw.printf("  n%d -> n%d;\n", nodeID(n), nodeID(c))
+			}
+		}
+	}
+	bw.printf("}\n")
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func escapeDOT(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			out = append(out, '\\', '"')
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, ' ')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

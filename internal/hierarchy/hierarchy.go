@@ -1,0 +1,602 @@
+// Package hierarchy implements step 1 of MIDASalg: bottom-up
+// construction and pruning of the slice hierarchy (Section III-A-1).
+//
+// Nodes are candidate slices keyed by their property set; the lattice
+// edges connect a slice to the slices obtained by removing one property
+// (its parents — coarser, more general) or adding properties (its
+// children — finer). Construction starts from the initial slices implied
+// by the entities of a fact table and proceeds level by level toward the
+// root, Apriori-style, applying two prunings:
+//
+//   - canonicity (Proposition 12): a slice is canonical iff it is an
+//     initial slice or has at least two canonical children; non-canonical
+//     slices select the same entities as one of their children and are
+//     removed, re-linking their children to their parents;
+//   - profit lower bounds: for each slice S a set S_LB(S) of descendants
+//     with total profit f_LB(S) ≥ 0 is maintained; S is marked invalid
+//     (low-profit) when f({S}) is negative or below the profit achievable
+//     by its subtree.
+//
+// The traversal of the trimmed hierarchy (step 2) lives in package core.
+package hierarchy
+
+import (
+	"sort"
+
+	"midas/internal/fact"
+	"midas/internal/slice"
+)
+
+// Node is a candidate slice in the hierarchy.
+type Node struct {
+	// Props is the defining property set C, sorted ascending.
+	Props []fact.Property
+	// Entities are local row indexes into the builder's fact table,
+	// sorted ascending: the entities carrying every property in Props.
+	Entities []int32
+	// Facts and NewFacts are |Π*| and |Π* \ E| for this node.
+	Facts    int
+	NewFacts int
+	// Profit is f({S}) including the source's crawl term.
+	Profit float64
+	// FLB is the profit lower bound achievable by the subtree, ≥ 0.
+	FLB float64
+	// SLB is the slice set realizing FLB (nil when FLB comes from the
+	// empty set or from the node itself — see SLBSelf).
+	SLB []*Node
+	// SLBSelf records that S_LB(S) = {S}.
+	SLBSelf bool
+
+	// Initial marks slices formed directly from an entity's properties.
+	Initial bool
+	// Canonical marks slices that survive Proposition 12.
+	Canonical bool
+	// Valid is false for slices pruned as low-profit. Invalid slices stay
+	// in the hierarchy for structure but are never selected.
+	Valid bool
+	// Covered is used by the top-down traversal (Algorithm 1).
+	Covered bool
+
+	Children []*Node
+	Parents  []*Node
+
+	removed bool
+	// pending accumulates entity indexes before finalization.
+	pending []int32
+}
+
+// Level returns the number of properties defining the node.
+func (n *Node) Level() int { return len(n.Props) }
+
+// HasChild reports whether c is a direct child of n.
+func (n *Node) HasChild(c *Node) bool {
+	for _, x := range n.Children {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Hierarchy is the trimmed slice lattice of one web source.
+type Hierarchy struct {
+	// Levels[l] lists the surviving (canonical) nodes with l properties,
+	// for l in [1, MaxLevel]. Levels[0] is unused.
+	Levels   [][]*Node
+	MaxLevel int
+	Stats    Stats
+}
+
+// Stats reports construction effort, used by the ablation benches.
+type Stats struct {
+	NodesCreated   int // total lattice nodes materialized
+	NodesRemoved   int // pruned as non-canonical
+	NodesInvalid   int // marked low-profit
+	InitialSlices  int
+	EntitiesCapped int // entities whose property set was trimmed
+	CombosCapped   int // entities whose value combinations were capped
+}
+
+// Nodes returns all surviving nodes, top level (fewest properties) first.
+func (h *Hierarchy) Nodes() []*Node {
+	var out []*Node
+	for l := 1; l <= h.MaxLevel; l++ {
+		out = append(out, h.Levels[l]...)
+	}
+	return out
+}
+
+// Builder constructs hierarchies over one fact table.
+type Builder struct {
+	Table *fact.Table
+	Cost  slice.CostModel
+
+	// MaxPropsPerEntity trims an entity's property set before forming its
+	// initial slices, keeping the properties most frequent in the table
+	// (frequent properties are the ones shared across entities and hence
+	// able to form multi-entity slices; rare ones only produce
+	// singletons). 0 means DefaultMaxPropsPerEntity.
+	MaxPropsPerEntity int
+	// MaxInitCombos caps the number of initial slices produced for one
+	// entity with multi-valued predicates (the cross product of one
+	// property per predicate). 0 means DefaultMaxInitCombos.
+	MaxInitCombos int
+
+	// DisableCanonicalPrune and DisableProfitPrune switch off the two
+	// pruning strategies, for ablation studies.
+	DisableCanonicalPrune bool
+	DisableProfitPrune    bool
+
+	entFacts []int32 // per-entity fact counts
+	entNew   []int32 // per-entity new-fact counts
+	propFreq map[fact.Property]int32
+}
+
+// Default caps. Entities in real extractions have a handful of
+// predicates; the caps only engage on adversarial inputs and keep the
+// lattice polynomial.
+const (
+	DefaultMaxPropsPerEntity = 12
+	DefaultMaxInitCombos     = 64
+)
+
+// Build constructs and prunes the hierarchy for the builder's table.
+// extra seeds additional initial slices (used by the multi-source
+// framework to start from the slices detected in child sources); each
+// seed is a property set with the entity rows that carry it. Seeds that
+// duplicate an existing node merge into it.
+func (b *Builder) Build(extra []Seed) *Hierarchy {
+	if b.MaxPropsPerEntity == 0 {
+		b.MaxPropsPerEntity = DefaultMaxPropsPerEntity
+	}
+	if b.MaxInitCombos == 0 {
+		b.MaxInitCombos = DefaultMaxInitCombos
+	}
+	b.prepare()
+
+	h := &Hierarchy{}
+	// levelNodes[l] maps a property-set key to its node.
+	levels := make([]map[string]*Node, 1, 8)
+
+	getLevel := func(l int) map[string]*Node {
+		for len(levels) <= l {
+			levels = append(levels, make(map[string]*Node))
+		}
+		return levels[l]
+	}
+	makeNode := func(props []fact.Property) *Node {
+		h.Stats.NodesCreated++
+		return &Node{Props: props, Valid: true}
+	}
+	getNode := func(props []fact.Property) *Node {
+		l := len(props)
+		m := getLevel(l)
+		key := propKey(props)
+		n, ok := m[key]
+		if !ok {
+			n = makeNode(props)
+			m[key] = n
+		}
+		return n
+	}
+
+	b.seedInitial(getNode, &h.Stats)
+	for _, s := range extra {
+		if len(s.Props) == 0 {
+			continue
+		}
+		n := getNode(s.Props)
+		n.Initial = true
+		n.pending = append(n.pending, s.Entities...)
+	}
+
+	maxLevel := len(levels) - 1
+	for maxLevel > 0 && len(levels[maxLevel]) == 0 {
+		maxLevel--
+	}
+	if maxLevel == 0 {
+		h.Levels = make([][]*Node, 1)
+		return h
+	}
+
+	// Finalize the deepest level's entity sets.
+	for _, n := range levels[maxLevel] {
+		b.finalize(n)
+	}
+
+	// Bottom-up sweep: levels from finest (most properties) to coarsest.
+	for l := maxLevel; l >= 1; l-- {
+		cur := sortedNodes(levels[l])
+
+		// (1) Construct parents from every node at level l.
+		//
+		// A property held by a single entity can never occur in a
+		// multi-entity canonical slice, so every subset mixing unique
+		// and shared properties is doomed: it has exactly one child
+		// chain and would be built only to be removed as non-canonical,
+		// with its children re-linked to the shared-property ancestors.
+		// Nodes carrying unique properties therefore link directly to
+		// the node over their shared-property core (possibly several
+		// levels up), which is exactly the structure the construct-
+		// then-remove sequence converges to — without materializing the
+		// 2^k mixed subsets of isolated entities.
+		if l >= 2 {
+			for _, n := range cur {
+				core := b.sharedCore(n.Props)
+				if len(core) < len(n.Props) {
+					if len(core) > 0 {
+						p := getNode(core)
+						if !p.HasChild(n) {
+							p.Children = append(p.Children, n)
+							n.Parents = append(n.Parents, p)
+						}
+						p.pending = append(p.pending, n.Entities...)
+					}
+					continue
+				}
+				for i := range n.Props {
+					pp := dropProp(n.Props, i)
+					p := getNode(pp)
+					if !p.HasChild(n) {
+						p.Children = append(p.Children, n)
+						n.Parents = append(n.Parents, p)
+					}
+					p.pending = append(p.pending, n.Entities...)
+				}
+			}
+			for _, p := range levels[l-1] {
+				b.finalize(p)
+			}
+		}
+
+		// (2) Prune non-canonical slices at level l.
+		for _, n := range cur {
+			n.Canonical = b.isCanonical(n)
+			if !n.Canonical && !b.DisableCanonicalPrune {
+				b.remove(n)
+				h.Stats.NodesRemoved++
+				delete(levels[l], propKey(n.Props))
+			}
+		}
+
+		// (3) Evaluate profit and the lower bound; mark low-profit
+		// slices invalid.
+		for _, n := range sortedNodes(levels[l]) {
+			b.score(n)
+			if !b.DisableProfitPrune && (n.Profit < 0 || n.Profit < n.FLB) {
+				n.Valid = false
+				h.Stats.NodesInvalid++
+			}
+		}
+	}
+
+	h.MaxLevel = maxLevel
+	h.Levels = make([][]*Node, maxLevel+1)
+	for l := 1; l <= maxLevel; l++ {
+		h.Levels[l] = sortedNodes(levels[l])
+	}
+	return h
+}
+
+// Seed is an externally supplied initial slice (from a child web source).
+type Seed struct {
+	Props    []fact.Property
+	Entities []int32 // table row indexes
+}
+
+func (b *Builder) prepare() {
+	t := b.Table
+	b.entFacts = make([]int32, len(t.Entities))
+	b.entNew = make([]int32, len(t.Entities))
+	b.propFreq = make(map[fact.Property]int32)
+	for i := range t.Entities {
+		e := &t.Entities[i]
+		b.entFacts[i] = int32(len(e.Props))
+		b.entNew[i] = int32(e.NewCount)
+		for _, p := range e.Props {
+			b.propFreq[p]++
+		}
+	}
+}
+
+// seedInitial creates the initial slices for every entity: one slice per
+// combination of properties taking one value per predicate.
+func (b *Builder) seedInitial(getNode func([]fact.Property) *Node, st *Stats) {
+	for ei := range b.Table.Entities {
+		e := &b.Table.Entities[ei]
+		props := e.Props
+		if len(props) > b.MaxPropsPerEntity {
+			props = b.trimProps(props)
+			st.EntitiesCapped++
+		}
+		combos, capped := combosByPredicate(props, b.MaxInitCombos)
+		if capped {
+			st.CombosCapped++
+		}
+		for _, c := range combos {
+			n := getNode(c)
+			n.Initial = true
+			n.pending = append(n.pending, int32(ei))
+		}
+		if len(combos) > 0 {
+			st.InitialSlices += len(combos)
+		}
+	}
+}
+
+// trimProps keeps the MaxPropsPerEntity most frequent properties of the
+// entity (ties broken by property order for determinism).
+func (b *Builder) trimProps(props []fact.Property) []fact.Property {
+	idx := make([]int, len(props))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		fx, fy := b.propFreq[props[idx[x]]], b.propFreq[props[idx[y]]]
+		if fx != fy {
+			return fx > fy
+		}
+		return props[idx[x]] < props[idx[y]]
+	})
+	idx = idx[:b.MaxPropsPerEntity]
+	sort.Ints(idx)
+	out := make([]fact.Property, len(idx))
+	for i, j := range idx {
+		out[i] = props[j]
+	}
+	return out
+}
+
+// combosByPredicate enumerates property combinations taking exactly one
+// value per predicate, up to max combinations. props must be sorted,
+// which groups values of the same predicate contiguously.
+func combosByPredicate(props []fact.Property, max int) ([][]fact.Property, bool) {
+	if len(props) == 0 {
+		return nil, false
+	}
+	// Group by predicate.
+	var groups [][]fact.Property
+	start := 0
+	for i := 1; i <= len(props); i++ {
+		if i == len(props) || props[i].Pred() != props[start].Pred() {
+			groups = append(groups, props[start:i])
+			start = i
+		}
+	}
+	combos := [][]fact.Property{{}}
+	capped := false
+	for _, g := range groups {
+		next := make([][]fact.Property, 0, len(combos)*len(g))
+	outer:
+		for _, c := range combos {
+			for _, p := range g {
+				if len(next) >= max {
+					capped = true
+					break outer
+				}
+				nc := make([]fact.Property, len(c), len(c)+1)
+				copy(nc, c)
+				next = append(next, append(nc, p))
+			}
+		}
+		combos = next
+	}
+	return combos, capped
+}
+
+// finalize sorts and deduplicates a node's pending entities into its
+// entity set and refreshes its fact counts. Safe to call repeatedly.
+func (b *Builder) finalize(n *Node) {
+	if len(n.pending) == 0 {
+		return
+	}
+	merged := append(n.Entities, n.pending...)
+	n.pending = n.pending[:0]
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	out := merged[:0]
+	var last int32 = -1
+	for _, e := range merged {
+		if e != last {
+			out = append(out, e)
+			last = e
+		}
+	}
+	n.Entities = out
+	n.Facts, n.NewFacts = 0, 0
+	for _, e := range n.Entities {
+		n.Facts += int(b.entFacts[e])
+		n.NewFacts += int(b.entNew[e])
+	}
+}
+
+// sharedCore returns the subset of props held by at least two entities
+// of the table; it returns props itself (not a copy) when every
+// property qualifies.
+func (b *Builder) sharedCore(props []fact.Property) []fact.Property {
+	shared := 0
+	for _, p := range props {
+		if b.propFreq[p] >= 2 {
+			shared++
+		}
+	}
+	if shared == len(props) {
+		return props
+	}
+	core := make([]fact.Property, 0, shared)
+	for _, p := range props {
+		if b.propFreq[p] >= 2 {
+			core = append(core, p)
+		}
+	}
+	return core
+}
+
+// isCanonical applies Proposition 12.
+func (b *Builder) isCanonical(n *Node) bool {
+	if n.Initial {
+		return true
+	}
+	count := 0
+	for _, c := range n.Children {
+		if c.Canonical {
+			count++
+			if count >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// remove deletes a non-canonical node, re-linking each of its children to
+// each of its parents unless the child is already a descendant of that
+// parent through another node (a sibling child whose property set is a
+// strict subset of the child's).
+func (b *Builder) remove(n *Node) {
+	n.removed = true
+	for _, p := range n.Parents {
+		p.Children = deleteNode(p.Children, n)
+	}
+	for _, c := range n.Children {
+		c.Parents = deleteNode(c.Parents, n)
+	}
+	for _, p := range n.Parents {
+		for _, c := range n.Children {
+			if p.HasChild(c) || descendantViaOther(p, c) {
+				continue
+			}
+			p.Children = append(p.Children, c)
+			c.Parents = append(c.Parents, p)
+		}
+	}
+}
+
+// descendantViaOther reports whether c is a descendant of p through some
+// current child x of p: props(p) ⊂ props(x) ⊂ props(c).
+func descendantViaOther(p, c *Node) bool {
+	for _, x := range p.Children {
+		if x != c && len(x.Props) < len(c.Props) && isSubset(x.Props, c.Props) {
+			return true
+		}
+	}
+	return false
+}
+
+// score computes Profit, FLB, and SLB for a canonical node.
+func (b *Builder) score(n *Node) {
+	n.Profit = b.Cost.SliceProfit(n.NewFacts, n.Facts, b.Table.TotalFacts)
+
+	// Collect the lower-bound sets of children with positive bounds.
+	var lb []*Node
+	seen := make(map[*Node]struct{})
+	for _, c := range n.Children {
+		if c.FLB <= 0 {
+			continue
+		}
+		set := c.SLB
+		if c.SLBSelf {
+			set = []*Node{c}
+		}
+		for _, s := range set {
+			if _, dup := seen[s]; !dup {
+				seen[s] = struct{}{}
+				lb = append(lb, s)
+			}
+		}
+	}
+	fUnion := 0.0
+	if len(lb) > 0 {
+		fUnion = b.setProfit(lb)
+	}
+
+	n.FLB = 0
+	n.SLB, n.SLBSelf = nil, false
+	if fUnion > n.FLB {
+		n.FLB = fUnion
+		n.SLB = lb
+	}
+	if n.Profit >= n.FLB && n.Profit > 0 {
+		n.FLB = n.Profit
+		n.SLB, n.SLBSelf = nil, true
+	}
+}
+
+// setProfit computes f over a set of (possibly entity-overlapping) nodes
+// of this source.
+func (b *Builder) setProfit(nodes []*Node) float64 {
+	if len(nodes) == 1 {
+		return nodes[0].Profit
+	}
+	seen := make(map[int32]struct{})
+	facts, newFacts := 0, 0
+	for _, n := range nodes {
+		for _, e := range n.Entities {
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
+			facts += int(b.entFacts[e])
+			newFacts += int(b.entNew[e])
+		}
+	}
+	return b.Cost.SetProfit(len(nodes), facts, newFacts, []int{b.Table.TotalFacts})
+}
+
+// EntityStats exposes the per-entity fact counters for the traversal.
+func (b *Builder) EntityStats() (facts, newFacts []int32) { return b.entFacts, b.entNew }
+
+func propKey(props []fact.Property) string {
+	buf := make([]byte, 0, len(props)*8)
+	for _, p := range props {
+		buf = append(buf,
+			byte(p>>56), byte(p>>48), byte(p>>40), byte(p>>32),
+			byte(p>>24), byte(p>>16), byte(p>>8), byte(p))
+	}
+	return string(buf)
+}
+
+func dropProp(props []fact.Property, i int) []fact.Property {
+	out := make([]fact.Property, 0, len(props)-1)
+	out = append(out, props[:i]...)
+	return append(out, props[i+1:]...)
+}
+
+func deleteNode(list []*Node, n *Node) []*Node {
+	out := list[:0]
+	for _, x := range list {
+		if x != n {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// isSubset reports whether sorted a ⊆ sorted b.
+func isSubset(a, b []fact.Property) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			return false
+		default:
+			j++
+		}
+	}
+	return i == len(a)
+}
+
+func sortedNodes(m map[string]*Node) []*Node {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Node, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package kb
+
+import (
+	"fmt"
+	"io"
+
+	"midas/internal/binio"
+)
+
+// Binary format: "MKB1", then the three position dictionaries restricted
+// to the strings the KB actually uses (count + strings each), then the
+// triple count and the triples as varint-encoded local indexes with the
+// subject delta-encoded (triples are sorted). The format is
+// self-contained: IDs are remapped on load into the destination space.
+
+const kbMagic = "MKB1"
+
+// WriteBinary serializes the KB in the compact binary format.
+func (k *KB) WriteBinary(w io.Writer) error {
+	triples := k.Triples()
+
+	// Collect the used strings per position, assigning local indexes.
+	subjIdx := make(map[int32]uint64)
+	predIdx := make(map[int32]uint64)
+	objIdx := make(map[int32]uint64)
+	var subjs, preds, objs []string
+	for _, t := range triples {
+		if _, ok := subjIdx[t.S]; !ok {
+			subjIdx[t.S] = uint64(len(subjs))
+			subjs = append(subjs, k.space.Subjects.String(t.S))
+		}
+		if _, ok := predIdx[t.P]; !ok {
+			predIdx[t.P] = uint64(len(preds))
+			preds = append(preds, k.space.Predicates.String(t.P))
+		}
+		if _, ok := objIdx[t.O]; !ok {
+			objIdx[t.O] = uint64(len(objs))
+			objs = append(objs, k.space.Objects.String(t.O))
+		}
+	}
+
+	bw := binio.NewWriter(w)
+	bw.Magic(kbMagic)
+	for _, sec := range [][]string{subjs, preds, objs} {
+		bw.Int(len(sec))
+		for _, s := range sec {
+			bw.String(s)
+		}
+	}
+	// Triples are sorted, and local subject indexes are assigned in
+	// first-seen order over that same walk, so they are non-decreasing
+	// and delta-encode cheaply.
+	bw.Int(len(triples))
+	var prevS uint64
+	for i, t := range triples {
+		s := subjIdx[t.S]
+		if i == 0 {
+			bw.Uvarint(s)
+		} else {
+			bw.Uvarint(s - prevS)
+		}
+		prevS = s
+		bw.Uvarint(predIdx[t.P])
+		bw.Uvarint(objIdx[t.O])
+	}
+	return bw.Flush()
+}
+
+// ReadBinary loads a binary KB stream into the receiver (interning into
+// its space), returning the number of facts added.
+func (k *KB) ReadBinary(r io.Reader) (int, error) {
+	br := binio.NewReader(r)
+	br.Magic(kbMagic)
+	readSection := func() []string {
+		n := br.Int()
+		if br.Err() != nil {
+			return nil
+		}
+		out := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, br.String())
+		}
+		return out
+	}
+	subjs := readSection()
+	preds := readSection()
+	objs := readSection()
+	count := br.Int()
+	if err := br.Err(); err != nil {
+		return 0, err
+	}
+
+	// Remap local indexes into the destination space.
+	subjIDs := make([]int32, len(subjs))
+	for i, s := range subjs {
+		subjIDs[i] = k.space.Subjects.Put(s)
+	}
+	predIDs := make([]int32, len(preds))
+	for i, s := range preds {
+		predIDs[i] = k.space.Predicates.Put(s)
+	}
+	objIDs := make([]int32, len(objs))
+	for i, s := range objs {
+		objIDs[i] = k.space.Objects.Put(s)
+	}
+
+	added := 0
+	var prevS uint64
+	for i := 0; i < count; i++ {
+		var s uint64
+		if i == 0 {
+			s = br.Uvarint()
+		} else {
+			s = prevS + br.Uvarint()
+		}
+		prevS = s
+		p := br.Uvarint()
+		o := br.Uvarint()
+		if err := br.Err(); err != nil {
+			return added, err
+		}
+		if s >= uint64(len(subjIDs)) || p >= uint64(len(predIDs)) || o >= uint64(len(objIDs)) {
+			return added, fmt.Errorf("%w: triple %d references out-of-range string", binio.ErrCorrupt, i)
+		}
+		if k.Add(Triple{S: subjIDs[s], P: predIDs[p], O: objIDs[o]}) {
+			added++
+		}
+	}
+	return added, nil
+}

@@ -1,0 +1,154 @@
+package kb_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"midas/internal/kb"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	k := kb.New(nil)
+	k.AddStrings("Project Mercury", "category", "space_program")
+	k.AddStrings("Atlas", "sponsor", "NASA")
+	k.AddStrings("Atlas", "started", "1957")
+
+	var buf bytes.Buffer
+	if err := k.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k2 := kb.New(nil)
+	n, err := k2.ReadBinary(&buf)
+	if err != nil || n != 3 {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	for _, tr := range [][3]string{
+		{"Project Mercury", "category", "space_program"},
+		{"Atlas", "sponsor", "NASA"},
+		{"Atlas", "started", "1957"},
+	} {
+		if !k2.ContainsStrings(tr[0], tr[1], tr[2]) {
+			t.Errorf("lost %v", tr)
+		}
+	}
+	if k2.Size() != 3 {
+		t.Errorf("size = %d", k2.Size())
+	}
+}
+
+func TestBinaryEmptyKB(t *testing.T) {
+	var buf bytes.Buffer
+	if err := kb.New(nil).WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k := kb.New(nil)
+	if n, err := k.ReadBinary(&buf); err != nil || n != 0 {
+		t.Errorf("n=%d err=%v", n, err)
+	}
+}
+
+func TestBinaryIntoPopulatedSpace(t *testing.T) {
+	// Loading must remap IDs correctly even when the destination space
+	// already has conflicting ID assignments.
+	k := kb.New(nil)
+	k.AddStrings("a", "p", "x")
+	k.AddStrings("b", "q", "y")
+	var buf bytes.Buffer
+	if err := k.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := kb.New(nil)
+	dst.AddStrings("zzz", "q", "other") // shifts ID assignments
+	if _, err := dst.ReadBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !dst.ContainsStrings("a", "p", "x") || !dst.ContainsStrings("b", "q", "y") {
+		t.Error("remapped load lost facts")
+	}
+	if !dst.ContainsStrings("zzz", "q", "other") {
+		t.Error("pre-existing facts lost")
+	}
+}
+
+func TestBinaryCorruptInput(t *testing.T) {
+	k := kb.New(nil)
+	if _, err := k.ReadBinary(bytes.NewReader([]byte("JUNKDATA"))); err == nil {
+		t.Error("want error for bad magic")
+	}
+	// Valid stream truncated mid-triples.
+	full := kb.New(nil)
+	for i := 0; i < 50; i++ {
+		full.AddStrings(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("o%d", i))
+	}
+	var buf bytes.Buffer
+	if err := full.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := kb.New(nil).ReadBinary(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Error("want error for truncated stream")
+	}
+}
+
+// TestBinaryQuick property: random KBs round-trip exactly.
+func TestBinaryQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := kb.New(nil)
+		for i := 0; i < rng.Intn(200); i++ {
+			k.AddStrings(
+				fmt.Sprintf("s%d", rng.Intn(30)),
+				fmt.Sprintf("p%d", rng.Intn(6)),
+				fmt.Sprintf("o%d", rng.Intn(40)))
+		}
+		var buf bytes.Buffer
+		if err := k.WriteBinary(&buf); err != nil {
+			return false
+		}
+		k2 := kb.New(nil)
+		n, err := k2.ReadBinary(&buf)
+		if err != nil || n != k.Size() || k2.Size() != k.Size() {
+			return false
+		}
+		// Compare as string sets: the two spaces assign IDs in
+		// different orders, so Triples() ordering differs.
+		set := make(map[[3]string]bool, k.Size())
+		for _, tr := range k.Triples() {
+			s, p, o := k.Space().StringTriple(tr)
+			set[[3]string{s, p, o}] = true
+		}
+		for _, tr := range k2.Triples() {
+			s, p, o := k2.Space().StringTriple(tr)
+			if !set[[3]string{s, p, o}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBinarySmallerThanTSV sanity: the binary format should not be
+// larger than the TSV for a repetitive KB.
+func TestBinarySmallerThanTSV(t *testing.T) {
+	k := kb.New(nil)
+	for i := 0; i < 500; i++ {
+		k.AddStrings(fmt.Sprintf("subject-%d", i%50), "a-shared-predicate-name", fmt.Sprintf("object-value-%d", i))
+	}
+	var bin, tsv bytes.Buffer
+	if err := k.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= tsv.Len() {
+		t.Errorf("binary %d bytes ≥ TSV %d bytes", bin.Len(), tsv.Len())
+	}
+}

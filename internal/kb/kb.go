@@ -1,0 +1,335 @@
+// Package kb implements the existing knowledge base E: an in-memory,
+// indexed RDF triple store.
+//
+// The store plays the role Freebase plays in the paper: the reference
+// against which extracted facts are classified as new or known
+// (Definition 9's gain counts facts in slices that are absent from E).
+// It supports exact membership tests on (subject, predicate, object)
+// triples, per-subject and per-predicate enumeration, set operations used
+// by the evaluation harness, and a line-oriented TSV persistence format.
+//
+// Strings are interned through a shared *dict.Dict triple space so that
+// the KB, extracted fact corpora, and silver standards can compare facts
+// by ID without re-hashing strings.
+package kb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"midas/internal/dict"
+)
+
+// Triple is a fully interned (subject, predicate, object) fact.
+type Triple struct {
+	S, P, O dict.ID
+}
+
+// Less orders triples lexicographically by (S, P, O).
+func (t Triple) Less(u Triple) bool {
+	if t.S != u.S {
+		return t.S < u.S
+	}
+	if t.P != u.P {
+		return t.P < u.P
+	}
+	return t.O < u.O
+}
+
+// Space is the shared interning space for the three RDF positions.
+// Subjects, predicates, and objects are interned in separate
+// dictionaries: predicates are few and hot, subjects dominate, and
+// keeping them separate keeps IDs dense per position.
+type Space struct {
+	Subjects   *dict.Dict
+	Predicates *dict.Dict
+	Objects    *dict.Dict
+}
+
+// NewSpace returns an empty interning space.
+func NewSpace() *Space {
+	return &Space{
+		Subjects:   dict.New(1 << 12),
+		Predicates: dict.New(1 << 8),
+		Objects:    dict.New(1 << 12),
+	}
+}
+
+// Intern interns the three string positions of a fact.
+func (sp *Space) Intern(s, p, o string) Triple {
+	return Triple{
+		S: sp.Subjects.Put(s),
+		P: sp.Predicates.Put(p),
+		O: sp.Objects.Put(o),
+	}
+}
+
+// StringTriple resolves t back to strings.
+func (sp *Space) StringTriple(t Triple) (s, p, o string) {
+	return sp.Subjects.String(t.S), sp.Predicates.String(t.P), sp.Objects.String(t.O)
+}
+
+// po packs a predicate and object ID into one map key.
+type po struct {
+	p, o dict.ID
+}
+
+// KB is the existing knowledge base. It is safe for concurrent readers;
+// writers must not run concurrently with readers or other writers.
+type KB struct {
+	space *Space
+
+	mu sync.RWMutex
+	// bySubject maps a subject to the set of its (predicate, object)
+	// pairs. The inner set is the membership index.
+	bySubject map[dict.ID]map[po]struct{}
+	// byPredicate counts facts per predicate (used for stats and the
+	// Fig. 7-style dataset tables).
+	byPredicate map[dict.ID]int
+	size        int
+}
+
+// New returns an empty KB over the given interning space.
+func New(space *Space) *KB {
+	if space == nil {
+		space = NewSpace()
+	}
+	return &KB{
+		space:       space,
+		bySubject:   make(map[dict.ID]map[po]struct{}),
+		byPredicate: make(map[dict.ID]int),
+	}
+}
+
+// Space returns the interning space the KB shares with its callers.
+func (k *KB) Space() *Space { return k.space }
+
+// Add inserts an interned triple. It reports whether the triple was new.
+func (k *KB) Add(t Triple) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.addLocked(t)
+}
+
+func (k *KB) addLocked(t Triple) bool {
+	set, ok := k.bySubject[t.S]
+	if !ok {
+		set = make(map[po]struct{}, 4)
+		k.bySubject[t.S] = set
+	}
+	key := po{t.P, t.O}
+	if _, dup := set[key]; dup {
+		return false
+	}
+	set[key] = struct{}{}
+	k.byPredicate[t.P]++
+	k.size++
+	return true
+}
+
+// AddStrings interns and inserts a string fact. It reports whether the
+// fact was new.
+func (k *KB) AddStrings(s, p, o string) bool {
+	return k.Add(k.space.Intern(s, p, o))
+}
+
+// AddAll inserts every triple in ts, returning the number newly added.
+func (k *KB) AddAll(ts []Triple) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	n := 0
+	for _, t := range ts {
+		if k.addLocked(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether the interned triple is present.
+func (k *KB) Contains(t Triple) bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	set, ok := k.bySubject[t.S]
+	if !ok {
+		return false
+	}
+	_, ok = set[po{t.P, t.O}]
+	return ok
+}
+
+// ContainsStrings reports whether the string fact is present. Unknown
+// strings are definitionally absent.
+func (k *KB) ContainsStrings(s, p, o string) bool {
+	si := k.space.Subjects.Lookup(s)
+	pi := k.space.Predicates.Lookup(p)
+	oi := k.space.Objects.Lookup(o)
+	if si == dict.None || pi == dict.None || oi == dict.None {
+		return false
+	}
+	return k.Contains(Triple{si, pi, oi})
+}
+
+// HasSubject reports whether any fact about subject s exists.
+func (k *KB) HasSubject(s dict.ID) bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	_, ok := k.bySubject[s]
+	return ok
+}
+
+// SubjectFacts returns the (predicate, object) pairs recorded for s,
+// sorted for determinism.
+func (k *KB) SubjectFacts(s dict.ID) []Triple {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	set, ok := k.bySubject[s]
+	if !ok {
+		return nil
+	}
+	out := make([]Triple, 0, len(set))
+	for key := range set {
+		out = append(out, Triple{s, key.p, key.o})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Size returns the number of stored facts.
+func (k *KB) Size() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.size
+}
+
+// NumSubjects returns the number of distinct subjects.
+func (k *KB) NumSubjects() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return len(k.bySubject)
+}
+
+// NumPredicates returns the number of distinct predicates with at least
+// one fact.
+func (k *KB) NumPredicates() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return len(k.byPredicate)
+}
+
+// PredicateCount returns the number of facts using predicate p.
+func (k *KB) PredicateCount(p dict.ID) int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.byPredicate[p]
+}
+
+// Triples returns all facts sorted by (S, P, O). Intended for tests,
+// persistence, and small KBs; it materializes the full set.
+func (k *KB) Triples() []Triple {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]Triple, 0, k.size)
+	for s, set := range k.bySubject {
+		for key := range set {
+			out = append(out, Triple{s, key.p, key.o})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Clone returns a deep copy sharing the interning space.
+func (k *KB) Clone() *KB {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	c := New(k.space)
+	for s, set := range k.bySubject {
+		cs := make(map[po]struct{}, len(set))
+		for key := range set {
+			cs[key] = struct{}{}
+		}
+		c.bySubject[s] = cs
+	}
+	for p, n := range k.byPredicate {
+		c.byPredicate[p] = n
+	}
+	c.size = k.size
+	return c
+}
+
+// Membership is the read-only triple-membership view consumed by fact
+// tables. *KB implements it with reader-writer locking; Frozen
+// implements it lock-free.
+type Membership interface {
+	Contains(Triple) bool
+}
+
+// Frozen is a lock-free read-only view of a KB, sharing its index maps.
+// It is only valid while the underlying KB receives no writes; the
+// multi-source framework freezes the KB once per run, since discovery
+// never mutates it, and sheds the read-lock contention that otherwise
+// serializes the worker pool.
+type Frozen struct {
+	bySubject map[dict.ID]map[po]struct{}
+}
+
+// Frozen returns the lock-free view.
+func (k *KB) Frozen() *Frozen {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return &Frozen{bySubject: k.bySubject}
+}
+
+// Contains reports whether the triple is present.
+func (f *Frozen) Contains(t Triple) bool {
+	set, ok := f.bySubject[t.S]
+	if !ok {
+		return false
+	}
+	_, ok = set[po{t.P, t.O}]
+	return ok
+}
+
+// WriteTSV writes the KB as tab-separated (subject, predicate, object)
+// lines sorted by triple, suitable for diffing and for ReadTSV.
+func (k *KB) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range k.Triples() {
+		s, p, o := k.space.StringTriple(t)
+		if strings.ContainsAny(s+p+o, "\t\n") {
+			return fmt.Errorf("kb: fact (%q,%q,%q) contains tab or newline", s, p, o)
+		}
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n", s, p, o); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV loads tab-separated facts into the KB, returning the number of
+// facts added (duplicates are ignored).
+func (k *KB) ReadTSV(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	added, line := 0, 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 3 {
+			return added, fmt.Errorf("kb: line %d: want 3 tab-separated fields, got %d", line, len(parts))
+		}
+		if k.AddStrings(parts[0], parts[1], parts[2]) {
+			added++
+		}
+	}
+	return added, sc.Err()
+}

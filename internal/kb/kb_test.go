@@ -1,0 +1,175 @@
+package kb_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"midas/internal/kb"
+)
+
+func TestAddContains(t *testing.T) {
+	k := kb.New(nil)
+	if !k.AddStrings("s", "p", "o") {
+		t.Error("first add should be new")
+	}
+	if k.AddStrings("s", "p", "o") {
+		t.Error("duplicate add should not be new")
+	}
+	if !k.ContainsStrings("s", "p", "o") {
+		t.Error("membership lost")
+	}
+	if k.ContainsStrings("s", "p", "x") || k.ContainsStrings("x", "p", "o") {
+		t.Error("phantom membership")
+	}
+	if k.Size() != 1 {
+		t.Errorf("size = %d, want 1", k.Size())
+	}
+}
+
+func TestSubjectFacts(t *testing.T) {
+	k := kb.New(nil)
+	k.AddStrings("e", "b", "2")
+	k.AddStrings("e", "a", "1")
+	k.AddStrings("f", "a", "1")
+	s := k.Space().Subjects.Lookup("e")
+	facts := k.SubjectFacts(s)
+	if len(facts) != 2 {
+		t.Fatalf("facts = %d, want 2", len(facts))
+	}
+	if !facts[0].Less(facts[1]) {
+		t.Error("facts not sorted")
+	}
+	if !k.HasSubject(s) {
+		t.Error("HasSubject false")
+	}
+}
+
+func TestCountsAndIndexes(t *testing.T) {
+	k := kb.New(nil)
+	for i := 0; i < 10; i++ {
+		k.AddStrings(fmt.Sprintf("s%d", i%3), "p1", fmt.Sprintf("o%d", i))
+	}
+	k.AddStrings("s0", "p2", "x")
+	if got := k.NumSubjects(); got != 3 {
+		t.Errorf("subjects = %d, want 3", got)
+	}
+	if got := k.NumPredicates(); got != 2 {
+		t.Errorf("predicates = %d, want 2", got)
+	}
+	p1 := k.Space().Predicates.Lookup("p1")
+	if got := k.PredicateCount(p1); got != 10 {
+		t.Errorf("p1 count = %d, want 10", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	k := kb.New(nil)
+	k.AddStrings("a", "b", "c")
+	c := k.Clone()
+	c.AddStrings("d", "e", "f")
+	if k.Size() != 1 || c.Size() != 2 {
+		t.Errorf("sizes = %d/%d, want 1/2", k.Size(), c.Size())
+	}
+	if !c.ContainsStrings("a", "b", "c") {
+		t.Error("clone lost facts")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	k := kb.New(nil)
+	k.AddStrings("subject with space", "pred", "object")
+	k.AddStrings("a", "b", "c")
+	var buf bytes.Buffer
+	if err := k.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k2 := kb.New(nil)
+	n, err := k2.ReadTSV(&buf)
+	if err != nil || n != 2 {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	if !k2.ContainsStrings("subject with space", "pred", "object") {
+		t.Error("round-trip lost fact")
+	}
+}
+
+func TestWriteTSVRejectsTabs(t *testing.T) {
+	k := kb.New(nil)
+	k.AddStrings("bad\tsubject", "p", "o")
+	if err := k.WriteTSV(&bytes.Buffer{}); err == nil {
+		t.Error("want error for tab in fact")
+	}
+}
+
+func TestReadTSVRejectsBadLines(t *testing.T) {
+	k := kb.New(nil)
+	if _, err := k.ReadTSV(strings.NewReader("only\ttwo\n")); err == nil {
+		t.Error("want field-count error")
+	}
+}
+
+// TestMembershipMatchesReference property: the KB agrees with a plain
+// map on membership for random triple streams with duplicates.
+func TestMembershipMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := kb.New(nil)
+		ref := make(map[[3]string]bool)
+		for i := 0; i < 300; i++ {
+			s := fmt.Sprintf("s%d", rng.Intn(20))
+			p := fmt.Sprintf("p%d", rng.Intn(5))
+			o := fmt.Sprintf("o%d", rng.Intn(20))
+			key := [3]string{s, p, o}
+			added := k.AddStrings(s, p, o)
+			if added == ref[key] {
+				return false // must be new iff absent from reference
+			}
+			ref[key] = true
+		}
+		if k.Size() != len(ref) {
+			return false
+		}
+		for key := range ref {
+			if !k.ContainsStrings(key[0], key[1], key[2]) {
+				return false
+			}
+		}
+		return len(k.Triples()) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTriplesSorted: Triples() returns (S,P,O)-sorted output.
+func TestTriplesSorted(t *testing.T) {
+	k := kb.New(nil)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		k.AddStrings(fmt.Sprintf("s%d", rng.Intn(10)), fmt.Sprintf("p%d", rng.Intn(4)), fmt.Sprintf("o%d", rng.Intn(30)))
+	}
+	ts := k.Triples()
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Less(ts[i-1]) {
+			t.Fatalf("triples unsorted at %d", i)
+		}
+	}
+}
+
+func TestSharedSpaceIntern(t *testing.T) {
+	sp := kb.NewSpace()
+	k := kb.New(sp)
+	tr := sp.Intern("x", "y", "z")
+	k.Add(tr)
+	s, p, o := sp.StringTriple(tr)
+	if s != "x" || p != "y" || o != "z" {
+		t.Errorf("StringTriple = %q %q %q", s, p, o)
+	}
+	if !k.Contains(tr) {
+		t.Error("interned triple missing")
+	}
+}

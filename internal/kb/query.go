@@ -1,0 +1,161 @@
+package kb
+
+import (
+	"sort"
+
+	"midas/internal/dict"
+)
+
+// Pattern is a triple pattern: each position is a concrete ID or
+// Wildcard. The zero value matches everything.
+type Pattern struct {
+	S, P, O dict.ID
+	// WildS/WildP/WildO mark wildcard positions. (Separate flags rather
+	// than a sentinel ID keep Pattern usable with ID 0, which is a
+	// valid dictionary ID.)
+	WildS, WildP, WildO bool
+}
+
+// Any returns the match-everything pattern.
+func Any() Pattern { return Pattern{WildS: true, WildP: true, WildO: true} }
+
+// BySubject returns a pattern matching all facts about s.
+func BySubject(s dict.ID) Pattern { return Pattern{S: s, WildP: true, WildO: true} }
+
+// ByPredicate returns a pattern matching all facts with predicate p.
+func ByPredicate(p dict.ID) Pattern { return Pattern{WildS: true, P: p, WildO: true} }
+
+// ByPredicateObject returns a pattern matching the property (p, o) on
+// any subject — exactly a slice property in Definition 4 terms.
+func ByPredicateObject(p, o dict.ID) Pattern { return Pattern{WildS: true, P: p, O: o} }
+
+func (pat Pattern) matches(t Triple) bool {
+	if !pat.WildS && pat.S != t.S {
+		return false
+	}
+	if !pat.WildP && pat.P != t.P {
+		return false
+	}
+	if !pat.WildO && pat.O != t.O {
+		return false
+	}
+	return true
+}
+
+// Match returns all facts matching the pattern, sorted by (S, P, O).
+// Subject-bound patterns use the subject index; everything else scans.
+func (k *KB) Match(pat Pattern) []Triple {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	var out []Triple
+	scan := func(s dict.ID, set map[po]struct{}) {
+		for key := range set {
+			t := Triple{S: s, P: key.p, O: key.o}
+			if pat.matches(t) {
+				out = append(out, t)
+			}
+		}
+	}
+	if !pat.WildS {
+		if set, ok := k.bySubject[pat.S]; ok {
+			scan(pat.S, set)
+		}
+	} else {
+		for s, set := range k.bySubject {
+			scan(s, set)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Count returns the number of facts matching the pattern without
+// materializing them.
+func (k *KB) Count(pat Pattern) int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	// Fast paths.
+	if !pat.WildS && pat.WildP && pat.WildO {
+		return len(k.bySubject[pat.S])
+	}
+	if pat.WildS && !pat.WildP && pat.WildO {
+		return k.byPredicate[pat.P]
+	}
+	n := 0
+	count := func(s dict.ID, set map[po]struct{}) {
+		for key := range set {
+			if pat.matches(Triple{S: s, P: key.p, O: key.o}) {
+				n++
+			}
+		}
+	}
+	if !pat.WildS {
+		if set, ok := k.bySubject[pat.S]; ok {
+			count(pat.S, set)
+		}
+		return n
+	}
+	for s, set := range k.bySubject {
+		count(s, set)
+	}
+	return n
+}
+
+// SubjectsWith returns the distinct subjects carrying the property
+// (p, o) — the Π of the slice defined by that single property — sorted.
+func (k *KB) SubjectsWith(p, o dict.ID) []dict.ID {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	key := po{p, o}
+	var out []dict.ID
+	for s, set := range k.bySubject {
+		if _, ok := set[key]; ok {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ObjectsOf returns the distinct objects of (s, p) — the cell of the
+// fact table at row s, column p — sorted.
+func (k *KB) ObjectsOf(s, p dict.ID) []dict.ID {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	set, ok := k.bySubject[s]
+	if !ok {
+		return nil
+	}
+	var out []dict.ID
+	for key := range set {
+		if key.p == p {
+			out = append(out, key.o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Predicates returns the distinct predicates in use, sorted by ID.
+func (k *KB) Predicates() []dict.ID {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]dict.ID, 0, len(k.byPredicate))
+	for p := range k.byPredicate {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subjects returns the distinct subjects, sorted by ID.
+func (k *KB) Subjects() []dict.ID {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]dict.ID, 0, len(k.bySubject))
+	for s := range k.bySubject {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

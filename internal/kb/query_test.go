@@ -1,0 +1,140 @@
+package kb_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"midas/internal/kb"
+)
+
+func queryKB(t *testing.T) *kb.KB {
+	t.Helper()
+	k := kb.New(nil)
+	k.AddStrings("atlas", "category", "rocket")
+	k.AddStrings("atlas", "sponsor", "NASA")
+	k.AddStrings("castor", "category", "rocket")
+	k.AddStrings("castor", "sponsor", "NASA")
+	k.AddStrings("mercury", "category", "program")
+	k.AddStrings("mercury", "sponsor", "NASA")
+	k.AddStrings("atlas", "sponsor", "USAF") // multi-valued cell
+	return k
+}
+
+func ids(k *kb.KB, s, p, o string) (si, pi, oi int32) {
+	return k.Space().Subjects.Lookup(s), k.Space().Predicates.Lookup(p), k.Space().Objects.Lookup(o)
+}
+
+func TestMatchPatterns(t *testing.T) {
+	k := queryKB(t)
+	si, pi, oi := ids(k, "atlas", "category", "rocket")
+
+	if got := k.Match(kb.Any()); len(got) != 7 {
+		t.Errorf("Any = %d, want 7", len(got))
+	}
+	if got := k.Match(kb.BySubject(si)); len(got) != 3 {
+		t.Errorf("BySubject(atlas) = %d, want 3", len(got))
+	}
+	if got := k.Match(kb.ByPredicate(pi)); len(got) != 3 {
+		t.Errorf("ByPredicate(category) = %d, want 3", len(got))
+	}
+	if got := k.Match(kb.ByPredicateObject(pi, oi)); len(got) != 2 {
+		t.Errorf("ByPredicateObject(category,rocket) = %d, want 2", len(got))
+	}
+	exact := kb.Pattern{S: si, P: pi, O: oi}
+	if got := k.Match(exact); len(got) != 1 {
+		t.Errorf("exact = %d, want 1", len(got))
+	}
+	// Sorted output.
+	all := k.Match(kb.Any())
+	for i := 1; i < len(all); i++ {
+		if all[i].Less(all[i-1]) {
+			t.Fatal("Match output unsorted")
+		}
+	}
+}
+
+func TestCountFastPaths(t *testing.T) {
+	k := queryKB(t)
+	si, pi, _ := ids(k, "atlas", "sponsor", "NASA")
+	if got := k.Count(kb.BySubject(si)); got != 3 {
+		t.Errorf("count by subject = %d, want 3", got)
+	}
+	if got := k.Count(kb.ByPredicate(pi)); got != 4 {
+		t.Errorf("count by predicate = %d, want 4", got)
+	}
+	if got := k.Count(kb.Any()); got != 7 {
+		t.Errorf("count any = %d, want 7", got)
+	}
+}
+
+func TestSubjectsWithObjectsOf(t *testing.T) {
+	k := queryKB(t)
+	_, pi, oi := ids(k, "atlas", "category", "rocket")
+	subs := k.SubjectsWith(pi, oi)
+	if len(subs) != 2 {
+		t.Fatalf("SubjectsWith = %d, want 2", len(subs))
+	}
+	si, spi, _ := ids(k, "atlas", "sponsor", "NASA")
+	objs := k.ObjectsOf(si, spi)
+	if len(objs) != 2 {
+		t.Errorf("ObjectsOf(atlas,sponsor) = %d, want 2 (NASA, USAF)", len(objs))
+	}
+	if got := k.ObjectsOf(9999, spi); got != nil {
+		t.Errorf("unknown subject = %v", got)
+	}
+}
+
+func TestPredicatesSubjectsEnumeration(t *testing.T) {
+	k := queryKB(t)
+	if got := len(k.Predicates()); got != 2 {
+		t.Errorf("predicates = %d, want 2", got)
+	}
+	if got := len(k.Subjects()); got != 3 {
+		t.Errorf("subjects = %d, want 3", got)
+	}
+}
+
+// TestMatchAgainstReference property: Match agrees with a brute-force
+// filter over Triples() for random patterns.
+func TestMatchAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := kb.New(nil)
+		for i := 0; i < 150; i++ {
+			k.AddStrings(
+				fmt.Sprintf("s%d", rng.Intn(10)),
+				fmt.Sprintf("p%d", rng.Intn(4)),
+				fmt.Sprintf("o%d", rng.Intn(8)))
+		}
+		all := k.Triples()
+		for trial := 0; trial < 10; trial++ {
+			pat := kb.Pattern{
+				WildS: rng.Intn(2) == 0,
+				WildP: rng.Intn(2) == 0,
+				WildO: rng.Intn(2) == 0,
+			}
+			if len(all) > 0 {
+				pick := all[rng.Intn(len(all))]
+				pat.S, pat.P, pat.O = pick.S, pick.P, pick.O
+			}
+			got := k.Match(pat)
+			want := 0
+			for _, tr := range all {
+				if (pat.WildS || tr.S == pat.S) &&
+					(pat.WildP || tr.P == pat.P) &&
+					(pat.WildO || tr.O == pat.O) {
+					want++
+				}
+			}
+			if len(got) != want || k.Count(pat) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

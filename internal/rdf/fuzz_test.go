@@ -1,0 +1,71 @@
+package rdf_test
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"midas/internal/rdf"
+)
+
+// FuzzParser: the reader must never panic, and anything it accepts must
+// survive a write → re-parse round trip.
+func FuzzParser(f *testing.F) {
+	seeds := []string{
+		`<http://e/s> <http://e/p> "o" .`,
+		`<http://e/s> <http://e/p> <http://e/o> .`,
+		`_:b1 <http://e/p> "x"@en .`,
+		`<http://e/s> <http://e/p> "1"^^<http://w3/int> <http://g> .`,
+		`# comment`,
+		``,
+		`<s> <p> "esc \" \\ \n \t A \U0001F680" .`,
+		`<s> <p> "unterminated`,
+		`<s> <p> .`,
+		`malformed`,
+		"<s>\t<p>\t\"tabs\" .",
+		`<s> <p> "trail" . junk`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		r := rdf.NewReader(strings.NewReader(input))
+		var parsed []rdf.Statement
+		for {
+			st, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return // rejection is fine; panics are not
+			}
+			parsed = append(parsed, st)
+			if len(parsed) > 1000 {
+				break
+			}
+		}
+		// Round trip whatever was accepted.
+		var buf bytes.Buffer
+		w := rdf.NewWriter(&buf)
+		for _, st := range parsed {
+			if err := w.Write(st); err != nil {
+				t.Fatalf("write accepted statement: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r2 := rdf.NewReader(&buf)
+		for i := range parsed {
+			got, err := r2.Next()
+			if err != nil {
+				t.Fatalf("re-parse statement %d: %v", i, err)
+			}
+			if got.S != parsed[i].S || got.P != parsed[i].P || got.O != parsed[i].O ||
+				got.HasGraph != parsed[i].HasGraph || got.Graph != parsed[i].Graph {
+				t.Fatalf("round trip changed statement %d:\n%+v\n%+v", i, parsed[i], got)
+			}
+		}
+	})
+}

@@ -1,0 +1,374 @@
+// Package rdf implements the subset of the W3C N-Triples and N-Quads
+// line formats that knowledge-base dumps use. Knowledge bases are
+// "massive collections of facts (RDF triples)" (the paper's opening
+// line); this package lets the KB and extraction corpora round-trip
+// through the standard interchange format instead of ad-hoc TSV.
+//
+// Supported terms: IRIs (<http://…>), blank nodes (_:label), and
+// literals ("…", with \" \\ \n \r \t \uXXXX \UXXXXXXXX escapes,
+// optional @lang tag or ^^<datatype> suffix). In N-Quads the fourth
+// term names the graph; MIDAS uses it to carry the source page URL.
+package rdf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Kind discriminates RDF term kinds.
+type Kind int
+
+// Term kinds.
+const (
+	IRI Kind = iota
+	Blank
+	Literal
+)
+
+// Term is one RDF term.
+type Term struct {
+	Kind Kind
+	// Value is the IRI (without angle brackets), the blank-node label
+	// (without "_:"), or the literal's lexical form (unescaped).
+	Value string
+	// Lang and Datatype annotate literals (at most one is set).
+	Lang     string
+	Datatype string
+}
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	default:
+		s := `"` + escapeLiteral(t.Value) + `"`
+		if t.Lang != "" {
+			return s + "@" + t.Lang
+		}
+		if t.Datatype != "" {
+			return s + "^^<" + t.Datatype + ">"
+		}
+		return s
+	}
+}
+
+// Statement is one parsed line: a triple, plus Graph for N-Quads
+// (zero Term when absent).
+type Statement struct {
+	S, P, O Term
+	Graph   Term
+	// HasGraph reports whether the line carried a fourth term.
+	HasGraph bool
+}
+
+// SyntaxError reports a malformed line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("rdf: line %d: %s", e.Line, e.Msg) }
+
+// Reader parses N-Triples / N-Quads streams line by line.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next statement, io.EOF at end of stream, or a
+// *SyntaxError. Blank lines and comment lines (#…) are skipped.
+func (r *Reader) Next() (Statement, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		st, err := r.parseLine(line)
+		if err != nil {
+			return Statement{}, err
+		}
+		return st, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Statement{}, err
+	}
+	return Statement{}, io.EOF
+}
+
+func (r *Reader) fail(msg string, args ...interface{}) error {
+	return &SyntaxError{Line: r.line, Msg: fmt.Sprintf(msg, args...)}
+}
+
+func (r *Reader) parseLine(line string) (Statement, error) {
+	p := &parser{in: line}
+	var st Statement
+	var err error
+	if st.S, err = p.term(); err != nil {
+		return st, r.fail("subject: %v", err)
+	}
+	if st.S.Kind == Literal {
+		return st, r.fail("subject must not be a literal")
+	}
+	p.ws()
+	if st.P, err = p.term(); err != nil {
+		return st, r.fail("predicate: %v", err)
+	}
+	if st.P.Kind != IRI {
+		return st, r.fail("predicate must be an IRI")
+	}
+	p.ws()
+	if st.O, err = p.term(); err != nil {
+		return st, r.fail("object: %v", err)
+	}
+	p.ws()
+	if !p.eof() && p.peek() != '.' {
+		if st.Graph, err = p.term(); err != nil {
+			return st, r.fail("graph: %v", err)
+		}
+		if st.Graph.Kind == Literal {
+			return st, r.fail("graph must not be a literal")
+		}
+		st.HasGraph = true
+		p.ws()
+	}
+	if p.eof() || p.peek() != '.' {
+		return st, r.fail("missing terminating '.'")
+	}
+	p.pos++
+	p.ws()
+	if !p.eof() {
+		return st, r.fail("trailing content after '.'")
+	}
+	return st, nil
+}
+
+// parser is a cursor over one line.
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) eof() bool  { return p.pos >= len(p.in) }
+func (p *parser) peek() byte { return p.in[p.pos] }
+
+func (p *parser) ws() {
+	for !p.eof() && (p.peek() == ' ' || p.peek() == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) term() (Term, error) {
+	if p.eof() {
+		return Term{}, errors.New("unexpected end of line")
+	}
+	switch p.peek() {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", p.peek())
+	}
+}
+
+func (p *parser) iri() (Term, error) {
+	end := strings.IndexByte(p.in[p.pos:], '>')
+	if end < 0 {
+		return Term{}, errors.New("unterminated IRI")
+	}
+	v := p.in[p.pos+1 : p.pos+end]
+	if strings.ContainsAny(v, " \t\"<") {
+		return Term{}, fmt.Errorf("invalid IRI %q", v)
+	}
+	p.pos += end + 1
+	return Term{Kind: IRI, Value: v}, nil
+}
+
+func (p *parser) blank() (Term, error) {
+	if p.pos+1 >= len(p.in) || p.in[p.pos+1] != ':' {
+		return Term{}, errors.New("malformed blank node")
+	}
+	start := p.pos + 2
+	end := start
+	for end < len(p.in) && p.in[end] != ' ' && p.in[end] != '\t' && p.in[end] != '.' {
+		end++
+	}
+	if end == start {
+		return Term{}, errors.New("empty blank-node label")
+	}
+	p.pos = end
+	return Term{Kind: Blank, Value: p.in[start:end]}, nil
+}
+
+func (p *parser) literal() (Term, error) {
+	p.pos++ // consume opening quote
+	var sb strings.Builder
+	for {
+		if p.eof() {
+			return Term{}, errors.New("unterminated literal")
+		}
+		c := p.peek()
+		p.pos++
+		switch c {
+		case '"':
+			return p.literalSuffix(sb.String())
+		case '\\':
+			if p.eof() {
+				return Term{}, errors.New("truncated escape")
+			}
+			e := p.peek()
+			p.pos++
+			switch e {
+			case 't':
+				sb.WriteByte('\t')
+			case 'n':
+				sb.WriteByte('\n')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			case 'u', 'U':
+				n := 4
+				if e == 'U' {
+					n = 8
+				}
+				if p.pos+n > len(p.in) {
+					return Term{}, errors.New("truncated unicode escape")
+				}
+				var code rune
+				for i := 0; i < n; i++ {
+					d := hexVal(p.in[p.pos+i])
+					if d < 0 {
+						return Term{}, errors.New("invalid unicode escape")
+					}
+					code = code<<4 | rune(d)
+				}
+				if !utf8.ValidRune(code) {
+					return Term{}, errors.New("invalid code point in escape")
+				}
+				sb.WriteRune(code)
+				p.pos += n
+			default:
+				return Term{}, fmt.Errorf("invalid escape \\%c", e)
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+func (p *parser) literalSuffix(value string) (Term, error) {
+	t := Term{Kind: Literal, Value: value}
+	if p.eof() {
+		return t, nil
+	}
+	switch p.peek() {
+	case '@':
+		start := p.pos + 1
+		end := start
+		for end < len(p.in) && p.in[end] != ' ' && p.in[end] != '\t' {
+			end++
+		}
+		if end == start {
+			return t, errors.New("empty language tag")
+		}
+		t.Lang = p.in[start:end]
+		p.pos = end
+	case '^':
+		if !strings.HasPrefix(p.in[p.pos:], "^^<") {
+			return t, errors.New("malformed datatype suffix")
+		}
+		p.pos += 2
+		dt, err := p.iri()
+		if err != nil {
+			return t, err
+		}
+		t.Datatype = dt.Value
+	}
+	return t, nil
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// Writer serializes statements.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write emits one statement (as a quad when HasGraph is set).
+func (w *Writer) Write(st Statement) error {
+	if w.err != nil {
+		return w.err
+	}
+	parts := []string{st.S.String(), st.P.String(), st.O.String()}
+	if st.HasGraph {
+		parts = append(parts, st.Graph.String())
+	}
+	_, w.err = fmt.Fprintf(w.w, "%s .\n", strings.Join(parts, " "))
+	return w.err
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+func escapeLiteral(s string) string {
+	var sb strings.Builder
+	// Byte-wise: escaping runs per byte so literals that are not valid
+	// UTF-8 (which a lenient parse can produce) round-trip unchanged
+	// instead of being replaced with U+FFFD.
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}

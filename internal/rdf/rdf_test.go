@@ -1,0 +1,217 @@
+package rdf_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"midas/internal/fact"
+	"midas/internal/kb"
+	"midas/internal/rdf"
+)
+
+func parseAll(t *testing.T, in string) []rdf.Statement {
+	t.Helper()
+	r := rdf.NewReader(strings.NewReader(in))
+	var out []rdf.Statement
+	for {
+		st, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		out = append(out, st)
+	}
+}
+
+func TestParseTriples(t *testing.T) {
+	in := `
+# a comment
+<http://ex.org/atlas> <http://ex.org/sponsor> "NASA" .
+<http://ex.org/atlas> <http://ex.org/started> "1957"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b1 <http://ex.org/label> "ein \"Zitat\"\nzweite Zeile"@de .
+<http://ex.org/a> <http://ex.org/sameAs> <http://ex.org/b> .
+`
+	sts := parseAll(t, in)
+	if len(sts) != 4 {
+		t.Fatalf("statements = %d, want 4", len(sts))
+	}
+	if sts[0].S.Value != "http://ex.org/atlas" || sts[0].O.Value != "NASA" || sts[0].O.Kind != rdf.Literal {
+		t.Errorf("st0 = %+v", sts[0])
+	}
+	if sts[1].O.Datatype != "http://www.w3.org/2001/XMLSchema#integer" {
+		t.Errorf("datatype = %q", sts[1].O.Datatype)
+	}
+	if sts[2].S.Kind != rdf.Blank || sts[2].S.Value != "b1" {
+		t.Errorf("blank subject = %+v", sts[2].S)
+	}
+	if sts[2].O.Value != "ein \"Zitat\"\nzweite Zeile" || sts[2].O.Lang != "de" {
+		t.Errorf("literal = %+v", sts[2].O)
+	}
+	if sts[3].O.Kind != rdf.IRI {
+		t.Errorf("object kind = %v", sts[3].O.Kind)
+	}
+}
+
+func TestParseQuads(t *testing.T) {
+	in := `<http://ex.org/s> <http://ex.org/p> "o" <http://page.example/1.htm> .`
+	sts := parseAll(t, in)
+	if len(sts) != 1 || !sts[0].HasGraph || sts[0].Graph.Value != "http://page.example/1.htm" {
+		t.Fatalf("quad = %+v", sts[0])
+	}
+}
+
+func TestParseUnicodeEscapes(t *testing.T) {
+	in := `<http://e/s> <http://e/p> "café \U0001F680" .`
+	sts := parseAll(t, in)
+	if got := sts[0].O.Value; got != "café 🚀" {
+		t.Errorf("unescaped = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<http://e/s> <http://e/p> "unterminated .`,
+		`<http://e/s> <http://e/p> "o"`,                    // missing dot
+		`"literal" <http://e/p> "o" .`,                     // literal subject
+		`<http://e/s> _:b "o" .`,                           // blank predicate
+		`<http://e/s> <http://e/p> "bad \q escape" .`,      // invalid escape
+		`<http://e/s> <http://e/p> "o" . trailing`,         // trailing junk
+		`<http://e/s <http://e/p> "o" .`,                   // unterminated IRI
+		`<http://e/s> <http://e/p> "o" "graph-literal" .`,  // literal graph
+		`<http://e/s> <http://e/p> "bad \u12ZZ unicode" .`, // bad hex
+	}
+	for _, in := range cases {
+		r := rdf.NewReader(strings.NewReader(in))
+		_, err := r.Next()
+		var syn *rdf.SyntaxError
+		if !errors.As(err, &syn) {
+			t.Errorf("input %q: err = %v, want SyntaxError", in, err)
+		}
+	}
+}
+
+// TestStatementRoundTrip property: write → parse is the identity for
+// random terms, including escape-heavy literals.
+func TestStatementRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mkLit := func() rdf.Term {
+			chars := []rune{'a', 'Z', '0', ' ', '"', '\\', '\n', '\t', 'é', '🚀'}
+			var sb strings.Builder
+			for i := 0; i < rng.Intn(12); i++ {
+				sb.WriteRune(chars[rng.Intn(len(chars))])
+			}
+			term := rdf.Term{Kind: rdf.Literal, Value: sb.String()}
+			switch rng.Intn(3) {
+			case 1:
+				term.Lang = "en"
+			case 2:
+				term.Datatype = "http://www.w3.org/2001/XMLSchema#string"
+			}
+			return term
+		}
+		st := rdf.Statement{
+			S: rdf.Term{Kind: rdf.IRI, Value: fmt.Sprintf("http://ex.org/s%d", rng.Intn(100))},
+			P: rdf.Term{Kind: rdf.IRI, Value: fmt.Sprintf("http://ex.org/p%d", rng.Intn(10))},
+			O: mkLit(),
+		}
+		if rng.Intn(2) == 0 {
+			st.Graph = rdf.Term{Kind: rdf.IRI, Value: "http://g.example/x"}
+			st.HasGraph = true
+		}
+		var buf bytes.Buffer
+		w := rdf.NewWriter(&buf)
+		if w.Write(st) != nil || w.Flush() != nil {
+			return false
+		}
+		r := rdf.NewReader(&buf)
+		got, err := r.Next()
+		if err != nil {
+			return false
+		}
+		return got.S == st.S && got.P == st.P && got.O == st.O &&
+			got.HasGraph == st.HasGraph && got.Graph == st.Graph
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKBRoundTrip: arbitrary KB strings (spaces, quotes) survive
+// KB → N-Triples → KB via the urn:midas: wrapping.
+func TestKBRoundTrip(t *testing.T) {
+	k := kb.New(nil)
+	k.AddStrings("Project Mercury", "category", "space_program")
+	k.AddStrings("weird \"subject\"\twith tabs", "pred with space", "value with \\backslash")
+	k.AddStrings("http://already.iri/x", "http://pred.iri/p", "plain")
+
+	var buf bytes.Buffer
+	if err := rdf.SaveKB(&buf, k); err != nil {
+		t.Fatal(err)
+	}
+	k2 := kb.New(nil)
+	n, err := rdf.LoadKB(&buf, k2)
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	for _, tr := range [][3]string{
+		{"Project Mercury", "category", "space_program"},
+		{"weird \"subject\"\twith tabs", "pred with space", "value with \\backslash"},
+		{"http://already.iri/x", "http://pred.iri/p", "plain"},
+	} {
+		if !k2.ContainsStrings(tr[0], tr[1], tr[2]) {
+			t.Errorf("lost %q", tr)
+		}
+	}
+}
+
+// TestCorpusRoundTrip: corpus → N-Quads → corpus preserves facts and
+// source URLs (confidence is reset to the loader default).
+func TestCorpusRoundTrip(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	c.Add(fact.Fact{Subject: "Atlas", Predicate: "sponsor", Object: "NASA", Confidence: 0.9, URL: "http://space.skyrocket.de/doc_lau_fam/atlas.htm"})
+	c.Add(fact.Fact{Subject: "a b", Predicate: "p q", Object: "x y", Confidence: 0.8, URL: "http://e.com/p 1.htm"})
+
+	var buf bytes.Buffer
+	if err := rdf.SaveCorpus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	c2 := fact.NewCorpus(nil)
+	n, err := rdf.LoadCorpus(&buf, c2, 0.85)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	s, p, o := c2.Space.StringTriple(c2.Facts[1].Triple)
+	if s != "a b" || p != "p q" || o != "x y" {
+		t.Errorf("fact 1 = %q %q %q", s, p, o)
+	}
+	if got := c2.URLs.String(c2.Facts[1].URL); got != "http://e.com/p 1.htm" {
+		t.Errorf("url = %q", got)
+	}
+	if c2.Facts[0].Conf != 0.85 {
+		t.Errorf("conf = %f, want loader default", c2.Facts[0].Conf)
+	}
+}
+
+func TestStats(t *testing.T) {
+	in := `<http://e/s> <http://e/p> "1" <http://g1> .
+<http://e/s> <http://e/p> "2" <http://g1> .
+<http://e/s> <http://e/p> "3" <http://g2> .
+<http://e/s> <http://e/p> "4" .
+`
+	n, graphs, err := rdf.Stats(strings.NewReader(in))
+	if err != nil || n != 4 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if graphs["http://g1"] != 2 || graphs["http://g2"] != 1 {
+		t.Errorf("graphs = %v", graphs)
+	}
+}

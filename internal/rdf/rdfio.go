@@ -1,0 +1,180 @@
+package rdf
+
+import (
+	"io"
+	"strings"
+
+	"midas/internal/fact"
+	"midas/internal/kb"
+)
+
+// The KB stores plain strings; RDF requires subjects and predicates to
+// be IRIs. Strings that are not IRI-safe are wrapped as
+// "urn:midas:<percent-escaped>" on save and unwrapped on load, so
+// KB → N-Triples → KB is the identity. Objects are written as plain
+// literals (their lexical form is the stored string either way).
+
+const urnPrefix = "urn:midas:"
+
+func iriSafe(s string) bool {
+	if s == "" {
+		return false
+	}
+	return !strings.ContainsAny(s, " \t\n\"<>\\")
+}
+
+func encodeIRI(s string) Term {
+	if iriSafe(s) {
+		return Term{Kind: IRI, Value: s}
+	}
+	return Term{Kind: IRI, Value: urnPrefix + escapePct(s)}
+}
+
+func decodeTerm(t Term) string {
+	if t.Kind == IRI && strings.HasPrefix(t.Value, urnPrefix) {
+		return unescapePct(strings.TrimPrefix(t.Value, urnPrefix))
+	}
+	if t.Kind == Blank {
+		return "_:" + t.Value
+	}
+	return t.Value
+}
+
+const hexDigits = "0123456789ABCDEF"
+
+func escapePct(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '%' || c == '"' || c == '<' || c == '>' || c == '\\' || c == 0x7f {
+			sb.WriteByte('%')
+			sb.WriteByte(hexDigits[c>>4])
+			sb.WriteByte(hexDigits[c&0xf])
+		} else {
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+func unescapePct(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' && i+2 < len(s) {
+			hi, lo := hexVal(s[i+1]), hexVal(s[i+2])
+			if hi >= 0 && lo >= 0 {
+				sb.WriteByte(byte(hi<<4 | lo))
+				i += 2
+				continue
+			}
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+// SaveKB writes the KB as N-Triples.
+func SaveKB(w io.Writer, src *kb.KB) error {
+	nw := NewWriter(w)
+	for _, t := range src.Triples() {
+		s, p, o := src.Space().StringTriple(t)
+		st := Statement{
+			S: encodeIRI(s),
+			P: encodeIRI(p),
+			O: Term{Kind: Literal, Value: o},
+		}
+		if err := nw.Write(st); err != nil {
+			return err
+		}
+	}
+	return nw.Flush()
+}
+
+// LoadKB reads N-Triples (graph terms, if present, are ignored) into
+// dst, returning the number of new facts.
+func LoadKB(r io.Reader, dst *kb.KB) (int, error) {
+	rd := NewReader(r)
+	added := 0
+	for {
+		st, err := rd.Next()
+		if err == io.EOF {
+			return added, nil
+		}
+		if err != nil {
+			return added, err
+		}
+		if dst.AddStrings(decodeTerm(st.S), decodeTerm(st.P), decodeTerm(st.O)) {
+			added++
+		}
+	}
+}
+
+// SaveCorpus writes the corpus as N-Quads, with each fact's source page
+// URL as the graph term. Confidence is not representable in N-Quads and
+// is dropped; LoadCorpus assigns the default it is given.
+func SaveCorpus(w io.Writer, src *fact.Corpus) error {
+	nw := NewWriter(w)
+	for _, e := range src.Facts {
+		s, p, o := src.Space.StringTriple(e.Triple)
+		st := Statement{
+			S:        encodeIRI(s),
+			P:        encodeIRI(p),
+			O:        Term{Kind: Literal, Value: o},
+			Graph:    encodeIRI(src.URLs.String(e.URL)),
+			HasGraph: true,
+		}
+		if err := nw.Write(st); err != nil {
+			return err
+		}
+	}
+	return nw.Flush()
+}
+
+// LoadCorpus reads N-Triples or N-Quads into dst. Graph terms become
+// source URLs (statements without one get an empty URL and are skipped
+// by the framework); every fact receives defaultConf.
+func LoadCorpus(r io.Reader, dst *fact.Corpus, defaultConf float64) (int, error) {
+	rd := NewReader(r)
+	n := 0
+	for {
+		st, err := rd.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		url := ""
+		if st.HasGraph {
+			url = decodeTerm(st.Graph)
+		}
+		dst.Add(fact.Fact{
+			Subject:    decodeTerm(st.S),
+			Predicate:  decodeTerm(st.P),
+			Object:     decodeTerm(st.O),
+			Confidence: defaultConf,
+			URL:        url,
+		})
+		n++
+	}
+}
+
+// Stats summarizes a stream without materializing it (used by CLIs for
+// quick inspection).
+func Stats(r io.Reader) (statements int, graphs map[string]int, err error) {
+	rd := NewReader(r)
+	graphs = make(map[string]int)
+	for {
+		st, e := rd.Next()
+		if e == io.EOF {
+			return statements, graphs, nil
+		}
+		if e != nil {
+			return statements, graphs, e
+		}
+		statements++
+		if st.HasGraph {
+			graphs[decodeTerm(st.Graph)]++
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package reason implements a lightweight RDFS-style type reasoner:
+// a subclass ontology over type values and corpus expansion that adds
+// inferred broader-type facts.
+//
+// ClosedIE extractions (NELL-style) come with an ontology — the paper's
+// example fact is ("concept/athlete/MichaelPhelps", "generalizations",
+// "concept/athlete"). Expanding type facts along subClassOf edges lets
+// slice discovery find slices at broader types: "golf courses" and
+// "ski resorts" can surface together as a "sports facilities" slice on
+// a source that mixes them, even though no extracted fact says so
+// directly.
+package reason
+
+import (
+	"sort"
+
+	"midas/internal/dict"
+	"midas/internal/fact"
+	"midas/internal/kb"
+)
+
+// Ontology is a subclass hierarchy over object values. It is a DAG in
+// spirit; cycles in the input are tolerated (closure just stops).
+type Ontology struct {
+	space   *kb.Space
+	parents map[dict.ID][]dict.ID
+}
+
+// NewOntology returns an empty ontology interning into space.
+func NewOntology(space *kb.Space) *Ontology {
+	return &Ontology{space: space, parents: make(map[dict.ID][]dict.ID)}
+}
+
+// AddSubclass records child ⊑ parent. Duplicates are ignored.
+func (o *Ontology) AddSubclass(child, parent string) {
+	c := o.space.Objects.Put(child)
+	p := o.space.Objects.Put(parent)
+	for _, existing := range o.parents[c] {
+		if existing == p {
+			return
+		}
+	}
+	o.parents[c] = append(o.parents[c], p)
+}
+
+// Len returns the number of subclass edges.
+func (o *Ontology) Len() int {
+	n := 0
+	for _, ps := range o.parents {
+		n += len(ps)
+	}
+	return n
+}
+
+// Closure returns every strict ancestor of v (transitive, cycle-safe),
+// sorted by ID. v itself is not included.
+func (o *Ontology) Closure(v dict.ID) []dict.ID {
+	seen := map[dict.ID]bool{v: true}
+	var out []dict.ID
+	stack := append([]dict.ID{}, o.parents[v]...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		out = append(out, cur)
+		stack = append(stack, o.parents[cur]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ExpandTypes returns a corpus (sharing the space and URL dictionary)
+// with, for every fact whose predicate is in typePreds, additional
+// inferred facts carrying each ancestor of the object value — at the
+// same source URL and confidence. It reports the number of inferred
+// facts added. Duplicate inferences within one (subject, predicate,
+// url) are emitted once.
+func ExpandTypes(c *fact.Corpus, o *Ontology, typePreds []string) (*fact.Corpus, int) {
+	preds := make(map[dict.ID]bool, len(typePreds))
+	for _, p := range typePreds {
+		if id := c.Space.Predicates.Lookup(p); id != dict.None {
+			preds[id] = true
+		}
+	}
+	out := &fact.Corpus{Space: c.Space, URLs: c.URLs, Facts: make([]fact.Extracted, 0, len(c.Facts))}
+	type emitted struct {
+		t   kb.Triple
+		url dict.ID
+	}
+	seen := make(map[emitted]bool)
+	added := 0
+	for _, e := range c.Facts {
+		out.Facts = append(out.Facts, e)
+		if !preds[e.Triple.P] {
+			continue
+		}
+		for _, anc := range o.Closure(e.Triple.O) {
+			inf := fact.Extracted{
+				Triple: kb.Triple{S: e.Triple.S, P: e.Triple.P, O: anc},
+				URL:    e.URL,
+				Conf:   e.Conf,
+			}
+			key := emitted{inf.Triple, inf.URL}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out.Facts = append(out.Facts, inf)
+			added++
+		}
+	}
+	return out, added
+}
+
+// FromCorpus harvests subclass edges already present in a corpus as
+// facts with the given predicate (e.g. NELL's "generalizations" between
+// concept values): every (s, pred, o) fact where the subject string
+// also occurs as an object value becomes the edge subject ⊑ object.
+func FromCorpus(c *fact.Corpus, pred string) *Ontology {
+	o := NewOntology(c.Space)
+	pid := c.Space.Predicates.Lookup(pred)
+	if pid == dict.None {
+		return o
+	}
+	for _, e := range c.Facts {
+		if e.Triple.P != pid {
+			continue
+		}
+		child := c.Space.Subjects.String(e.Triple.S)
+		parent := c.Space.Objects.String(e.Triple.O)
+		if c.Space.Objects.Lookup(child) != dict.None {
+			o.AddSubclass(child, parent)
+		}
+	}
+	return o
+}

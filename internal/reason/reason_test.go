@@ -1,0 +1,161 @@
+package reason_test
+
+import (
+	"fmt"
+	"testing"
+
+	"midas/internal/core"
+	"midas/internal/fact"
+	"midas/internal/kb"
+	"midas/internal/reason"
+	"midas/internal/slice"
+)
+
+func TestClosure(t *testing.T) {
+	sp := kb.NewSpace()
+	o := reason.NewOntology(sp)
+	o.AddSubclass("golf_course", "sports_facility")
+	o.AddSubclass("sports_facility", "facility")
+	o.AddSubclass("golf_course", "outdoor_venue")
+	o.AddSubclass("golf_course", "sports_facility") // duplicate ignored
+
+	if o.Len() != 3 {
+		t.Errorf("edges = %d, want 3", o.Len())
+	}
+	anc := o.Closure(sp.Objects.Lookup("golf_course"))
+	if len(anc) != 3 {
+		t.Fatalf("ancestors = %d, want 3", len(anc))
+	}
+	names := make(map[string]bool)
+	for _, a := range anc {
+		names[sp.Objects.String(a)] = true
+	}
+	for _, want := range []string{"sports_facility", "facility", "outdoor_venue"} {
+		if !names[want] {
+			t.Errorf("missing ancestor %q", want)
+		}
+	}
+}
+
+func TestClosureCycleSafe(t *testing.T) {
+	sp := kb.NewSpace()
+	o := reason.NewOntology(sp)
+	o.AddSubclass("a", "b")
+	o.AddSubclass("b", "c")
+	o.AddSubclass("c", "a") // cycle
+	anc := o.Closure(sp.Objects.Lookup("a"))
+	if len(anc) != 2 {
+		t.Errorf("cycle closure = %d ancestors, want 2 (b, c)", len(anc))
+	}
+}
+
+func TestExpandTypes(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	c.Add(fact.Fact{Subject: "pebble beach", Predicate: "be a", Object: "golf_course", Confidence: 0.9, URL: "http://x.com/1"})
+	c.Add(fact.Fact{Subject: "pebble beach", Predicate: "located in", Object: "california", Confidence: 0.9, URL: "http://x.com/1"})
+	o := reason.NewOntology(c.Space)
+	o.AddSubclass("golf_course", "sports_facility")
+
+	out, added := reason.ExpandTypes(c, o, []string{"be a"})
+	if added != 1 {
+		t.Fatalf("added = %d, want 1", added)
+	}
+	if len(out.Facts) != 3 {
+		t.Fatalf("facts = %d, want 3", len(out.Facts))
+	}
+	// The non-type predicate must not be expanded even if its object
+	// had ancestors.
+	o.AddSubclass("california", "usa")
+	out2, added2 := reason.ExpandTypes(c, o, []string{"be a"})
+	if added2 != 1 || len(out2.Facts) != 3 {
+		t.Errorf("non-type predicate expanded: added=%d facts=%d", added2, len(out2.Facts))
+	}
+}
+
+// TestExpansionEnablesBroaderSlices: two small verticals, each too
+// small to pay the training cost alone, become one profitable slice at
+// the broader type after expansion.
+func TestExpansionEnablesBroaderSlices(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	add := func(kind string, i int) {
+		subj := fmt.Sprintf("%s-%d", kind, i)
+		c.Add(fact.Fact{Subject: subj, Predicate: "be a", Object: kind, Confidence: 0.9,
+			URL: fmt.Sprintf("http://resorts.example.com/x/%s%d.htm", kind, i)})
+	}
+	for i := 0; i < 7; i++ {
+		add("golf_course", i)
+		add("ski_resort", i)
+	}
+	cost := slice.CostModel{Fp: 10, Fc: 0.001, Fd: 0.01, Fv: 0.1}
+	triples := func(cc *fact.Corpus) []kb.Triple {
+		out := make([]kb.Triple, len(cc.Facts))
+		for i, e := range cc.Facts {
+			out[i] = e.Triple
+		}
+		return out
+	}
+
+	// Without expansion: each vertical has 7 new facts < f_p → nothing.
+	res := core.Discover("resorts.example.com", c.Space, triples(c), nil, core.Options{Cost: cost})
+	if len(res.Slices) != 0 {
+		t.Fatalf("expected no profitable slices before expansion, got %d", len(res.Slices))
+	}
+
+	o := reason.NewOntology(c.Space)
+	o.AddSubclass("golf_course", "sports_facility")
+	o.AddSubclass("ski_resort", "sports_facility")
+	expanded, added := reason.ExpandTypes(c, o, []string{"be a"})
+	if added != 14 {
+		t.Fatalf("added = %d, want 14", added)
+	}
+	// The broad slice now exists as a valid canonical lattice node with
+	// all 14 entities…
+	res = core.Discover("resorts.example.com", c.Space, triples(expanded), nil, core.Options{Cost: cost})
+	foundNode := false
+	for _, n := range res.Hierarchy.Nodes() {
+		if len(n.Entities) == 14 && n.Canonical && n.Valid {
+			foundNode = true
+		}
+	}
+	if !foundNode {
+		t.Error("broader-type node missing from the lattice after expansion")
+	}
+	// …and discovery reports profitable slices covering every entity
+	// (under profit-order traversal it is the broad slice itself; under
+	// the default key order the two narrow slices tile the same
+	// entities — either way the expansion made the content reachable).
+	covered := make(map[string]bool)
+	for _, s := range res.Slices {
+		for _, e := range s.Entities {
+			covered[c.Space.Subjects.String(e)] = true
+		}
+	}
+	if len(covered) != 14 {
+		t.Errorf("reported slices cover %d entities, want 14", len(covered))
+	}
+	profitRes := core.Discover("resorts.example.com", c.Space, triples(expanded), nil,
+		core.Options{Cost: cost, ProfitOrderTraversal: true})
+	if len(profitRes.Slices) != 1 || len(profitRes.Slices[0].Entities) != 14 {
+		t.Errorf("profit-order traversal should report the single broad slice; got %d slices", len(profitRes.Slices))
+	} else if got := profitRes.Slices[0].Description(c.Space); got != "be a = sports_facility" {
+		t.Errorf("broad slice description = %q", got)
+	}
+}
+
+func TestFromCorpus(t *testing.T) {
+	c := fact.NewCorpus(nil)
+	// NELL-style generalizations: the concept values appear as both
+	// subjects and objects.
+	c.Add(fact.Fact{Subject: "concept/golf_course", Predicate: "generalizations", Object: "concept/facility", Confidence: 0.9, URL: "u"})
+	c.Add(fact.Fact{Subject: "pebble beach", Predicate: "generalizations", Object: "concept/golf_course", Confidence: 0.9, URL: "u"})
+	// "pebble beach" is an instance, not a class (never an object) —
+	// it must not become an edge... unless it also occurs as an object.
+	o := reason.FromCorpus(c, "generalizations")
+	if o.Len() != 1 {
+		t.Fatalf("edges = %d, want 1 (only class-to-class)", o.Len())
+	}
+	anc := o.Closure(c.Space.Objects.Lookup("concept/golf_course"))
+	if len(anc) != 1 || c.Space.Objects.String(anc[0]) != "concept/facility" {
+		t.Errorf("closure = %v", anc)
+	}
+}

@@ -1,0 +1,67 @@
+package slice
+
+import (
+	"midas/internal/kb"
+)
+
+// SelectGreedy picks up to max slices (0 = no cap) from a candidate
+// list, greedily maximizing the marginal set profit: at each step the
+// slice whose addition most increases
+//
+//	f(S) = (1−f_v)·|∪S \ E| − |S|·f_p − f_d·|∪S|
+//
+// is added, until no candidate improves the total. Fact overlap between
+// slices is accounted exactly through the union. The per-source crawl
+// term is excluded: it depends on |T_W| totals the candidates alone do
+// not carry, and it is constant for any fixed source set, so rankings
+// within a source set are unaffected.
+//
+// It returns the selected indexes in selection order. Used to impose an
+// extraction budget ("we can only afford to wrapper-induct k slices
+// this quarter") on a discovery result.
+func SelectGreedy(factSets [][]kb.Triple, existing *kb.KB, cost CostModel, max int) []int {
+	if max <= 0 || max > len(factSets) {
+		max = len(factSets)
+	}
+	type cand struct {
+		idx   int
+		facts []kb.Triple
+	}
+	cands := make([]cand, len(factSets))
+	for i, fs := range factSets {
+		cands[i] = cand{idx: i, facts: fs}
+	}
+
+	covered := make(map[kb.Triple]bool)
+	var selected []int
+	for len(selected) < max && len(cands) > 0 {
+		bestGain := 0.0
+		bestAt := -1
+		for ci, c := range cands {
+			dFacts, dNew := 0, 0
+			for _, t := range c.facts {
+				if covered[t] {
+					continue
+				}
+				dFacts++
+				if existing == nil || !existing.Contains(t) {
+					dNew++
+				}
+			}
+			gain := float64(dNew)*(1-cost.Fv) - cost.Fp - cost.Fd*float64(dFacts)
+			if gain > bestGain {
+				bestGain, bestAt = gain, ci
+			}
+		}
+		if bestAt < 0 {
+			break
+		}
+		chosen := cands[bestAt]
+		selected = append(selected, chosen.idx)
+		for _, t := range chosen.facts {
+			covered[t] = true
+		}
+		cands = append(cands[:bestAt], cands[bestAt+1:]...)
+	}
+	return selected
+}

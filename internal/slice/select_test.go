@@ -1,0 +1,81 @@
+package slice_test
+
+import (
+	"fmt"
+	"testing"
+
+	"midas/internal/kb"
+	"midas/internal/slice"
+)
+
+func factSet(sp *kb.Space, prefix string, n int) []kb.Triple {
+	out := make([]kb.Triple, n)
+	for i := range out {
+		out[i] = sp.Intern(fmt.Sprintf("%s-s%d", prefix, i), "p", fmt.Sprintf("%s-o%d", prefix, i))
+	}
+	return out
+}
+
+func TestSelectGreedyBudget(t *testing.T) {
+	sp := kb.NewSpace()
+	cost := slice.DefaultCostModel()
+	sets := [][]kb.Triple{
+		factSet(sp, "small", 20),
+		factSet(sp, "big", 100),
+		factSet(sp, "mid", 50),
+	}
+	got := slice.SelectGreedy(sets, nil, cost, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("selection = %v, want [1 2] (biggest first)", got)
+	}
+	all := slice.SelectGreedy(sets, nil, cost, 0)
+	if len(all) != 3 {
+		t.Errorf("uncapped selection = %v, want all 3", all)
+	}
+}
+
+func TestSelectGreedyOverlapDiscount(t *testing.T) {
+	sp := kb.NewSpace()
+	cost := slice.DefaultCostModel()
+	big := factSet(sp, "x", 100)
+	subset := big[:90] // 90% contained in big
+	other := factSet(sp, "y", 60)
+	got := slice.SelectGreedy([][]kb.Triple{big, subset, other}, nil, cost, 2)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("selection = %v, want [0 2]: the subset adds almost nothing", got)
+	}
+}
+
+func TestSelectGreedyStopsWhenUnprofitable(t *testing.T) {
+	sp := kb.NewSpace()
+	cost := slice.DefaultCostModel()
+	sets := [][]kb.Triple{
+		factSet(sp, "good", 50),
+		factSet(sp, "tiny", 3), // 3·0.9 < f_p = 10 → never worth it
+	}
+	got := slice.SelectGreedy(sets, nil, cost, 5)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("selection = %v, want only the profitable slice", got)
+	}
+}
+
+func TestSelectGreedyRespectsKB(t *testing.T) {
+	sp := kb.NewSpace()
+	existing := kb.New(sp)
+	cost := slice.DefaultCostModel()
+	known := factSet(sp, "known", 80)
+	for _, tr := range known {
+		existing.Add(tr)
+	}
+	fresh := factSet(sp, "fresh", 40)
+	got := slice.SelectGreedy([][]kb.Triple{known, fresh}, existing, cost, 2)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("selection = %v, want only the fresh slice", got)
+	}
+}
+
+func TestSelectGreedyEmpty(t *testing.T) {
+	if got := slice.SelectGreedy(nil, nil, slice.DefaultCostModel(), 3); len(got) != 0 {
+		t.Errorf("selection on empty input = %v", got)
+	}
+}

@@ -1,0 +1,195 @@
+// Package slice defines web source slices and the profit function that
+// scores them.
+//
+// A web source slice (Definition 5) is a triplet (C, Π, Π*): a set of
+// properties C, the entities Π of the source that carry every property in
+// C, and the facts Π* associated with those entities. MIDAS reports only
+// canonical slices (Definition 7): among slices selecting the same
+// entities, the one with the maximal property set.
+//
+// The profit of a set of slices S against an existing KB E
+// (Definition 9) is
+//
+//	f(S) = G(S) − C(S)
+//	G(S) = |∪S \ E|
+//	C(S) = C_crawl + C_de-dup + C_validate
+//	C_crawl    = |S|·f_p + Σ_W f_c·|T_W|
+//	C_de-dup   = f_d·|∪S|
+//	C_validate = f_v·|∪S \ E|
+//
+// with the paper's default coefficients f_p=10, f_c=0.001, f_d=0.01,
+// f_v=0.1 (the worked examples in the paper use f_p=1, available as
+// ExampleCostModel). The f_c·|T_W| term is charged once per web source
+// touched by the set; single-slice profits include their source's term,
+// matching the numbers in the paper's Figure 5.
+package slice
+
+import (
+	"sort"
+	"strings"
+
+	"midas/internal/dict"
+	"midas/internal/fact"
+	"midas/internal/kb"
+)
+
+// CostModel holds the coefficients of the profit function.
+type CostModel struct {
+	Fp float64 // per-slice training (wrapper induction) cost
+	Fc float64 // per-fact crawling cost, charged on |T_W| once per source
+	Fd float64 // per-fact de-duplication cost over the slice's facts
+	Fv float64 // per-new-fact validation cost
+}
+
+// DefaultCostModel returns the paper's experimental coefficients.
+func DefaultCostModel() CostModel { return CostModel{Fp: 10, Fc: 0.001, Fd: 0.01, Fv: 0.1} }
+
+// ExampleCostModel returns the coefficients used in the paper's running
+// examples (f_p = 1).
+func ExampleCostModel() CostModel { return CostModel{Fp: 1, Fc: 0.001, Fd: 0.01, Fv: 0.1} }
+
+// SliceProfit computes f({S}) for a single slice with the given new and
+// total fact counts, drawn from a source with sourceFacts = |T_W|.
+func (m CostModel) SliceProfit(newFacts, totalFacts, sourceFacts int) float64 {
+	return float64(newFacts)*(1-m.Fv) - m.Fp - m.Fd*float64(totalFacts) - m.Fc*float64(sourceFacts)
+}
+
+// SetProfit computes f(S) for a set of numSlices slices whose fact union
+// has unionFacts facts of which unionNew are absent from the KB, drawn
+// from sources whose fact-table sizes are perSourceTotals (one entry per
+// distinct source touched).
+func (m CostModel) SetProfit(numSlices, unionFacts, unionNew int, perSourceTotals []int) float64 {
+	crawl := float64(numSlices) * m.Fp
+	for _, t := range perSourceTotals {
+		crawl += m.Fc * float64(t)
+	}
+	return float64(unionNew)*(1-m.Fv) - crawl - m.Fd*float64(unionFacts)
+}
+
+// Slice is a reported web source slice.
+type Slice struct {
+	// Source is the web source URL the slice selects from.
+	Source string
+	// Props is the canonical property set C, sorted.
+	Props []fact.Property
+	// Entities is Π as subject IDs, sorted.
+	Entities []dict.ID
+	// Facts is |Π*|, NewFacts is |Π* \ E|.
+	Facts    int
+	NewFacts int
+	// Profit is f({S}) under the cost model used during discovery,
+	// including the slice's source crawl term.
+	Profit float64
+}
+
+// Level returns the number of properties defining the slice.
+func (s *Slice) Level() int { return len(s.Props) }
+
+// Description renders the property set as a human-readable conjunction,
+// e.g. "category = rocket_family AND sponsor = NASA". Slices with no
+// properties describe the entire source.
+func (s *Slice) Description(space *kb.Space) string {
+	if len(s.Props) == 0 {
+		return "entire source"
+	}
+	parts := make([]string, len(s.Props))
+	for i, p := range s.Props {
+		parts[i] = p.Format(space)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// HasEntity reports whether subject is in Π (binary search).
+func (s *Slice) HasEntity(subject dict.ID) bool {
+	i := sort.Search(len(s.Entities), func(i int) bool { return s.Entities[i] >= subject })
+	return i < len(s.Entities) && s.Entities[i] == subject
+}
+
+// FactSet materializes Π* from the slice's entities and the fact table it
+// was derived from, sorted by triple. Entities absent from the table are
+// skipped (they contribute no facts at this granularity).
+func (s *Slice) FactSet(t *fact.Table) []kb.Triple {
+	var out []kb.Triple
+	for i := range t.Entities {
+		e := &t.Entities[i]
+		if !s.HasEntity(e.Subject) {
+			continue
+		}
+		for _, p := range e.Props {
+			out = append(out, kb.Triple{S: e.Subject, P: p.Pred(), O: p.Value()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// ByProfitDesc sorts slices by decreasing profit, breaking ties by
+// source then property set for determinism.
+func ByProfitDesc(slices []*Slice) {
+	sort.SliceStable(slices, func(i, j int) bool {
+		if slices[i].Profit != slices[j].Profit {
+			return slices[i].Profit > slices[j].Profit
+		}
+		if slices[i].Source != slices[j].Source {
+			return slices[i].Source < slices[j].Source
+		}
+		return lessProps(slices[i].Props, slices[j].Props)
+	})
+}
+
+func lessProps(a, b []fact.Property) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Jaccard computes the Jaccard similarity of two sorted triple sets.
+// Empty∪empty is defined as similarity 1.
+func Jaccard(a, b []kb.Triple) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i].Less(b[j]):
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Equivalent reports whether two fact sets are the same slice under the
+// paper's evaluation rule: Jaccard similarity above 0.95.
+func Equivalent(a, b []kb.Triple) bool { return Jaccard(a, b) > 0.95 }
+
+// UnionStats returns the union size and new-fact count of a set of fact
+// sets, where newness is judged against the KB (nil means everything is
+// new). Fact identity is global (s,p,o), so overlaps across sources
+// collapse.
+func UnionStats(sets [][]kb.Triple, existing kb.Membership) (unionFacts, unionNew int) {
+	seen := make(map[kb.Triple]struct{})
+	for _, set := range sets {
+		for _, t := range set {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			unionFacts++
+			if existing == nil || !existing.Contains(t) {
+				unionNew++
+			}
+		}
+	}
+	return unionFacts, unionNew
+}

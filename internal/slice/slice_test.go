@@ -1,0 +1,213 @@
+package slice_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"midas/internal/fact"
+	"midas/internal/kb"
+	"midas/internal/slice"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestSliceProfitPaperNumbers pins the profit function to the Figure 5
+// walkthrough values (f_p = 1 cost model).
+func TestSliceProfitPaperNumbers(t *testing.T) {
+	m := slice.ExampleCostModel()
+	// S2: 3 new of 3 facts, |T_W| = 13 → 1.657.
+	if got := m.SliceProfit(3, 3, 13); !approx(got, 1.657) {
+		t.Errorf("S2 profit = %v, want 1.657", got)
+	}
+	// S4: 0 new of 7 facts → −1.083.
+	if got := m.SliceProfit(0, 7, 13); !approx(got, -1.083) {
+		t.Errorf("S4 profit = %v, want -1.083", got)
+	}
+	// S5: 6 new of 6 facts → 4.327.
+	if got := m.SliceProfit(6, 6, 13); !approx(got, 4.327) {
+		t.Errorf("S5 profit = %v, want 4.327", got)
+	}
+	// S6: 6 new of 13 facts → 4.257.
+	if got := m.SliceProfit(6, 13, 13); !approx(got, 4.257) {
+		t.Errorf("S6 profit = %v, want 4.257", got)
+	}
+}
+
+// TestSetProfitExample10 pins the set comparison of Example 10:
+// {S5} beats {S2, S3} (one training cost instead of two) and {S6}
+// (lower de-duplication cost).
+func TestSetProfitExample10(t *testing.T) {
+	m := slice.ExampleCostModel()
+	s5 := m.SetProfit(1, 6, 6, []int{13})
+	s2s3 := m.SetProfit(2, 6, 6, []int{13})
+	s6 := m.SetProfit(1, 13, 6, []int{13})
+	if !(s5 > s2s3 && s5 > s6) {
+		t.Errorf("f({S5})=%v must beat f({S2,S3})=%v and f({S6})=%v", s5, s2s3, s6)
+	}
+	if !approx(s5-s2s3, 1) { // one saved f_p
+		t.Errorf("training-cost delta = %v, want 1", s5-s2s3)
+	}
+}
+
+// TestProfitClosedFormQuick property: SliceProfit matches the formula
+// for arbitrary inputs, and adding facts never increases profit unless
+// they are new.
+func TestProfitClosedFormQuick(t *testing.T) {
+	m := slice.DefaultCostModel()
+	f := func(newFacts, extraFacts, sourceFacts uint16) bool {
+		n, e, s := int(newFacts%1000), int(extraFacts%1000), int(sourceFacts%5000)
+		total := n + e
+		got := m.SliceProfit(n, total, s)
+		want := float64(n)*0.9 - 10 - 0.01*float64(total) - 0.001*float64(s)
+		if !approx(got, want) {
+			return false
+		}
+		// Known facts only cost: more of them, lower profit.
+		return m.SliceProfit(n, total+1, s) < got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkTriples(spec ...[3]string) ([]kb.Triple, *kb.Space) {
+	sp := kb.NewSpace()
+	var out []kb.Triple
+	for _, s := range spec {
+		out = append(out, sp.Intern(s[0], s[1], s[2]))
+	}
+	return out, sp
+}
+
+func TestJaccard(t *testing.T) {
+	a, sp := mkTriples([3]string{"a", "p", "1"}, [3]string{"b", "p", "2"}, [3]string{"c", "p", "3"})
+	b := []kb.Triple{a[0], a[1], sp.Intern("d", "p", "4")}
+	sortTriples(a)
+	sortTriples(b)
+	if got := slice.Jaccard(a, b); !approx(got, 0.5) {
+		t.Errorf("Jaccard = %v, want 0.5 (2 shared of 4)", got)
+	}
+	if got := slice.Jaccard(a, a); got != 1 {
+		t.Errorf("self Jaccard = %v", got)
+	}
+	if got := slice.Jaccard(nil, nil); got != 1 {
+		t.Errorf("empty Jaccard = %v", got)
+	}
+	if got := slice.Jaccard(a, nil); got != 0 {
+		t.Errorf("disjoint Jaccard = %v", got)
+	}
+	if !slice.Equivalent(a, a) || slice.Equivalent(a, b) {
+		t.Error("Equivalent threshold wrong")
+	}
+}
+
+func sortTriples(ts []kb.Triple) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Less(ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// TestJaccardProperties: symmetry and bounds on random sorted sets.
+func TestJaccardProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := kb.NewSpace()
+		mk := func() []kb.Triple {
+			seen := make(map[kb.Triple]bool)
+			var out []kb.Triple
+			for i := 0; i < rng.Intn(30); i++ {
+				tr := sp.Intern(fmt.Sprintf("s%d", rng.Intn(10)), "p", fmt.Sprintf("o%d", rng.Intn(10)))
+				if !seen[tr] {
+					seen[tr] = true
+					out = append(out, tr)
+				}
+			}
+			sortTriples(out)
+			return out
+		}
+		a, b := mk(), mk()
+		ab, ba := slice.Jaccard(a, b), slice.Jaccard(b, a)
+		return ab == ba && ab >= 0 && ab <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceDescriptionAndFactSet(t *testing.T) {
+	sp := kb.NewSpace()
+	existing := kb.New(sp)
+	triples := []kb.Triple{
+		sp.Intern("Atlas", "category", "rocket_family"),
+		sp.Intern("Atlas", "sponsor", "NASA"),
+		sp.Intern("Castor-4", "category", "rocket_family"),
+		sp.Intern("Castor-4", "sponsor", "NASA"),
+		sp.Intern("Mercury", "category", "space_program"),
+	}
+	table := fact.Build("src", sp, triples, existing)
+	s := &slice.Slice{
+		Source: "src",
+		Props: []fact.Property{
+			fact.Prop(sp.Predicates.Lookup("category"), sp.Objects.Lookup("rocket_family")),
+		},
+		Entities: []int32{sp.Subjects.Lookup("Atlas"), sp.Subjects.Lookup("Castor-4")},
+	}
+	if got := s.Description(sp); got != "category = rocket_family" {
+		t.Errorf("description = %q", got)
+	}
+	fs := s.FactSet(table)
+	if len(fs) != 4 {
+		t.Errorf("fact set = %d, want 4", len(fs))
+	}
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Less(fs[i-1]) {
+			t.Error("fact set unsorted")
+		}
+	}
+	if !s.HasEntity(sp.Subjects.Lookup("Atlas")) || s.HasEntity(sp.Subjects.Lookup("Mercury")) {
+		t.Error("HasEntity wrong")
+	}
+	empty := &slice.Slice{}
+	if empty.Description(sp) != "entire source" {
+		t.Errorf("empty description = %q", empty.Description(sp))
+	}
+}
+
+func TestByProfitDesc(t *testing.T) {
+	slices := []*slice.Slice{
+		{Source: "b", Profit: 1},
+		{Source: "a", Profit: 5},
+		{Source: "a", Profit: 1},
+	}
+	slice.ByProfitDesc(slices)
+	if slices[0].Profit != 5 {
+		t.Error("not sorted by profit")
+	}
+	if slices[1].Source != "a" || slices[2].Source != "b" {
+		t.Error("ties not broken by source")
+	}
+}
+
+func TestUnionStats(t *testing.T) {
+	ts, sp := mkTriples(
+		[3]string{"a", "p", "1"},
+		[3]string{"b", "p", "2"},
+		[3]string{"c", "p", "3"},
+	)
+	existing := kb.New(sp)
+	existing.Add(ts[0])
+	sets := [][]kb.Triple{{ts[0], ts[1]}, {ts[1], ts[2]}}
+	facts, fresh := slice.UnionStats(sets, existing)
+	if facts != 3 || fresh != 2 {
+		t.Errorf("union = %d/%d, want 3/2", facts, fresh)
+	}
+	facts, fresh = slice.UnionStats(sets, nil)
+	if facts != 3 || fresh != 3 {
+		t.Errorf("union vs nil KB = %d/%d, want 3/3", facts, fresh)
+	}
+}

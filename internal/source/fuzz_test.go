@@ -1,0 +1,53 @@
+package source_test
+
+import (
+	"strings"
+	"testing"
+
+	"midas/internal/source"
+)
+
+// FuzzNormalize: normalization must never panic, must be idempotent,
+// and its output must satisfy the hierarchy invariants (Depth/Parent/
+// Levels agree).
+func FuzzNormalize(f *testing.F) {
+	for _, s := range []string{
+		"http://space.skyrocket.de/doc_sat/mercury-history.htm",
+		"HTTPS://WWW.CDC.GOV/niosh/",
+		"", "///", "http://", "a.com///b//c", "a.com/b?q=1#frag",
+		"no scheme here", "scheme://host/päth/ünïcode", "\t\n",
+		"http://h/" + strings.Repeat("x/", 50),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, url string) {
+		n := source.Normalize(url)
+		if got := source.Normalize(n); got != n {
+			// Idempotence can only break if normalization reintroduces
+			// separators; scheme-less re-normalization must be stable.
+			// One legal exception: a normalized host segment containing
+			// "://" cannot occur since Normalize strips the first one.
+			t.Fatalf("not idempotent: %q → %q → %q", url, n, got)
+		}
+		levels := source.Levels(n)
+		if len(levels) != source.Depth(n) {
+			t.Fatalf("levels/depth disagree for %q: %d vs %d", n, len(levels), source.Depth(n))
+		}
+		cur := n
+		for i := len(levels) - 1; i > 0; i-- {
+			p, ok := source.Parent(cur)
+			if !ok {
+				t.Fatalf("missing parent at level %d of %q", i, n)
+			}
+			if p != levels[i-1] {
+				t.Fatalf("parent chain diverges from Levels for %q", n)
+			}
+			cur = p
+		}
+		if len(levels) > 0 {
+			if _, ok := source.Parent(levels[0]); ok {
+				t.Fatalf("domain level of %q has a parent", n)
+			}
+		}
+	})
+}

@@ -1,0 +1,144 @@
+// Package source models web sources and the URL hierarchy MIDAS exploits
+// (Section II-A): a web source is any granularity of a URL hierarchy —
+// a web domain (cdc.gov), a sub-domain path (cdc.gov/niosh), or a single
+// page (cdc.gov/niosh/ipcsneng/neng0363.html). The hierarchy drives the
+// multi-source framework's sharding: each round groups sources under
+// their one-level-coarser parent.
+package source
+
+import (
+	"sort"
+	"strings"
+)
+
+// Normalize canonicalizes a URL into a source path: scheme, query,
+// fragment, and trailing slashes are stripped; the host keeps its case
+// lowered; path segments are preserved. Examples:
+//
+//	http://space.skyrocket.de/doc_sat/mercury-history.htm
+//	  → space.skyrocket.de/doc_sat/mercury-history.htm
+//	HTTPS://WWW.CDC.GOV/niosh/
+//	  → www.cdc.gov/niosh
+func Normalize(url string) string {
+	s := url
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexAny(s, "?#"); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.Trim(s, "/")
+	// Collapse duplicate slashes.
+	for strings.Contains(s, "//") {
+		s = strings.ReplaceAll(s, "//", "/")
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return strings.ToLower(s[:i]) + s[i:]
+	}
+	return strings.ToLower(s)
+}
+
+// Depth returns the number of hierarchy levels of a normalized source:
+// 1 for a bare domain, 2 for domain/x, and so on. Depth("") is 0.
+func Depth(src string) int {
+	if src == "" {
+		return 0
+	}
+	return strings.Count(src, "/") + 1
+}
+
+// Parent returns the one-level-coarser web source of a normalized source
+// and reports whether one exists (bare domains have no parent).
+func Parent(src string) (string, bool) {
+	i := strings.LastIndexByte(src, '/')
+	if i < 0 {
+		return "", false
+	}
+	return src[:i], true
+}
+
+// Domain returns the domain (coarsest) level of a normalized source.
+func Domain(src string) string {
+	if i := strings.IndexByte(src, '/'); i >= 0 {
+		return src[:i]
+	}
+	return src
+}
+
+// Levels returns every granularity of the source from domain to the
+// source itself, coarsest first.
+func Levels(src string) []string {
+	if src == "" {
+		return nil
+	}
+	var out []string
+	for i := 0; i < len(src); i++ {
+		if src[i] == '/' {
+			out = append(out, src[:i])
+		}
+	}
+	return append(out, src)
+}
+
+// Tree indexes a set of sources by their parents.
+type Tree struct {
+	children map[string][]string
+	roots    []string
+}
+
+// NewTree builds the hierarchy over the given normalized sources and all
+// of their ancestor levels.
+func NewTree(sources []string) *Tree {
+	t := &Tree{children: make(map[string][]string)}
+	seen := make(map[string]struct{})
+	var add func(string)
+	add = func(src string) {
+		if _, dup := seen[src]; dup {
+			return
+		}
+		seen[src] = struct{}{}
+		if p, ok := Parent(src); ok {
+			t.children[p] = append(t.children[p], src)
+			add(p)
+		} else {
+			t.roots = append(t.roots, src)
+		}
+	}
+	for _, s := range sources {
+		add(s)
+	}
+	sort.Strings(t.roots)
+	for _, c := range t.children {
+		sort.Strings(c)
+	}
+	return t
+}
+
+// Children returns the direct children of src, sorted.
+func (t *Tree) Children(src string) []string { return t.children[src] }
+
+// Roots returns the domain-level sources, sorted.
+func (t *Tree) Roots() []string { return t.roots }
+
+// Walk visits every source in the tree, parents before children.
+func (t *Tree) Walk(fn func(src string, depth int)) {
+	var rec func(src string, depth int)
+	rec = func(src string, depth int) {
+		fn(src, depth)
+		for _, c := range t.children[src] {
+			rec(c, depth+1)
+		}
+	}
+	for _, r := range t.roots {
+		rec(r, 1)
+	}
+}
+
+// Size returns the number of sources in the tree (all granularities).
+func (t *Tree) Size() int {
+	n := len(t.roots)
+	for _, c := range t.children {
+		n += len(c)
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package source_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"midas/internal/source"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"http://space.skyrocket.de/doc_sat/mercury-history.htm", "space.skyrocket.de/doc_sat/mercury-history.htm"},
+		{"HTTPS://WWW.CDC.GOV/niosh/", "www.cdc.gov/niosh"},
+		{"https://a.com//b//c/", "a.com/b/c"},
+		{"a.com/b?q=1", "a.com/b"},
+		{"a.com/b#frag", "a.com/b"},
+		{"a.com", "a.com"},
+		{"HTTP://A.COM/Path/Keeps/Case", "a.com/Path/Keeps/Case"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := source.Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDepthParentDomain(t *testing.T) {
+	src := "a.com/b/c"
+	if d := source.Depth(src); d != 3 {
+		t.Errorf("Depth = %d, want 3", d)
+	}
+	p, ok := source.Parent(src)
+	if !ok || p != "a.com/b" {
+		t.Errorf("Parent = %q/%v", p, ok)
+	}
+	if _, ok := source.Parent("a.com"); ok {
+		t.Error("domain should have no parent")
+	}
+	if d := source.Domain(src); d != "a.com" {
+		t.Errorf("Domain = %q", d)
+	}
+	if d := source.Depth(""); d != 0 {
+		t.Errorf("Depth(\"\") = %d", d)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	got := source.Levels("a.com/b/c")
+	want := []string{"a.com", "a.com/b", "a.com/b/c"}
+	if len(got) != len(want) {
+		t.Fatalf("levels = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("levels[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if source.Levels("") != nil {
+		t.Error("Levels(\"\") should be nil")
+	}
+}
+
+// Property: Parent chains terminate at the domain, depth decreases by
+// one per step, and Levels is consistent with the chain.
+func TestHierarchyProperties(t *testing.T) {
+	f := func(segs []string) bool {
+		src := "host.example"
+		n := 0
+		for _, s := range segs {
+			if s == "" || n >= 6 {
+				continue
+			}
+			clean := ""
+			for _, r := range s {
+				if r != '/' && r != '?' && r != '#' && r != '\n' {
+					clean += string(r)
+				}
+			}
+			if clean == "" {
+				continue
+			}
+			src += "/" + clean
+			n++
+		}
+		levels := source.Levels(src)
+		if len(levels) != source.Depth(src) {
+			return false
+		}
+		cur := src
+		for i := len(levels) - 1; i >= 0; i-- {
+			if levels[i] != cur {
+				return false
+			}
+			p, ok := source.Parent(cur)
+			if i == 0 {
+				if ok {
+					return false
+				}
+			} else {
+				if !ok || source.Depth(p) != source.Depth(cur)-1 {
+					return false
+				}
+				cur = p
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTree(t *testing.T) {
+	tree := source.NewTree([]string{
+		"a.com/x/1",
+		"a.com/x/2",
+		"a.com/y",
+		"b.org/z/deep/leaf",
+	})
+	roots := tree.Roots()
+	if len(roots) != 2 || roots[0] != "a.com" || roots[1] != "b.org" {
+		t.Fatalf("roots = %v", roots)
+	}
+	if kids := tree.Children("a.com"); len(kids) != 2 {
+		t.Errorf("children(a.com) = %v", kids)
+	}
+	if kids := tree.Children("a.com/x"); len(kids) != 2 {
+		t.Errorf("children(a.com/x) = %v", kids)
+	}
+	// All granularities: a.com, a.com/x, a.com/x/1, a.com/x/2, a.com/y,
+	// b.org, b.org/z, b.org/z/deep, b.org/z/deep/leaf.
+	if got := tree.Size(); got != 9 {
+		t.Errorf("size = %d, want 9", got)
+	}
+	visited := 0
+	lastDepth := 0
+	tree.Walk(func(src string, depth int) {
+		visited++
+		if depth > lastDepth+1 {
+			t.Errorf("walk jumped from depth %d to %d at %s", lastDepth, depth, src)
+		}
+		lastDepth = depth
+		if source.Depth(src) != depth {
+			t.Errorf("depth mismatch at %s: %d vs %d", src, source.Depth(src), depth)
+		}
+	})
+	if visited != 9 {
+		t.Errorf("walk visited %d, want 9", visited)
+	}
+}

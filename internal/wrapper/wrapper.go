@@ -1,0 +1,160 @@
+// Package wrapper simulates the wrapper-induction step of the
+// industry-standard pipeline (Figure 1a of the paper): once MIDAS
+// recommends a slice, crowd workers annotate a handful of its entities
+// and wrapper induction learns extraction patterns ("XPath patterns")
+// that generalize to the rest of the source.
+//
+// Pages are modeled as templated documents: every fact occupies a slot
+// (the stand-in for a DOM path). Pages rendered from one template put
+// each predicate in a stable slot, so a wrapper learned from a few
+// annotated entities extracts the rest nearly perfectly; mixing
+// templates — which is what annotating a whole heterogeneous source
+// forces — makes slots ambiguous and the induced wrapper wrong. This is
+// the mechanism behind the paper's claim that slices "allow for easy
+// annotation": a slice's entities share a template, a whole source's
+// do not.
+package wrapper
+
+import (
+	"sort"
+
+	"midas/internal/dict"
+	"midas/internal/kb"
+)
+
+// Field is one rendered fact on a page: the slot it occupies (its
+// "DOM path") and the fact itself.
+type Field struct {
+	Slot    int
+	Subject dict.ID
+	Pred    dict.ID
+	Object  dict.ID
+}
+
+// Page is a templated web page: the fields of one or more entities.
+type Page struct {
+	URL    string
+	Fields []Field
+}
+
+// Wrapper is an induced extractor: a mapping from slot to predicate.
+// Applying it to a page emits (subject, mapped predicate, object) for
+// every field whose slot it knows.
+type Wrapper struct {
+	// SlotPred maps slot → predicate learned by majority vote.
+	SlotPred map[int]dict.ID
+	// Support counts the annotation votes behind each slot.
+	Support map[int]int
+	// Conflicts counts slots whose annotations disagreed (the majority
+	// still wins, but disagreement predicts extraction errors).
+	Conflicts int
+}
+
+// Induce learns a wrapper from annotated entities: for every field of
+// an annotated entity, the (slot → predicate) pair is one vote. The
+// annotation budget is the entity set — in production these are the
+// entities crowd workers label.
+func Induce(pages []Page, annotated map[dict.ID]bool) *Wrapper {
+	votes := make(map[int]map[dict.ID]int)
+	for _, page := range pages {
+		for _, f := range page.Fields {
+			if !annotated[f.Subject] {
+				continue
+			}
+			m, ok := votes[f.Slot]
+			if !ok {
+				m = make(map[dict.ID]int)
+				votes[f.Slot] = m
+			}
+			m[f.Pred]++
+		}
+	}
+	w := &Wrapper{SlotPred: make(map[int]dict.ID), Support: make(map[int]int)}
+	for slot, m := range votes {
+		var best dict.ID = -1
+		bestVotes, total := 0, 0
+		// Deterministic majority: ties break toward the lower ID.
+		preds := make([]dict.ID, 0, len(m))
+		for p := range m {
+			preds = append(preds, p)
+		}
+		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+		for _, p := range preds {
+			total += m[p]
+			if m[p] > bestVotes {
+				best, bestVotes = p, m[p]
+			}
+		}
+		w.SlotPred[slot] = best
+		w.Support[slot] = total
+		if bestVotes < total {
+			w.Conflicts++
+		}
+	}
+	return w
+}
+
+// Apply extracts facts from pages with the induced wrapper: every field
+// in a known slot yields (subject, learnedPred, object).
+func (w *Wrapper) Apply(pages []Page) []kb.Triple {
+	var out []kb.Triple
+	for _, page := range pages {
+		for _, f := range page.Fields {
+			pred, ok := w.SlotPred[f.Slot]
+			if !ok {
+				continue
+			}
+			out = append(out, kb.Triple{S: f.Subject, P: pred, O: f.Object})
+		}
+	}
+	return out
+}
+
+// Quality compares wrapper extractions against the pages' ground truth.
+type Quality struct {
+	Extracted int
+	Correct   int
+	Truth     int
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Evaluate applies the wrapper and scores it against the true facts on
+// the pages (restricted to subjects in scope; nil scope = all).
+func (w *Wrapper) Evaluate(pages []Page, scope map[dict.ID]bool) Quality {
+	truth := make(map[kb.Triple]bool)
+	for _, page := range pages {
+		for _, f := range page.Fields {
+			if scope != nil && !scope[f.Subject] {
+				continue
+			}
+			truth[kb.Triple{S: f.Subject, P: f.Pred, O: f.Object}] = true
+		}
+	}
+	q := Quality{Truth: len(truth)}
+	seen := make(map[kb.Triple]bool)
+	for _, tr := range w.Apply(pages) {
+		if scope != nil && !scope[tr.S] {
+			continue
+		}
+		if seen[tr] {
+			continue
+		}
+		seen[tr] = true
+		q.Extracted++
+		if truth[tr] {
+			q.Correct++
+		}
+	}
+	if q.Extracted > 0 {
+		q.Precision = float64(q.Correct) / float64(q.Extracted)
+	}
+	if q.Truth > 0 {
+		q.Recall = float64(q.Correct) / float64(q.Truth)
+	}
+	if q.Precision+q.Recall > 0 {
+		q.F1 = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}

@@ -1,0 +1,172 @@
+package wrapper_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"midas/internal/dict"
+	"midas/internal/kb"
+	"midas/internal/wrapper"
+)
+
+// templatePages renders n entities with preds["p0","p1",...] in stable
+// slots (anchor slot 0).
+func templatePages(sp *kb.Space, vertical string, n int, preds []string, slotBase int) []wrapper.Page {
+	var pages []wrapper.Page
+	for e := 0; e < n; e++ {
+		subj := sp.Subjects.Put(fmt.Sprintf("%s-e%d", vertical, e))
+		page := wrapper.Page{URL: fmt.Sprintf("http://x.com/%s/e%d.htm", vertical, e)}
+		for i, p := range preds {
+			page.Fields = append(page.Fields, wrapper.Field{
+				Slot:    slotBase + i,
+				Subject: subj,
+				Pred:    sp.Predicates.Put(p),
+				Object:  sp.Objects.Put(fmt.Sprintf("%s-v%d-%d", vertical, e, i)),
+			})
+		}
+		pages = append(pages, page)
+	}
+	return pages
+}
+
+func annotateFirst(pages []wrapper.Page, k int) map[dict.ID]bool {
+	out := make(map[dict.ID]bool)
+	for _, p := range pages {
+		for _, f := range p.Fields {
+			if len(out) >= k {
+				return out
+			}
+			out[f.Subject] = true
+		}
+	}
+	return out
+}
+
+// TestInduceHomogeneous: annotating a few entities of one template
+// yields a perfect wrapper for the rest.
+func TestInduceHomogeneous(t *testing.T) {
+	sp := kb.NewSpace()
+	pages := templatePages(sp, "golf", 40, []string{"type", "holes", "country"}, 0)
+	w := wrapper.Induce(pages, annotateFirst(pages, 5))
+	if w.Conflicts != 0 {
+		t.Errorf("conflicts = %d, want 0", w.Conflicts)
+	}
+	q := w.Evaluate(pages, nil)
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Errorf("quality = %+v, want perfect", q)
+	}
+	if q.Truth != 120 {
+		t.Errorf("truth = %d, want 120", q.Truth)
+	}
+}
+
+// TestInduceMixedTemplates: two verticals whose templates collide on
+// slots produce conflicted, low-precision wrappers when annotated
+// together.
+func TestInduceMixedTemplates(t *testing.T) {
+	sp := kb.NewSpace()
+	a := templatePages(sp, "golf", 20, []string{"type", "holes"}, 0)
+	b := templatePages(sp, "beer", 20, []string{"style", "abv"}, 0) // same slots, different preds
+	all := append(append([]wrapper.Page{}, a...), b...)
+
+	annotated := annotateFirst(a, 5)
+	for s := range annotateFirst(b, 5) {
+		annotated[s] = true
+	}
+	w := wrapper.Induce(all, annotated)
+	if w.Conflicts == 0 {
+		t.Fatal("colliding templates must conflict")
+	}
+	q := w.Evaluate(all, nil)
+	if q.Precision > 0.7 {
+		t.Errorf("mixed-template precision = %.3f, want degraded", q.Precision)
+	}
+
+	// Annotating only one vertical and scoping to it stays perfect.
+	wa := wrapper.Induce(a, annotateFirst(a, 5))
+	scope := make(map[dict.ID]bool)
+	for _, p := range a {
+		for _, f := range p.Fields {
+			scope[f.Subject] = true
+		}
+	}
+	if q := wa.Evaluate(a, scope); q.F1 != 1 {
+		t.Errorf("scoped wrapper F1 = %.3f, want 1", q.F1)
+	}
+}
+
+// TestInduceEmptyAnnotation: no annotations, no wrapper.
+func TestInduceEmptyAnnotation(t *testing.T) {
+	sp := kb.NewSpace()
+	pages := templatePages(sp, "x", 5, []string{"p"}, 0)
+	w := wrapper.Induce(pages, nil)
+	if len(w.SlotPred) != 0 {
+		t.Errorf("learned %d slots from nothing", len(w.SlotPred))
+	}
+	q := w.Evaluate(pages, nil)
+	if q.Extracted != 0 || q.Recall != 0 {
+		t.Errorf("quality = %+v", q)
+	}
+}
+
+// TestApplyUnknownSlotsSkipped: fields in unlearned slots are not
+// extracted.
+func TestApplyUnknownSlotsSkipped(t *testing.T) {
+	sp := kb.NewSpace()
+	pages := templatePages(sp, "x", 10, []string{"p0", "p1"}, 0)
+	// Annotate entities but then evaluate pages that also carry an
+	// extra field in a new slot.
+	w := wrapper.Induce(pages, annotateFirst(pages, 3))
+	extra := pages
+	extra[0].Fields = append(extra[0].Fields, wrapper.Field{
+		Slot: 99, Subject: extra[0].Fields[0].Subject,
+		Pred: sp.Predicates.Put("hidden"), Object: sp.Objects.Put("v"),
+	})
+	q := w.Evaluate(extra, nil)
+	if q.Precision != 1 {
+		t.Errorf("precision = %.3f; unknown slots must not be extracted", q.Precision)
+	}
+	if q.Recall == 1 {
+		t.Error("recall should drop: the hidden field is unreachable")
+	}
+}
+
+// TestInduceDeterministicTieBreak property: induction is deterministic
+// for any annotation subset.
+func TestInduceDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := kb.NewSpace()
+		var pages []wrapper.Page
+		for e := 0; e < 10; e++ {
+			subj := sp.Subjects.Put(fmt.Sprintf("e%d", e))
+			page := wrapper.Page{URL: fmt.Sprintf("u%d", e)}
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				page.Fields = append(page.Fields, wrapper.Field{
+					Slot:    rng.Intn(3),
+					Subject: subj,
+					Pred:    sp.Predicates.Put(fmt.Sprintf("p%d", rng.Intn(3))),
+					Object:  sp.Objects.Put(fmt.Sprintf("o%d", rng.Intn(5))),
+				})
+			}
+			pages = append(pages, page)
+		}
+		annotated := annotateFirst(pages, 5)
+		a := wrapper.Induce(pages, annotated)
+		b := wrapper.Induce(pages, annotated)
+		if len(a.SlotPred) != len(b.SlotPred) || a.Conflicts != b.Conflicts {
+			return false
+		}
+		for slot, pred := range a.SlotPred {
+			if b.SlotPred[slot] != pred {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,350 @@
+// Package midas implements MIDAS (ICDE 2019): discovery of high-profit
+// web source slices for knowledge-base augmentation from the output of
+// automated knowledge-extraction pipelines.
+//
+// A web source slice describes a coherent subset of a web source's
+// content — a set of entities sharing (predicate, value) properties,
+// such as "rocket families sponsored by NASA" on
+// space.skyrocket.de/doc_lau_fam — together with what extracting it
+// would contribute to an existing knowledge base. MIDAS scores slices
+// with a profit function (gain in new facts minus crawling,
+// de-duplication, and validation costs) and discovers the best set
+// across millions of sources by exploiting the URL hierarchy.
+//
+// Basic usage:
+//
+//	existing := midas.NewKB()
+//	existing.Add("Project Mercury", "category", "space_program")
+//
+//	corpus := midas.NewCorpus(existing)
+//	corpus.Add(midas.Fact{
+//		Subject: "Atlas", Predicate: "category", Object: "rocket_family",
+//		Confidence: 0.92, URL: "http://space.skyrocket.de/doc_lau_fam/atlas.htm",
+//	})
+//	// ... add the rest of the extraction output ...
+//
+//	result := midas.Discover(corpus, existing, nil)
+//	for _, s := range result.Slices {
+//		fmt.Printf("%s — %s (%d new facts, profit %.1f)\n",
+//			s.Source, s.Description, s.NewFacts, s.Profit)
+//	}
+//
+// The underlying algorithm (MIDASalg) and the parallel multi-source
+// framework are described in DESIGN.md and implemented in the internal
+// packages; this package is the stable public surface.
+package midas
+
+import (
+	"context"
+	"io"
+
+	"midas/internal/core"
+	"midas/internal/fact"
+	"midas/internal/framework"
+	"midas/internal/fuse"
+	"midas/internal/kb"
+	"midas/internal/rdf"
+	"midas/internal/reason"
+	"midas/internal/slice"
+)
+
+// Fact is one extracted fact: an RDF triple with the extraction
+// confidence and the URL of the page it was extracted from.
+type Fact = fact.Fact
+
+// CostModel holds the coefficients of the profit function f(S) = gain −
+// cost (Definition 9 of the paper): Fp is the per-slice training cost,
+// Fc the per-fact crawling cost, Fd the per-fact de-duplication cost,
+// and Fv the per-new-fact validation cost.
+type CostModel = slice.CostModel
+
+// DefaultCostModel returns the paper's coefficients
+// (f_p=10, f_c=0.001, f_d=0.01, f_v=0.1).
+func DefaultCostModel() CostModel { return slice.DefaultCostModel() }
+
+// KB is an existing knowledge base: the reference that decides which
+// extracted facts are new. The zero value is not usable; call NewKB.
+type KB struct {
+	store *kb.KB
+}
+
+// NewKB returns an empty knowledge base.
+func NewKB() *KB {
+	return &KB{store: kb.New(kb.NewSpace())}
+}
+
+// Add inserts a fact, reporting whether it was new.
+func (k *KB) Add(subject, predicate, object string) bool {
+	return k.store.AddStrings(subject, predicate, object)
+}
+
+// Contains reports whether the fact is present.
+func (k *KB) Contains(subject, predicate, object string) bool {
+	return k.store.ContainsStrings(subject, predicate, object)
+}
+
+// Size returns the number of stored facts.
+func (k *KB) Size() int { return k.store.Size() }
+
+// LoadTSV reads tab-separated (subject, predicate, object) lines,
+// returning the number of new facts added.
+func (k *KB) LoadTSV(r io.Reader) (int, error) { return k.store.ReadTSV(r) }
+
+// SaveTSV writes the knowledge base as sorted tab-separated lines.
+func (k *KB) SaveTSV(w io.Writer) error { return k.store.WriteTSV(w) }
+
+// LoadBinary reads the compact binary format written by SaveBinary,
+// returning the number of new facts added.
+func (k *KB) LoadBinary(r io.Reader) (int, error) { return k.store.ReadBinary(r) }
+
+// LoadNTriples reads W3C N-Triples (or N-Quads; graph terms are
+// ignored), returning the number of new facts added.
+func (k *KB) LoadNTriples(r io.Reader) (int, error) { return rdf.LoadKB(r, k.store) }
+
+// SaveNTriples writes the knowledge base as N-Triples. Strings that are
+// not IRI-safe are wrapped as urn:midas: IRIs so the round trip is
+// exact.
+func (k *KB) SaveNTriples(w io.Writer) error { return rdf.SaveKB(w, k.store) }
+
+// SaveBinary writes the knowledge base in a compact dictionary-encoded
+// binary format (typically several times smaller than the TSV).
+func (k *KB) SaveBinary(w io.Writer) error { return k.store.WriteBinary(w) }
+
+// Corpus collects the output of an automated extraction pipeline.
+type Corpus struct {
+	c *fact.Corpus
+}
+
+// NewCorpus returns an empty corpus. Passing the KB the corpus will be
+// discovered against lets the two share interned strings; nil is
+// allowed but Discover then requires the same nil KB.
+func NewCorpus(existing *KB) *Corpus {
+	if existing == nil {
+		return &Corpus{c: fact.NewCorpus(nil)}
+	}
+	return &Corpus{c: fact.NewCorpus(existing.store.Space())}
+}
+
+// Add appends an extracted fact.
+func (c *Corpus) Add(f Fact) { c.c.Add(f) }
+
+// Len returns the number of facts added.
+func (c *Corpus) Len() int { return len(c.c.Facts) }
+
+// LoadNQuads reads W3C N-Quads, using each statement's graph term as
+// the source page URL. N-Quads carry no confidence; every fact receives
+// defaultConfidence. It returns the number of facts read.
+func (c *Corpus) LoadNQuads(r io.Reader, defaultConfidence float64) (int, error) {
+	return rdf.LoadCorpus(r, c.c, defaultConfidence)
+}
+
+// SaveNQuads writes the corpus as N-Quads (source URLs as graph terms;
+// confidences are dropped — use the binary format to preserve them).
+func (c *Corpus) SaveNQuads(w io.Writer) error { return rdf.SaveCorpus(w, c.c) }
+
+// LoadBinary appends facts from the compact binary format written by
+// SaveBinary (confidences preserved), returning the number read.
+func (c *Corpus) LoadBinary(r io.Reader) (int, error) { return c.c.ReadBinary(r) }
+
+// SaveBinary writes the corpus in the compact dictionary-encoded binary
+// format, preserving confidences and source URLs.
+func (c *Corpus) SaveBinary(w io.Writer) error { return c.c.WriteBinary(w) }
+
+// Property is one (predicate, value) condition of a slice description.
+type Property struct {
+	Predicate string
+	Value     string
+}
+
+// Slice is a discovered web source slice: what to extract (Properties)
+// and from where (Source), with its contribution statistics.
+type Slice struct {
+	// Source is the web source at the granularity MIDAS recommends
+	// extracting from (domain, sub-domain path, or page).
+	Source string
+	// Description renders Properties as a conjunction.
+	Description string
+	// Properties is the canonical property set defining the slice.
+	Properties []Property
+	// Entities are the subjects the slice selects.
+	Entities []string
+	// Facts is the slice's fact count; NewFacts of them are absent from
+	// the knowledge base.
+	Facts    int
+	NewFacts int
+	// Profit is the slice's score under the cost model.
+	Profit float64
+}
+
+// Result is the output of a discovery run, slices sorted by decreasing
+// profit.
+type Result struct {
+	Slices []Slice
+	// Rounds is the number of URL-hierarchy levels processed.
+	Rounds int
+	// SourcesProcessed counts per-source detector invocations.
+	SourcesProcessed int
+}
+
+// Options tunes discovery. The zero value (or nil) uses the paper's
+// defaults.
+type Options struct {
+	// Cost is the profit model (zero value = DefaultCostModel).
+	Cost CostModel
+	// Workers bounds the parallel framework's worker pool
+	// (0 = GOMAXPROCS).
+	Workers int
+	// MinConfidence drops extracted facts at or below this confidence
+	// before discovery (the paper uses 0.7; 0 keeps everything).
+	MinConfidence float64
+	// Fuse runs confidence-weighted conflict resolution before
+	// discovery (the data-fusion preprocessing the paper cites):
+	// on predicates that look functional, conflicting objects for one
+	// subject collapse to the highest-confidence value.
+	Fuse bool
+	// MaxPropsPerEntity and MaxInitCombos bound per-entity lattice
+	// seeding (0 = library defaults; see internal/hierarchy).
+	MaxPropsPerEntity int
+	MaxInitCombos     int
+	// MaxSlices imposes an extraction budget: after discovery, at most
+	// this many slices are kept, selected greedily by marginal profit
+	// over the fact union (0 = keep everything).
+	MaxSlices int
+	// NumericBucketWidth, when positive, rewrites numeric object values
+	// of predominantly-numeric predicates into ranges of this width
+	// before discovery ("started = 1957" → "started = [1950,1960)"),
+	// enabling the generalized properties the paper sketches.
+	NumericBucketWidth float64
+	// TypeOntology, with TypePredicates, expands type facts along
+	// subclass edges before discovery so slices can form at broader
+	// types ("golf courses" and "ski resorts" surfacing together as
+	// "sports facilities"). Both must be set for expansion to run, and
+	// the ontology must have been created against this corpus's KB (via
+	// NewCorpus sharing).
+	TypeOntology   *Ontology
+	TypePredicates []string
+}
+
+func (o *Options) orDefault() Options {
+	if o == nil {
+		return Options{}
+	}
+	return *o
+}
+
+// Discover runs the full MIDAS pipeline — per-source slice discovery
+// (MIDASalg) under the parallel multi-source framework with URL-
+// hierarchy consolidation — over the corpus against the existing KB
+// (nil = build a knowledge base from scratch).
+func Discover(corpus *Corpus, existing *KB, opts *Options) *Result {
+	res, _ := DiscoverContext(context.Background(), corpus, existing, opts)
+	return res
+}
+
+// DiscoverContext is Discover with cancellation: on context
+// cancellation the slices finalized so far are returned along with the
+// context's error.
+func DiscoverContext(ctx context.Context, corpus *Corpus, existing *KB, opts *Options) (*Result, error) {
+	o := opts.orDefault()
+	c := corpus.c
+	if o.MinConfidence > 0 {
+		c = c.FilterConfidence(o.MinConfidence)
+	}
+	if o.Fuse {
+		c, _ = fuse.Fuse(c, fuse.DefaultParams())
+	}
+	if o.NumericBucketWidth > 0 {
+		c = fact.BucketNumeric(c, o.NumericBucketWidth, 5)
+	}
+	if o.TypeOntology != nil && len(o.TypePredicates) > 0 {
+		c, _ = reason.ExpandTypes(c, o.TypeOntology.o, o.TypePredicates)
+	}
+	var store *kb.KB
+	if existing != nil {
+		store = existing.store
+	}
+	out, runErr := framework.RunContext(ctx, c, store, framework.Options{
+		Cost:    o.Cost,
+		Workers: o.Workers,
+		Core: core.Options{
+			Cost:              o.Cost,
+			MaxPropsPerEntity: o.MaxPropsPerEntity,
+			MaxInitCombos:     o.MaxInitCombos,
+		},
+	})
+	keep := make([]bool, len(out.Slices))
+	if o.MaxSlices > 0 && o.MaxSlices < len(out.Slices) {
+		cost := o.Cost
+		if cost == (CostModel{}) {
+			cost = DefaultCostModel()
+		}
+		for _, i := range slice.SelectGreedy(out.FactSets, store, cost, o.MaxSlices) {
+			keep[i] = true
+		}
+	} else {
+		for i := range keep {
+			keep[i] = true
+		}
+	}
+	res := &Result{Rounds: out.Rounds, SourcesProcessed: out.SourcesProcessed}
+	for i, s := range out.Slices {
+		if keep[i] {
+			res.Slices = append(res.Slices, publish(s, c.Space))
+		}
+	}
+	return res, runErr
+}
+
+// DiscoverSource runs MIDASalg on the facts of a single web source,
+// ignoring URL structure. Use Discover for multi-source corpora.
+func DiscoverSource(source string, facts []Fact, existing *KB, opts *Options) *Result {
+	o := opts.orDefault()
+	var store *kb.KB
+	var space *kb.Space
+	if existing != nil {
+		store = existing.store
+		space = store.Space()
+	} else {
+		space = kb.NewSpace()
+	}
+	var triples []kb.Triple
+	for _, f := range facts {
+		if o.MinConfidence > 0 && f.Confidence <= o.MinConfidence {
+			continue
+		}
+		triples = append(triples, space.Intern(f.Subject, f.Predicate, f.Object))
+	}
+	res := core.Discover(source, space, triples, store, core.Options{
+		Cost:              o.Cost,
+		MaxPropsPerEntity: o.MaxPropsPerEntity,
+		MaxInitCombos:     o.MaxInitCombos,
+	})
+	out := &Result{SourcesProcessed: 1}
+	for _, s := range res.Slices {
+		out.Slices = append(out.Slices, publish(s, space))
+	}
+	return out
+}
+
+func publish(s *slice.Slice, space *kb.Space) Slice {
+	props := make([]Property, len(s.Props))
+	for i, p := range s.Props {
+		props[i] = Property{
+			Predicate: space.Predicates.String(p.Pred()),
+			Value:     space.Objects.String(p.Value()),
+		}
+	}
+	ents := make([]string, len(s.Entities))
+	for i, e := range s.Entities {
+		ents[i] = space.Subjects.String(e)
+	}
+	return Slice{
+		Source:      s.Source,
+		Description: s.Description(space),
+		Properties:  props,
+		Entities:    ents,
+		Facts:       s.Facts,
+		NewFacts:    s.NewFacts,
+		Profit:      s.Profit,
+	}
+}

@@ -1,0 +1,339 @@
+package midas_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"midas"
+)
+
+// runningExample loads the paper's Figure 2 facts through the public
+// API.
+func runningExample() (*midas.Corpus, *midas.KB) {
+	existing := midas.NewKB()
+	for _, t := range [][3]string{
+		{"Project Mercury", "category", "space_program"},
+		{"Project Mercury", "started", "1959"},
+		{"Project Mercury", "sponsor", "NASA"},
+		{"Project Gemini", "category", "space_program"},
+		{"Project Gemini", "sponsor", "NASA"},
+		{"Apollo program", "category", "space_program"},
+		{"Apollo program", "sponsor", "NASA"},
+	} {
+		existing.Add(t[0], t[1], t[2])
+	}
+	corpus := midas.NewCorpus(existing)
+	add := func(s, p, o, url string) {
+		corpus.Add(midas.Fact{Subject: s, Predicate: p, Object: o, Confidence: 0.9, URL: url})
+	}
+	add("Project Mercury", "category", "space_program", "http://space.skyrocket.de/doc_sat/mercury-history.htm")
+	add("Project Mercury", "started", "1959", "http://space.skyrocket.de/doc_sat/mercury-history.htm")
+	add("Project Mercury", "sponsor", "NASA", "http://space.skyrocket.de/doc_sat/mercury-history.htm")
+	add("Project Gemini", "category", "space_program", "http://space.skyrocket.de/doc_sat/gemini-history.htm")
+	add("Project Gemini", "sponsor", "NASA", "http://space.skyrocket.de/doc_sat/gemini-history.htm")
+	add("Atlas", "category", "rocket_family", "http://space.skyrocket.de/doc_lau_fam/atlas.htm")
+	add("Atlas", "sponsor", "NASA", "http://space.skyrocket.de/doc_lau_fam/atlas.htm")
+	add("Atlas", "started", "1957", "http://space.skyrocket.de/doc_lau_fam/atlas.htm")
+	add("Apollo program", "category", "space_program", "http://space.skyrocket.de/doc_sat/apollo-history.htm")
+	add("Apollo program", "sponsor", "NASA", "http://space.skyrocket.de/doc_sat/apollo-history.htm")
+	add("Castor-4", "category", "rocket_family", "http://space.skyrocket.de/doc_lau_fam/castor-4.htm")
+	add("Castor-4", "started", "1971", "http://space.skyrocket.de/doc_lau_fam/castor-4.htm")
+	add("Castor-4", "sponsor", "NASA", "http://space.skyrocket.de/doc_lau_fam/castor-4.htm")
+	return corpus, existing
+}
+
+// TestPublicAPIRunningExample exercises the documented entry point on
+// the paper's running example.
+func TestPublicAPIRunningExample(t *testing.T) {
+	corpus, existing := runningExample()
+	// The paper's walkthrough uses f_p = 1 for this 13-fact example.
+	res := midas.Discover(corpus, existing, &midas.Options{
+		Cost: midas.CostModel{Fp: 1, Fc: 0.001, Fd: 0.01, Fv: 0.1},
+	})
+	if len(res.Slices) != 1 {
+		t.Fatalf("want 1 slice, got %d: %+v", len(res.Slices), res.Slices)
+	}
+	s := res.Slices[0]
+	if s.Source != "space.skyrocket.de/doc_lau_fam" {
+		t.Errorf("source = %q", s.Source)
+	}
+	if !strings.Contains(s.Description, "rocket_family") || !strings.Contains(s.Description, "NASA") {
+		t.Errorf("description = %q", s.Description)
+	}
+	if s.NewFacts != 6 {
+		t.Errorf("new facts = %d, want 6", s.NewFacts)
+	}
+	if len(s.Entities) != 2 || s.Entities[0] == s.Entities[1] {
+		t.Errorf("entities = %v, want Atlas and Castor-4", s.Entities)
+	}
+	if s.Profit <= 0 {
+		t.Errorf("profit = %f, want > 0", s.Profit)
+	}
+}
+
+// TestDiscoverSource exercises the single-source entry point.
+func TestDiscoverSource(t *testing.T) {
+	corpus, existing := runningExample()
+	_ = corpus
+	facts := []midas.Fact{
+		{Subject: "Atlas", Predicate: "category", Object: "rocket_family", Confidence: 0.9},
+		{Subject: "Atlas", Predicate: "sponsor", Object: "NASA", Confidence: 0.9},
+		{Subject: "Castor-4", Predicate: "category", Object: "rocket_family", Confidence: 0.9},
+		{Subject: "Castor-4", Predicate: "sponsor", Object: "NASA", Confidence: 0.9},
+		{Subject: "Castor-4", Predicate: "started", Object: "1971", Confidence: 0.9},
+		{Subject: "junk", Predicate: "x", Object: "y", Confidence: 0.2},
+	}
+	res := midas.DiscoverSource("space.skyrocket.de", facts, existing, &midas.Options{
+		MinConfidence: 0.7,
+		// The tiny example needs the paper's walkthrough training cost
+		// (f_p = 1); the default f_p = 10 only pays off for slices with
+		// a dozen or more new facts.
+		Cost: midas.CostModel{Fp: 1, Fc: 0.001, Fd: 0.01, Fv: 0.1},
+	})
+	if len(res.Slices) != 1 {
+		t.Fatalf("want 1 slice, got %d", len(res.Slices))
+	}
+	if got := res.Slices[0].NewFacts; got != 5 {
+		t.Errorf("new facts = %d, want 5 (low-confidence fact dropped)", got)
+	}
+}
+
+// TestKBTSVRoundTrip exercises the persistence helpers.
+func TestKBTSVRoundTrip(t *testing.T) {
+	k := midas.NewKB()
+	k.Add("a", "b", "c")
+	k.Add("d", "e", "f")
+	var buf bytes.Buffer
+	if err := k.SaveTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k2 := midas.NewKB()
+	n, err := k2.LoadTSV(&buf)
+	if err != nil || n != 2 {
+		t.Fatalf("load: n=%d err=%v", n, err)
+	}
+	if !k2.Contains("a", "b", "c") || !k2.Contains("d", "e", "f") || k2.Contains("x", "y", "z") {
+		t.Error("round-trip membership mismatch")
+	}
+}
+
+// TestEmptyKBDiscover builds a knowledge base from scratch.
+func TestEmptyKBDiscover(t *testing.T) {
+	corpus := midas.NewCorpus(nil)
+	for i := 0; i < 30; i++ {
+		name := string(rune('a' + i%26))
+		corpus.Add(midas.Fact{
+			Subject: "species " + name + string(rune('0'+i/26)), Predicate: "kingdom", Object: "animalia",
+			Confidence: 0.9, URL: "http://wildlife.example.org/species/e" + name + ".htm",
+		})
+	}
+	res := midas.Discover(corpus, nil, nil)
+	if len(res.Slices) == 0 {
+		t.Fatal("want at least one slice on an empty KB")
+	}
+	if res.Slices[0].NewFacts != 30 {
+		t.Errorf("new facts = %d, want 30", res.Slices[0].NewFacts)
+	}
+}
+
+// TestMaxSlicesBudget: the extraction budget keeps only the most
+// profitable slices.
+func TestMaxSlicesBudget(t *testing.T) {
+	corpus := midas.NewCorpus(nil)
+	for v := 0; v < 4; v++ {
+		n := 20 + v*20 // verticals of increasing size
+		for i := 0; i < n; i++ {
+			corpus.Add(midas.Fact{
+				Subject:    fmt.Sprintf("v%d-e%d", v, i),
+				Predicate:  "kind",
+				Object:     fmt.Sprintf("type%d", v),
+				Confidence: 0.9,
+				URL:        fmt.Sprintf("http://site%d.example.com/pages/e%d.htm", v, i),
+			})
+		}
+	}
+	full := midas.Discover(corpus, nil, nil)
+	if len(full.Slices) != 4 {
+		t.Fatalf("full discovery = %d slices, want 4", len(full.Slices))
+	}
+	capped := midas.Discover(corpus, nil, &midas.Options{MaxSlices: 2})
+	if len(capped.Slices) != 2 {
+		t.Fatalf("capped discovery = %d slices, want 2", len(capped.Slices))
+	}
+	// The two largest verticals must be the ones kept.
+	for _, s := range capped.Slices {
+		if s.NewFacts < 60 {
+			t.Errorf("budget kept a small slice (%d new facts)", s.NewFacts)
+		}
+	}
+}
+
+// TestNumericBucketWidth: range properties unite entities with nearby
+// numeric values that share no exact property.
+func TestNumericBucketWidth(t *testing.T) {
+	corpus := midas.NewCorpus(nil)
+	for i := 0; i < 20; i++ {
+		corpus.Add(midas.Fact{
+			Subject:    fmt.Sprintf("rocket%d", i),
+			Predicate:  "started",
+			Object:     fmt.Sprintf("%d", 1950+i%10), // every year distinct-ish
+			Confidence: 0.9,
+			URL:        fmt.Sprintf("http://rockets.example.com/r/%d.htm", i),
+		})
+		corpus.Add(midas.Fact{
+			Subject:    fmt.Sprintf("rocket%d", i),
+			Predicate:  "serial",
+			Object:     fmt.Sprintf("sn-%d", i),
+			Confidence: 0.9,
+			URL:        fmt.Sprintf("http://rockets.example.com/r/%d.htm", i),
+		})
+	}
+	opts := &midas.Options{Cost: midas.CostModel{Fp: 1, Fc: 0.001, Fd: 0.01, Fv: 0.1}}
+	plain := midas.Discover(corpus, nil, opts)
+	// Exact-valued years fragment the source: each year covers ≤ 2
+	// entities, so no single slice unites the rockets.
+	for _, s := range plain.Slices {
+		if len(s.Entities) == 20 {
+			t.Fatalf("unexpected 20-entity slice without bucketing: %q", s.Description)
+		}
+	}
+	opts.NumericBucketWidth = 10
+	bucketed := midas.Discover(corpus, nil, opts)
+	found := false
+	for _, s := range bucketed.Slices {
+		if strings.Contains(s.Description, "started = [1950,1960)") && len(s.Entities) == 20 {
+			found = true
+		}
+	}
+	if !found {
+		for _, s := range bucketed.Slices {
+			t.Logf("slice: %q entities=%d", s.Description, len(s.Entities))
+		}
+		t.Error("bucketing did not produce the decade slice")
+	}
+}
+
+// TestKBBinaryRoundTripPublic covers the public binary persistence.
+func TestKBBinaryRoundTripPublic(t *testing.T) {
+	k := midas.NewKB()
+	k.Add("a", "b", "c")
+	k.Add("d", "e", "f")
+	var buf bytes.Buffer
+	if err := k.SaveBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	k2 := midas.NewKB()
+	if n, err := k2.LoadBinary(&buf); err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if !k2.Contains("a", "b", "c") {
+		t.Error("binary round trip lost a fact")
+	}
+}
+
+// TestDiscoverContextCancellation covers the public cancellable entry.
+func TestDiscoverContextCancellation(t *testing.T) {
+	corpus, existing := runningExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := midas.DiscoverContext(ctx, corpus, existing, nil)
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if len(res.Slices) != 0 {
+		t.Errorf("cancelled discovery returned %d slices", len(res.Slices))
+	}
+	res, err = midas.DiscoverContext(context.Background(), corpus, existing, &midas.Options{
+		Cost: midas.CostModel{Fp: 1, Fc: 0.001, Fd: 0.01, Fv: 0.1},
+	})
+	if err != nil || len(res.Slices) != 1 {
+		t.Errorf("live context: err=%v slices=%d", err, len(res.Slices))
+	}
+}
+
+// TestFuseOption: the public fusion switch removes low-confidence
+// conflicting values before discovery.
+func TestFuseOption(t *testing.T) {
+	corpus := midas.NewCorpus(nil)
+	for i := 0; i < 20; i++ {
+		subj := fmt.Sprintf("star %d", i)
+		url := fmt.Sprintf("http://astro.example.org/stars/%d.htm", i)
+		corpus.Add(midas.Fact{Subject: subj, Predicate: "class", Object: "dwarf", Confidence: 0.9, URL: url})
+		if i < 3 {
+			// Conflicting corrupted classification at low confidence.
+			corpus.Add(midas.Fact{Subject: subj, Predicate: "class", Object: fmt.Sprintf("garbled-%d", i), Confidence: 0.4, URL: url})
+		}
+	}
+	opts := &midas.Options{Cost: midas.CostModel{Fp: 1, Fc: 0.001, Fd: 0.01, Fv: 0.1}, Fuse: true}
+	res := midas.Discover(corpus, nil, opts)
+	if len(res.Slices) == 0 {
+		t.Fatal("no slices")
+	}
+	if got := res.Slices[0].NewFacts; got != 20 {
+		t.Errorf("top slice new facts = %d, want 20 (conflicts fused away)", got)
+	}
+	for _, s := range res.Slices[0].Entities {
+		_ = s
+	}
+}
+
+// TestTypeOntologyOption: subclass expansion through the public API
+// makes a broader-type slice reachable.
+func TestTypeOntologyOption(t *testing.T) {
+	existing := midas.NewKB()
+	corpus := midas.NewCorpus(existing)
+	for i := 0; i < 7; i++ {
+		corpus.Add(midas.Fact{Subject: fmt.Sprintf("golf-%d", i), Predicate: "be a", Object: "golf_course",
+			Confidence: 0.9, URL: fmt.Sprintf("http://resorts.example.com/x/g%d.htm", i)})
+		corpus.Add(midas.Fact{Subject: fmt.Sprintf("ski-%d", i), Predicate: "be a", Object: "ski_resort",
+			Confidence: 0.9, URL: fmt.Sprintf("http://resorts.example.com/x/s%d.htm", i)})
+	}
+	// Without the ontology, neither 7-entity vertical pays f_p = 10.
+	res := midas.Discover(corpus, existing, nil)
+	if len(res.Slices) != 0 {
+		t.Fatalf("want nothing before expansion, got %d", len(res.Slices))
+	}
+	ont := midas.NewOntology(existing)
+	ont.AddSubclass("golf_course", "sports_facility")
+	ont.AddSubclass("ski_resort", "sports_facility")
+	if ont.Len() != 2 {
+		t.Fatalf("ontology edges = %d", ont.Len())
+	}
+	res = midas.Discover(corpus, existing, &midas.Options{
+		TypeOntology:   ont,
+		TypePredicates: []string{"be a"},
+	})
+	if len(res.Slices) == 0 {
+		t.Fatal("expansion enabled no slices")
+	}
+	covered := make(map[string]bool)
+	for _, s := range res.Slices {
+		for _, e := range s.Entities {
+			covered[e] = true
+		}
+	}
+	if len(covered) != 14 {
+		t.Errorf("slices cover %d entities, want 14", len(covered))
+	}
+}
+
+// TestCorpusBinaryPublic: the public corpus binary round trip preserves
+// confidences (unlike N-Quads).
+func TestCorpusBinaryPublic(t *testing.T) {
+	c := midas.NewCorpus(nil)
+	c.Add(midas.Fact{Subject: "a", Predicate: "p", Object: "x", Confidence: 0.875, URL: "http://h.com/1"})
+	var buf bytes.Buffer
+	if err := c.SaveBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2 := midas.NewCorpus(nil)
+	if n, err := c2.LoadBinary(&buf); err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if c2.Len() != 1 {
+		t.Errorf("len = %d", c2.Len())
+	}
+}

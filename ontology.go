@@ -1,0 +1,24 @@
+package midas
+
+import "midas/internal/reason"
+
+// Ontology is a subclass hierarchy over type values, used with
+// Options.TypeOntology to let slices form at broader types. Create it
+// against the KB the corpus shares strings with.
+type Ontology struct {
+	o *reason.Ontology
+}
+
+// NewOntology returns an empty ontology bound to the KB's string space.
+func NewOntology(k *KB) *Ontology {
+	return &Ontology{o: reason.NewOntology(k.store.Space())}
+}
+
+// AddSubclass records child ⊑ parent (e.g. "golf_course" ⊑
+// "sports_facility"). Duplicate edges are ignored; cycles are tolerated.
+func (o *Ontology) AddSubclass(child, parent string) {
+	o.o.AddSubclass(child, parent)
+}
+
+// Len returns the number of subclass edges.
+func (o *Ontology) Len() int { return o.o.Len() }

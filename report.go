@@ -1,0 +1,146 @@
+package midas
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteMarkdownReport renders a discovery result as a human-readable
+// Markdown document: a summary, a ranked table, and a section per slice
+// with its defining properties, annotation-effort indicators, and a
+// sample of its entities. top bounds the detailed sections (0 = all).
+func (r *Result) WriteMarkdownReport(w io.Writer, top int) error {
+	if top <= 0 || top > len(r.Slices) {
+		top = len(r.Slices)
+	}
+	totalNew := 0
+	sources := make(map[string]bool)
+	for _, s := range r.Slices {
+		totalNew += s.NewFacts
+		sources[s.Source] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# MIDAS discovery report\n\n")
+	fmt.Fprintf(&b, "%d slices across %d web sources, contributing %d new facts; "+
+		"%d sources examined over %d hierarchy rounds.\n\n",
+		len(r.Slices), len(sources), totalNew, r.SourcesProcessed, r.Rounds)
+
+	fmt.Fprintf(&b, "| # | Profit | New | Facts | Source | Slice |\n")
+	fmt.Fprintf(&b, "|---|--------|-----|-------|--------|-------|\n")
+	for i, s := range r.Slices {
+		fmt.Fprintf(&b, "| %d | %.1f | %d | %d | %s | %s |\n",
+			i+1, s.Profit, s.NewFacts, s.Facts, s.Source, mdEscape(s.Description))
+	}
+	b.WriteString("\n")
+
+	for i := 0; i < top; i++ {
+		s := r.Slices[i]
+		fmt.Fprintf(&b, "## %d. %s\n\n", i+1, mdEscape(s.Description))
+		fmt.Fprintf(&b, "Extract from `%s` — %d new of %d facts (profit %.2f).\n\n",
+			s.Source, s.NewFacts, s.Facts, s.Profit)
+		fmt.Fprintf(&b, "Properties:\n\n")
+		for _, p := range s.Properties {
+			fmt.Fprintf(&b, "- `%s` = `%s`\n", p.Predicate, p.Value)
+		}
+		// Annotation-effort indicator: the paper argues slices are easy
+		// to annotate because their entities share few predicates — a
+		// narrow slice means a small labeling vocabulary.
+		fmt.Fprintf(&b, "\n%d entities", len(s.Entities))
+		if n := len(s.Entities); n > 0 {
+			step := max1(n / 5)
+			var sample []string
+			for j := 0; j < n && len(sample) < 5; j += step {
+				sample = append(sample, s.Entities[j])
+			}
+			fmt.Fprintf(&b, " (sample: %s)", strings.Join(sample, "; "))
+		}
+		b.WriteString("\n\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+func mdEscape(s string) string {
+	return strings.NewReplacer("|", "\\|", "\n", " ").Replace(s)
+}
+
+// WriteCSVReport renders the result as CSV with one row per slice:
+// rank, profit, new facts, total facts, source, description, entity
+// count, properties (semicolon-joined pred=value pairs).
+func (r *Result) WriteCSVReport(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"rank", "profit", "new_facts", "facts", "source", "description", "entities", "properties",
+	}); err != nil {
+		return err
+	}
+	for i, s := range r.Slices {
+		props := make([]string, len(s.Properties))
+		for j, p := range s.Properties {
+			props[j] = p.Predicate + "=" + p.Value
+		}
+		if err := cw.Write([]string{
+			strconv.Itoa(i + 1),
+			strconv.FormatFloat(s.Profit, 'f', 3, 64),
+			strconv.Itoa(s.NewFacts),
+			strconv.Itoa(s.Facts),
+			s.Source,
+			s.Description,
+			strconv.Itoa(len(s.Entities)),
+			strings.Join(props, "; "),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TopSources aggregates the result by web source, summing slice
+// contributions; sources are returned in decreasing total-profit order.
+// This is the "which sites should we onboard" view of a discovery run.
+func (r *Result) TopSources() []SourceSummary {
+	agg := make(map[string]*SourceSummary)
+	var order []string
+	for _, s := range r.Slices {
+		ss, ok := agg[s.Source]
+		if !ok {
+			ss = &SourceSummary{Source: s.Source}
+			agg[s.Source] = ss
+			order = append(order, s.Source)
+		}
+		ss.Slices++
+		ss.NewFacts += s.NewFacts
+		ss.TotalProfit += s.Profit
+	}
+	out := make([]SourceSummary, 0, len(order))
+	for _, src := range order {
+		out = append(out, *agg[src])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TotalProfit != out[j].TotalProfit {
+			return out[i].TotalProfit > out[j].TotalProfit
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// SourceSummary aggregates a result's slices per web source.
+type SourceSummary struct {
+	Source      string
+	Slices      int
+	NewFacts    int
+	TotalProfit float64
+}

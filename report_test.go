@@ -1,0 +1,109 @@
+package midas_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"strings"
+	"testing"
+
+	"midas"
+)
+
+func reportResult(t *testing.T) *midas.Result {
+	t.Helper()
+	corpus := midas.NewCorpus(nil)
+	for v := 0; v < 3; v++ {
+		for i := 0; i < 20+10*v; i++ {
+			url := fmt.Sprintf("http://site%d.example.com/wiki/e%d.htm", v, i)
+			corpus.Add(midas.Fact{Subject: fmt.Sprintf("v%d entity %d", v, i),
+				Predicate: "kind", Object: fmt.Sprintf("type%d", v), Confidence: 0.9, URL: url})
+			corpus.Add(midas.Fact{Subject: fmt.Sprintf("v%d entity %d", v, i),
+				Predicate: "size", Object: fmt.Sprintf("s%d", i), Confidence: 0.9, URL: url})
+		}
+	}
+	res := midas.Discover(corpus, nil, nil)
+	if len(res.Slices) != 3 {
+		t.Fatalf("want 3 slices, got %d", len(res.Slices))
+	}
+	return res
+}
+
+func TestMarkdownReport(t *testing.T) {
+	res := reportResult(t)
+	var buf bytes.Buffer
+	if err := res.WriteMarkdownReport(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# MIDAS discovery report",
+		"3 slices across 3 web sources",
+		"| 1 |",
+		"kind = type2", // the biggest vertical ranks first
+		"## 1.",
+		"## 2.",
+		"(sample:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "## 3.") {
+		t.Error("top=2 must suppress the third detail section")
+	}
+}
+
+func TestMarkdownReportTinySlice(t *testing.T) {
+	// A slice with fewer than 5 entities must not panic the sampler.
+	corpus := midas.NewCorpus(nil)
+	for i := 0; i < 3; i++ {
+		corpus.Add(midas.Fact{Subject: fmt.Sprintf("e%d", i), Predicate: "k", Object: "t",
+			Confidence: 0.9, URL: fmt.Sprintf("http://s.example.com/p%d.htm", i)})
+	}
+	res := midas.Discover(corpus, nil, &midas.Options{Cost: midas.CostModel{Fp: 1, Fc: 0.001, Fd: 0.01, Fv: 0.1}})
+	if len(res.Slices) == 0 {
+		t.Fatal("no slices")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteMarkdownReport(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVReport(t *testing.T) {
+	res := reportResult(t)
+	var buf bytes.Buffer
+	if err := res.WriteCSVReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 3 slices
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[0][0] != "rank" || len(rows[0]) != 8 {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "1" || !strings.Contains(rows[1][7], "kind=") {
+		t.Errorf("row 1 = %v", rows[1])
+	}
+}
+
+func TestTopSources(t *testing.T) {
+	res := reportResult(t)
+	top := res.TopSources()
+	if len(top) != 3 {
+		t.Fatalf("sources = %d, want 3", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].TotalProfit > top[i-1].TotalProfit {
+			t.Error("sources not sorted by profit")
+		}
+	}
+	if top[0].Slices != 1 || top[0].NewFacts == 0 {
+		t.Errorf("top source summary = %+v", top[0])
+	}
+}

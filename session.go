@@ -1,0 +1,152 @@
+package midas
+
+import (
+	"sort"
+	"strings"
+
+	"midas/internal/source"
+)
+
+// Session drives the iterative knowledge-base augmentation loop the
+// paper's industrial pipeline targets (Figure 1): discover the most
+// profitable slices, extract them (wrapper induction + validation in
+// production; Absorb here), and re-discover — each round's
+// recommendations shift as the knowledge gaps move.
+//
+//	sess := midas.NewSession(existing, nil)
+//	sess.AddFacts(extractionOutput...)
+//	for {
+//		res := sess.Discover()
+//		if len(res.Slices) == 0 {
+//			break
+//		}
+//		for _, s := range res.Slices[:min(3, len(res.Slices))] {
+//			sess.Absorb(s)
+//		}
+//	}
+//
+// Session is not safe for concurrent use.
+type Session struct {
+	kb     *KB
+	corpus *Corpus
+	opts   Options
+
+	// bySubject indexes corpus facts for Absorb; rebuilt lazily after
+	// AddFacts.
+	bySubject map[string][]sessionFact
+	dirty     bool
+}
+
+type sessionFact struct {
+	f   Fact
+	src string
+}
+
+// NewSession starts a session against an existing KB (nil = build a
+// knowledge base from scratch) with the given discovery options.
+func NewSession(existing *KB, opts *Options) *Session {
+	if existing == nil {
+		existing = NewKB()
+	}
+	return &Session{
+		kb:     existing,
+		corpus: NewCorpus(existing),
+		opts:   opts.orDefault(),
+	}
+}
+
+// KB returns the session's knowledge base (it grows as slices are
+// absorbed).
+func (s *Session) KB() *KB { return s.kb }
+
+// CorpusSize returns the number of extraction facts loaded.
+func (s *Session) CorpusSize() int { return s.corpus.Len() }
+
+// AddFacts appends extraction output to the session corpus.
+func (s *Session) AddFacts(facts ...Fact) {
+	for _, f := range facts {
+		s.corpus.Add(f)
+	}
+	s.dirty = s.dirty || len(facts) > 0
+}
+
+// Discover runs the full pipeline over the current corpus against the
+// current KB.
+func (s *Session) Discover() *Result {
+	return Discover(s.corpus, s.kb, &s.opts)
+}
+
+// Absorb simulates extracting a recommended slice: every corpus fact of
+// the slice's entities located at or under the slice's source is added
+// to the KB. It returns the number of facts that were new. Subsequent
+// Discover calls no longer count these facts as gain.
+func (s *Session) Absorb(sl Slice) int {
+	s.reindex()
+	members := make(map[string]bool, len(sl.Entities))
+	for _, e := range sl.Entities {
+		members[e] = true
+	}
+	added := 0
+	for e := range members {
+		for _, sf := range s.bySubject[e] {
+			if sf.src != sl.Source && !strings.HasPrefix(sf.src, sl.Source+"/") {
+				continue
+			}
+			if s.kb.Add(sf.f.Subject, sf.f.Predicate, sf.f.Object) {
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// Progress reports the augmentation state: KB size and how much of the
+// corpus the KB now covers (deduplicated fact-level coverage).
+func (s *Session) Progress() (kbFacts int, corpusCovered float64) {
+	s.reindex()
+	type key struct{ s, p, o string }
+	seen := make(map[key]bool)
+	covered, total := 0, 0
+	subjects := make([]string, 0, len(s.bySubject))
+	for subj := range s.bySubject {
+		subjects = append(subjects, subj)
+	}
+	sort.Strings(subjects)
+	for _, subj := range subjects {
+		for _, sf := range s.bySubject[subj] {
+			k := key{sf.f.Subject, sf.f.Predicate, sf.f.Object}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			total++
+			if s.kb.Contains(sf.f.Subject, sf.f.Predicate, sf.f.Object) {
+				covered++
+			}
+		}
+	}
+	if total > 0 {
+		corpusCovered = float64(covered) / float64(total)
+	}
+	return s.kb.Size(), corpusCovered
+}
+
+func (s *Session) reindex() {
+	if !s.dirty && s.bySubject != nil {
+		return
+	}
+	s.bySubject = make(map[string][]sessionFact)
+	for _, e := range s.corpus.c.Facts {
+		subj, pred, obj := s.corpus.c.Space.StringTriple(e.Triple)
+		f := Fact{
+			Subject: subj, Predicate: pred, Object: obj,
+			Confidence: float64(e.Conf),
+			URL:        s.corpus.c.URLs.String(e.URL),
+		}
+		s.bySubject[subj] = append(s.bySubject[subj], sessionFact{
+			f:   f,
+			src: source.Normalize(f.URL),
+		})
+	}
+	s.dirty = false
+}

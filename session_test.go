@@ -1,0 +1,129 @@
+package midas_test
+
+import (
+	"fmt"
+	"testing"
+
+	"midas"
+)
+
+func sessionCorpusFacts() []midas.Fact {
+	var facts []midas.Fact
+	for v := 0; v < 3; v++ {
+		for i := 0; i < 25; i++ {
+			url := fmt.Sprintf("http://site%d.example.com/wiki/e%d.htm", v, i)
+			subj := fmt.Sprintf("v%d entity %d", v, i)
+			facts = append(facts,
+				midas.Fact{Subject: subj, Predicate: "kind", Object: fmt.Sprintf("type%d", v), Confidence: 0.9, URL: url},
+				midas.Fact{Subject: subj, Predicate: "id", Object: fmt.Sprintf("id-%d-%d", v, i), Confidence: 0.9, URL: url},
+			)
+		}
+	}
+	return facts
+}
+
+// TestSessionAugmentationLoop: absorbing the top slice each round makes
+// the recommendations move on and eventually dry up.
+func TestSessionAugmentationLoop(t *testing.T) {
+	sess := midas.NewSession(nil, nil)
+	sess.AddFacts(sessionCorpusFacts()...)
+	if sess.CorpusSize() != 150 {
+		t.Fatalf("corpus = %d", sess.CorpusSize())
+	}
+
+	seen := make(map[string]bool)
+	rounds := 0
+	for ; rounds < 10; rounds++ {
+		res := sess.Discover()
+		if len(res.Slices) == 0 {
+			break
+		}
+		top := res.Slices[0]
+		if seen[top.Description] {
+			t.Fatalf("round %d recommended %q again after absorption", rounds, top.Description)
+		}
+		seen[top.Description] = true
+		if added := sess.Absorb(top); added == 0 {
+			t.Fatalf("absorb added nothing for %q", top.Description)
+		}
+	}
+	if rounds != 3 {
+		t.Errorf("loop ran %d rounds, want 3 (one per vertical)", rounds)
+	}
+	kbFacts, covered := sess.Progress()
+	if kbFacts != 150 {
+		t.Errorf("KB = %d facts, want all 150 absorbed", kbFacts)
+	}
+	if covered != 1.0 {
+		t.Errorf("coverage = %.3f, want 1.0", covered)
+	}
+}
+
+// TestSessionAbsorbScopedToSource: absorbing a slice must not import
+// facts about the same entities from other sources.
+func TestSessionAbsorbScopedToSource(t *testing.T) {
+	sess := midas.NewSession(nil, nil)
+	var facts []midas.Fact
+	for i := 0; i < 20; i++ {
+		subj := fmt.Sprintf("e%d", i)
+		facts = append(facts,
+			midas.Fact{Subject: subj, Predicate: "kind", Object: "widget", Confidence: 0.9,
+				URL: fmt.Sprintf("http://a.com/w/p%d.htm", i)},
+			// Same entity also mentioned on another domain.
+			midas.Fact{Subject: subj, Predicate: "seen at", Object: fmt.Sprintf("place %d", i), Confidence: 0.9,
+				URL: fmt.Sprintf("http://b.org/mentions/m%d.htm", i)},
+		)
+	}
+	sess.AddFacts(facts...)
+	res := sess.Discover()
+	if len(res.Slices) == 0 {
+		t.Fatal("no slices")
+	}
+	var widget *midas.Slice
+	for i := range res.Slices {
+		if res.Slices[i].Description == "kind = widget" {
+			widget = &res.Slices[i]
+		}
+	}
+	if widget == nil {
+		t.Fatal("widget slice missing")
+	}
+	added := sess.Absorb(*widget)
+	if added != 20 {
+		t.Errorf("absorbed %d facts, want only the 20 a.com facts", added)
+	}
+	if sess.KB().Contains("e0", "seen at", "place 0") {
+		t.Error("absorb leaked a fact from the other domain")
+	}
+}
+
+// TestSessionAddFactsBetweenRounds: new extraction output arriving
+// mid-session is picked up by the next Discover and Absorb.
+func TestSessionAddFactsBetweenRounds(t *testing.T) {
+	sess := midas.NewSession(nil, nil)
+	sess.AddFacts(sessionCorpusFacts()...)
+	res := sess.Discover()
+	before := len(res.Slices)
+
+	var fresh []midas.Fact
+	for i := 0; i < 30; i++ {
+		fresh = append(fresh, midas.Fact{
+			Subject: fmt.Sprintf("new entity %d", i), Predicate: "kind", Object: "newtype",
+			Confidence: 0.9, URL: fmt.Sprintf("http://late.example.net/x/e%d.htm", i),
+		})
+	}
+	sess.AddFacts(fresh...)
+	res = sess.Discover()
+	if len(res.Slices) != before+1 {
+		t.Errorf("slices = %d, want %d", len(res.Slices), before+1)
+	}
+	for _, s := range res.Slices {
+		if s.Description == "kind = newtype" {
+			if got := sess.Absorb(s); got != 30 {
+				t.Errorf("absorbed %d, want 30", got)
+			}
+			return
+		}
+	}
+	t.Error("new vertical not discovered")
+}
