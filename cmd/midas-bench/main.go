@@ -6,29 +6,48 @@
 //
 //	midas-bench -exp fig11            # one experiment
 //	midas-bench -exp all              # everything (minutes)
+//	midas-bench -exp fig3 -stats bench-stats.json
 //
 // Experiments: fig3, fig7, fig8, fig9, fig9-nell, fig10-reverb,
 // fig10-nell, fig11, annotation, scaling, costmodel, ablation-pruning,
 // ablation-flat, ablation-parallel, ablation-combo,
 // ablation-traversal, all.
+//
+// -stats writes a JSON snapshot of the pipeline's observability
+// registry (per-phase timings, hierarchy pruning counters, worker
+// utilization) collected as a side effect of the run; CI uploads it as
+// the perf-trajectory artifact. -pprof serves net/http/pprof while the
+// experiments run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"midas/internal/experiments"
+	"midas/internal/obs"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (see doc comment)")
-		seed  = flag.Int64("seed", 7, "generator seed")
-		scale = flag.Float64("scale", 0.5, "corpus scale for fig10")
+		exp       = flag.String("exp", "all", "experiment id (see doc comment)")
+		seed      = flag.Int64("seed", 7, "generator seed")
+		scale     = flag.Float64("scale", 0.5, "corpus scale for fig10")
+		statsPath = flag.String("stats", "", "write a JSON metrics snapshot of the run to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "midas-bench: pprof:", err)
+			}
+		}()
+	}
 
 	run := map[string]func(){
 		"fig3": func() { fig3(*seed) },
@@ -82,15 +101,22 @@ func main() {
 			banner(id)
 			run[id]()
 		}
-		return
+	} else {
+		fn, ok := run[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "midas-bench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		banner(*exp)
+		fn()
 	}
-	fn, ok := run[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "midas-bench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if *statsPath != "" {
+		if err := obs.Default().WriteFile(*statsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "midas-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *statsPath)
 	}
-	banner(*exp)
-	fn()
 }
 
 func banner(id string) {

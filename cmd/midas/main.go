@@ -14,6 +14,7 @@
 //
 //	midas -facts extractions.tsv [-kb existing.tsv] [-top 20]
 //	      [-min-conf 0.7] [-fp 10 -fc 0.001 -fd 0.01 -fv 0.1]
+//	      [-stats run-stats.json] [-pprof localhost:6060]
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -44,12 +47,15 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (machine-readable, for midas-eval)")
 		report    = flag.String("report", "", "write a report file (.md or .csv by extension)")
 		budget    = flag.Int("budget", 0, "keep at most this many slices (0 = all)")
+		statsPath = flag.String("stats", "", "write a JSON metrics snapshot (phase timings, pruning counters) to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *factsPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	servePprof(*pprofAddr)
 
 	existing := midas.NewKB()
 	if *kbPath != "" {
@@ -110,6 +116,13 @@ func main() {
 	})
 	fmt.Fprintf(os.Stderr, "processed %d sources in %d rounds; %d slices\n",
 		res.SourcesProcessed, res.Rounds, len(res.Slices))
+
+	if *statsPath != "" {
+		if err := midas.DefaultMetrics().WriteFile(*statsPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *statsPath)
+	}
 
 	if *report != "" {
 		f, err := os.Create(*report)
@@ -186,6 +199,19 @@ func loadFacts(corpus *midas.Corpus, path string) error {
 		corpus.Add(fact)
 	}
 	return sc.Err()
+}
+
+// servePprof exposes net/http/pprof on addr (no-op when addr is empty)
+// so long discovery runs can be profiled live.
+func servePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "midas: pprof:", err)
+		}
+	}()
 }
 
 func fatal(err error) {

@@ -14,8 +14,10 @@ import (
 	"midas/internal/fact"
 	"midas/internal/hierarchy"
 	"midas/internal/kb"
+	"midas/internal/obs"
 	"midas/internal/slice"
 	"sort"
+	"time"
 )
 
 // Options configures MIDASalg.
@@ -37,6 +39,9 @@ type Options struct {
 	// slightly better (see the ablation-traversal bench), so the
 	// paper's order is the default.
 	ProfitOrderTraversal bool
+	// Obs receives per-source discovery metrics (phase timings, slice
+	// profits); nil falls back to the process-wide obs.Default().
+	Obs *obs.Registry
 }
 
 func (o Options) cost() slice.CostModel {
@@ -79,6 +84,8 @@ func DiscoverTable(table *fact.Table, opts Options) *Result {
 // multi-source framework to start a parent source's hierarchy from the
 // slices already detected in its children.
 func DiscoverSeeded(table *fact.Table, seeds []hierarchy.Seed, opts Options) *Result {
+	reg := opts.Obs.OrDefault()
+	start := time.Now()
 	b := &hierarchy.Builder{
 		Table:                 table,
 		Cost:                  opts.cost(),
@@ -86,9 +93,22 @@ func DiscoverSeeded(table *fact.Table, seeds []hierarchy.Seed, opts Options) *Re
 		MaxInitCombos:         opts.MaxInitCombos,
 		DisableCanonicalPrune: opts.DisableCanonicalPrune,
 		DisableProfitPrune:    opts.DisableProfitPrune,
+		Obs:                   opts.Obs,
 	}
 	h := b.Build(seeds)
+	reg.Timer("core/build_hierarchy").Observe(time.Since(start))
 	res := &Result{Stats: h.Stats, Hierarchy: h}
+	defer func(traverseStart time.Time) {
+		reg.Timer("core/traverse").Observe(time.Since(traverseStart))
+		reg.Timer("core/discover").Observe(time.Since(start))
+		reg.Counter("core/sources_discovered").Inc()
+		reg.Counter("core/slices_selected").Add(int64(len(res.Slices)))
+		reg.Histogram("core/slices_per_source").Observe(float64(len(res.Slices)))
+		for _, sl := range res.Slices {
+			reg.Histogram("core/slice_profit").Observe(sl.Profit)
+			reg.Histogram("core/slice_entities").Observe(float64(len(sl.Entities)))
+		}
+	}(time.Now())
 	if h.MaxLevel == 0 {
 		return res
 	}

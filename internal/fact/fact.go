@@ -15,9 +15,11 @@ package fact
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"midas/internal/dict"
 	"midas/internal/kb"
+	"midas/internal/obs"
 )
 
 // Property is a (predicate, value) pair from Definition 4, packed into a
@@ -193,6 +195,19 @@ func Build(source string, space *kb.Space, triples []kb.Triple, existing *kb.KB)
 // lock-free kb.Frozen so concurrent workers do not contend on the KB's
 // read lock. existing must be a nil interface for an empty KB.
 func BuildWith(source string, space *kb.Space, triples []kb.Triple, existing kb.Membership) *Table {
+	return BuildObs(source, space, triples, existing, nil)
+}
+
+// BuildObs is BuildWith reporting table-construction metrics to reg
+// (nil falls back to the process-wide obs.Default()).
+func BuildObs(source string, space *kb.Space, triples []kb.Triple, existing kb.Membership, reg *obs.Registry) *Table {
+	start := time.Now()
+	t := buildWith(source, space, triples, existing)
+	recordTable(reg, t, time.Since(start))
+	return t
+}
+
+func buildWith(source string, space *kb.Space, triples []kb.Triple, existing kb.Membership) *Table {
 	bySubject := make(map[dict.ID]map[Property]struct{})
 	for _, tr := range triples {
 		set, ok := bySubject[tr.S]
@@ -236,6 +251,30 @@ func BuildWith(source string, space *kb.Space, triples []kb.Triple, existing kb.
 // a fact is new iff every child that carries it marks it new — they all
 // consult the same KB, so masks agree; the union keeps the first seen).
 func Merge(source string, space *kb.Space, children []*Table) *Table {
+	return MergeObs(source, space, children, nil)
+}
+
+// MergeObs is Merge reporting table-construction metrics to reg (nil
+// falls back to the process-wide obs.Default()).
+func MergeObs(source string, space *kb.Space, children []*Table, reg *obs.Registry) *Table {
+	start := time.Now()
+	t := merge(source, space, children)
+	recordTable(reg, t, time.Since(start))
+	reg.OrDefault().Counter("fact/tables_merged").Inc()
+	return t
+}
+
+// recordTable publishes one table construction to the registry.
+func recordTable(reg *obs.Registry, t *Table, d time.Duration) {
+	reg = reg.OrDefault()
+	reg.Timer("fact/build_table").Observe(d)
+	reg.Counter("fact/tables_built").Inc()
+	reg.Counter("fact/table_entities").Add(int64(len(t.Entities)))
+	reg.Counter("fact/table_facts").Add(int64(t.TotalFacts))
+	reg.Counter("fact/table_new_facts").Add(int64(t.TotalNew))
+}
+
+func merge(source string, space *kb.Space, children []*Table) *Table {
 	type acc struct {
 		props map[Property]bool // property -> isNew
 	}

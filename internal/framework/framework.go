@@ -20,9 +20,11 @@ package framework
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"midas/internal/core"
@@ -30,6 +32,7 @@ import (
 	"midas/internal/fact"
 	"midas/internal/hierarchy"
 	"midas/internal/kb"
+	"midas/internal/obs"
 	"midas/internal/slice"
 	"midas/internal/source"
 )
@@ -50,6 +53,11 @@ type Options struct {
 	Detect Detector
 	// Core configures the default MIDASalg detector.
 	Core core.Options
+	// Obs receives run metrics: per-round shard counts and timings,
+	// worker utilization, consolidation keep/drop tallies, and the
+	// per-source metrics of the packages underneath. nil falls back to
+	// the process-wide obs.Default().
+	Obs *obs.Registry
 }
 
 func (o Options) cost() slice.CostModel {
@@ -73,6 +81,9 @@ func (o Options) detector() Detector {
 	copts := o.Core
 	if copts.Cost == (slice.CostModel{}) {
 		copts.Cost = o.cost()
+	}
+	if copts.Obs == nil {
+		copts.Obs = o.Obs
 	}
 	return func(table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice {
 		return core.DiscoverSeeded(table, seeds, copts).Slices
@@ -146,6 +157,8 @@ func Run(corpus *fact.Corpus, existing *kb.KB, opts Options) *Output {
 // together with the context's error. A level in flight runs to
 // completion; per-source detection is not interrupted mid-lattice.
 func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts Options) (*Output, error) {
+	reg := opts.Obs.OrDefault()
+	runStart := time.Now()
 	detect := opts.detector()
 	cost := opts.cost()
 	// Discovery never mutates the KB: freeze it once so the worker pool
@@ -177,6 +190,10 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 	out := &Output{}
 	var final []scored
 
+	reg.Counter("framework/runs").Inc()
+	reg.Counter("framework/corpus_facts").Add(int64(len(corpus.Facts)))
+	reg.Counter("framework/leaf_sources").Add(int64(len(bySource)))
+
 	finish := func(err error) (*Output, error) {
 		sort.SliceStable(final, func(i, j int) bool {
 			a, b := final[i].sl, final[j].sl
@@ -191,6 +208,8 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 			out.Slices[i] = s.sl
 			out.FactSets[i] = s.facts
 		}
+		reg.Timer("framework/run").Observe(time.Since(runStart))
+		reg.Counter("framework/final_slices").Add(int64(len(out.Slices)))
 		return out, err
 	}
 
@@ -214,9 +233,15 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 		out.SourcesProcessed += len(batch)
 		roundStart := time.Now()
 
-		// Detect + consolidate each shard on the worker pool.
+		// Detect + consolidate each shard on the worker pool. busyNs
+		// accumulates in-shard wall time across workers; against the
+		// round's wall clock it yields the pool's utilization (1.0 =
+		// every worker busy the whole round; low values flag skew from
+		// one oversized shard).
 		results := make([]*item, len(batch))
 		var wg sync.WaitGroup
+		var busyNs atomic.Int64
+		shardTimer := reg.Timer("framework/shard")
 		sem := make(chan struct{}, opts.workers())
 		for i, src := range batch {
 			wg.Add(1)
@@ -224,7 +249,11 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				results[i] = processSource(src, pending[src], corpus.Space, member, detect, cost)
+				shardStart := time.Now()
+				results[i] = processSource(src, pending[src], corpus.Space, member, detect, cost, reg)
+				elapsed := time.Since(shardStart)
+				shardTimer.Observe(elapsed)
+				busyNs.Add(int64(elapsed))
 			}(i, src)
 		}
 		wg.Wait()
@@ -233,12 +262,28 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 		for _, it := range results {
 			surviving += len(it.surviving)
 		}
+		roundWall := time.Since(roundStart)
 		out.Levels = append(out.Levels, LevelStat{
 			Depth:   d,
 			Sources: len(batch),
 			Slices:  surviving,
-			Seconds: time.Since(roundStart).Seconds(),
+			Seconds: roundWall.Seconds(),
 		})
+		reg.Counter("framework/rounds").Inc()
+		reg.Counter("framework/sources_processed").Add(int64(len(batch)))
+		reg.Timer("framework/round").Observe(roundWall)
+		reg.Timer(fmt.Sprintf("framework/depth%02d", d)).Observe(roundWall)
+		reg.Counter(fmt.Sprintf("framework/depth%02d/sources", d)).Add(int64(len(batch)))
+		reg.Histogram("framework/round_sources").Observe(float64(len(batch)))
+		reg.Histogram("framework/round_slices").Observe(float64(surviving))
+		if wall := roundWall.Seconds(); wall > 0 {
+			workers := opts.workers()
+			if len(batch) < workers {
+				workers = len(batch)
+			}
+			util := busyNs.Load() / int64(workers)
+			reg.Gauge("framework/worker_utilization").Set(float64(util) / 1e9 / wall)
+		}
 
 		// Route surviving slices: to the parent's pending entry, or to
 		// the final output for domain-level sources.
@@ -263,12 +308,12 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 // processSource builds the source's fact table (merging leaf facts with
 // the children's tables), detects slices seeded with the children's
 // surviving slices, and consolidates parent against child slices.
-func processSource(src string, pe *pendingEntry, space *kb.Space, existing kb.Membership, detect Detector, cost slice.CostModel) *item {
+func processSource(src string, pe *pendingEntry, space *kb.Space, existing kb.Membership, detect Detector, cost slice.CostModel, reg *obs.Registry) *item {
 	// Assemble the fact table at this granularity.
 	var table *fact.Table
 	var leaf *fact.Table
 	if len(pe.triples) > 0 {
-		leaf = fact.BuildWith(src, space, pe.triples, existing)
+		leaf = fact.BuildObs(src, space, pe.triples, existing, reg)
 	}
 	switch {
 	case len(pe.children) == 0 && leaf != nil:
@@ -281,7 +326,7 @@ func processSource(src string, pe *pendingEntry, space *kb.Space, existing kb.Me
 		for _, c := range pe.children {
 			tables = append(tables, c.table)
 		}
-		table = fact.Merge(src, space, tables)
+		table = fact.MergeObs(src, space, tables, reg)
 	}
 
 	// Map subjects to rows for seeding.
@@ -311,7 +356,7 @@ func processSource(src string, pe *pendingEntry, space *kb.Space, existing kb.Me
 		parents[i] = scored{sl: sl, facts: sl.FactSet(table), sourceTotal: table.TotalFacts}
 	}
 
-	return &item{src: src, table: table, surviving: consolidate(parents, children, cost, existing)}
+	return &item{src: src, table: table, surviving: consolidate(parents, children, cost, existing, reg)}
 }
 
 // consolidate compares each parent slice against the child slices whose
@@ -320,10 +365,12 @@ func processSource(src string, pe *pendingEntry, space *kb.Space, existing kb.Me
 // otherwise the parent survives and those children are discarded
 // (Example 16). Children not covered by any parent slice survive too —
 // a coarser ancestor may still consolidate them later.
-func consolidate(parents, children []scored, cost slice.CostModel, existing kb.Membership) []scored {
+func consolidate(parents, children []scored, cost slice.CostModel, existing kb.Membership, reg *obs.Registry) []scored {
 	if len(children) == 0 {
+		reg.Counter("framework/consolidate/parents_kept").Add(int64(len(parents)))
 		return parents
 	}
+	var parentsKept, parentsPruned, childrenKept, childrenDropped int64
 	consumed := make([]bool, len(children))
 	surviving := make([]scored, 0, len(parents))
 	for _, p := range parents {
@@ -335,6 +382,7 @@ func consolidate(parents, children []scored, cost slice.CostModel, existing kb.M
 		}
 		if len(cs) == 0 {
 			surviving = append(surviving, p)
+			parentsKept++
 			continue
 		}
 		// Ties go to the children: same profit at a finer granularity
@@ -345,19 +393,28 @@ func consolidate(parents, children []scored, cost slice.CostModel, existing kb.M
 				consumed[i] = true
 				surviving = append(surviving, children[i])
 			}
+			parentsPruned++
+			childrenKept += int64(len(cs))
 		} else {
 			// The parent wins: keep it, discard the covered children.
 			for _, i := range cs {
 				consumed[i] = true
 			}
 			surviving = append(surviving, p)
+			parentsKept++
+			childrenDropped += int64(len(cs))
 		}
 	}
 	for i := range children {
 		if !consumed[i] {
 			surviving = append(surviving, children[i])
+			childrenKept++
 		}
 	}
+	reg.Counter("framework/consolidate/parents_kept").Add(parentsKept)
+	reg.Counter("framework/consolidate/parents_pruned").Add(parentsPruned)
+	reg.Counter("framework/consolidate/children_kept").Add(childrenKept)
+	reg.Counter("framework/consolidate/children_dropped").Add(childrenDropped)
 	return surviving
 }
 

@@ -1,0 +1,108 @@
+package framework_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"midas/internal/fact"
+	"midas/internal/framework"
+	"midas/internal/kb"
+	"midas/internal/obs"
+)
+
+// stressCorpus synthesizes a corpus spread over many sources at several
+// URL depths: domains → sections → pages, with entity property sets
+// drawn from a small pool so multi-entity slices form at every level.
+// The generator is deterministic for a given seed.
+func stressCorpus(seed int64, domains, sectionsPerDomain, pagesPerSection, entitiesPerPage int) (*fact.Corpus, *kb.KB) {
+	rng := rand.New(rand.NewSource(seed))
+	corpus := fact.NewCorpus(nil)
+	existing := kb.New(corpus.Space)
+	categories := []string{"rocket_family", "space_program", "launch_site", "satellite"}
+	sponsors := []string{"NASA", "ESA", "JAXA", "CNSA"}
+	ent := 0
+	for d := 0; d < domains; d++ {
+		for s := 0; s < sectionsPerDomain; s++ {
+			for p := 0; p < pagesPerSection; p++ {
+				url := fmt.Sprintf("http://d%d.example.org/sec%d/page%d.htm", d, s, p)
+				for e := 0; e < entitiesPerPage; e++ {
+					subj := fmt.Sprintf("entity-%d", ent)
+					ent++
+					cat := categories[rng.Intn(len(categories))]
+					spo := sponsors[rng.Intn(len(sponsors))]
+					corpus.Add(fact.Fact{Subject: subj, Predicate: "category", Object: cat, Confidence: 0.9, URL: url})
+					corpus.Add(fact.Fact{Subject: subj, Predicate: "sponsor", Object: spo, Confidence: 0.9, URL: url})
+					if rng.Intn(3) == 0 {
+						corpus.Add(fact.Fact{Subject: subj, Predicate: "started", Object: fmt.Sprintf("%d", 1950+rng.Intn(8)), Confidence: 0.9, URL: url})
+					}
+					// A third of the facts are already known, so newness
+					// masks vary across entities.
+					if rng.Intn(3) == 0 {
+						existing.AddStrings(subj, "category", cat)
+					}
+				}
+			}
+		}
+	}
+	return corpus, existing
+}
+
+// TestStressManySourcesOversubscribed drives the worker pool with far
+// more workers than GOMAXPROCS over hundreds of sources. Under -race
+// this exercises the sharding, the lock-free KB membership view, and
+// the registry's atomics from many goroutines at once; the assertions
+// pin the run's metrics to the framework's own accounting and check
+// that concurrency does not change the result.
+func TestStressManySourcesOversubscribed(t *testing.T) {
+	corpus, existing := stressCorpus(1, 6, 5, 4, 6) // 120 leaf sources
+	workers := 4*runtime.GOMAXPROCS(0) + 3
+
+	reg := obs.New()
+	out := framework.Run(corpus, existing, framework.Options{Workers: workers, Obs: reg})
+
+	if out.SourcesProcessed == 0 || len(out.Slices) == 0 {
+		t.Fatalf("stress run found nothing: %d sources, %d slices", out.SourcesProcessed, len(out.Slices))
+	}
+	// 120 pages + 30 sections + 6 domains = 156 detector invocations.
+	if want := 156; out.SourcesProcessed != want {
+		t.Errorf("SourcesProcessed = %d, want %d", out.SourcesProcessed, want)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["framework/sources_processed"]; got != int64(out.SourcesProcessed) {
+		t.Errorf("obs sources_processed = %d, framework reported %d", got, out.SourcesProcessed)
+	}
+	if got := snap.Counters["framework/rounds"]; got != int64(out.Rounds) {
+		t.Errorf("obs rounds = %d, framework reported %d", got, out.Rounds)
+	}
+	if got := snap.Counters["framework/final_slices"]; got != int64(len(out.Slices)) {
+		t.Errorf("obs final_slices = %d, framework reported %d", got, len(out.Slices))
+	}
+	if got := snap.Timers["framework/shard"].Count; got != int64(out.SourcesProcessed) {
+		t.Errorf("obs shard timer count = %d, want %d", got, out.SourcesProcessed)
+	}
+	if snap.Counters["hierarchy/nodes_generated"] == 0 {
+		t.Error("obs hierarchy/nodes_generated = 0, want > 0")
+	}
+	kept := snap.Counters["framework/consolidate/parents_kept"] + snap.Counters["framework/consolidate/children_kept"]
+	if kept == 0 {
+		t.Error("obs consolidation kept tallies = 0, want > 0")
+	}
+
+	// The oversubscribed run must agree with a serial run: the pool
+	// changes scheduling, never results.
+	serialCorpus, serialKB := stressCorpus(1, 6, 5, 4, 6)
+	serial := framework.Run(serialCorpus, serialKB, framework.Options{Workers: 1, Obs: obs.New()})
+	if len(serial.Slices) != len(out.Slices) {
+		t.Fatalf("parallel run found %d slices, serial run %d", len(out.Slices), len(serial.Slices))
+	}
+	for i := range serial.Slices {
+		a, b := out.Slices[i], serial.Slices[i]
+		if a.Source != b.Source || a.Profit != b.Profit || a.Facts != b.Facts || a.NewFacts != b.NewFacts {
+			t.Errorf("slice %d differs: parallel %s %.4f (%d/%d) vs serial %s %.4f (%d/%d)",
+				i, a.Source, a.Profit, a.Facts, a.NewFacts, b.Source, b.Profit, b.Facts, b.NewFacts)
+		}
+	}
+}

@@ -21,9 +21,11 @@
 package hierarchy
 
 import (
+	"fmt"
 	"sort"
 
 	"midas/internal/fact"
+	"midas/internal/obs"
 	"midas/internal/slice"
 )
 
@@ -127,6 +129,11 @@ type Builder struct {
 	DisableCanonicalPrune bool
 	DisableProfitPrune    bool
 
+	// Obs receives construction metrics (nodes generated and pruned per
+	// lattice level, mirroring the paper's Proposition 12 effectiveness
+	// tables); nil falls back to the process-wide obs.Default().
+	Obs *obs.Registry
+
 	entFacts []int32 // per-entity fact counts
 	entNew   []int32 // per-entity new-fact counts
 	propFreq map[fact.Property]int32
@@ -157,6 +164,14 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 	h := &Hierarchy{}
 	// levelNodes[l] maps a property-set key to its node.
 	levels := make([]map[string]*Node, 1, 8)
+	// Per-level effort tallies, reported to Obs when the build finishes.
+	var createdByLevel, removedByLevel, invalidByLevel []int64
+	bump := func(tally *[]int64, l int) {
+		for len(*tally) <= l {
+			*tally = append(*tally, 0)
+		}
+		(*tally)[l]++
+	}
 
 	getLevel := func(l int) map[string]*Node {
 		for len(levels) <= l {
@@ -166,6 +181,7 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 	}
 	makeNode := func(props []fact.Property) *Node {
 		h.Stats.NodesCreated++
+		bump(&createdByLevel, len(props))
 		return &Node{Props: props, Valid: true}
 	}
 	getNode := func(props []fact.Property) *Node {
@@ -179,6 +195,7 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 		}
 		return n
 	}
+	defer func() { b.record(&h.Stats, createdByLevel, removedByLevel, invalidByLevel) }()
 
 	b.seedInitial(getNode, &h.Stats)
 	for _, s := range extra {
@@ -255,6 +272,7 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 			if !n.Canonical && !b.DisableCanonicalPrune {
 				b.remove(n)
 				h.Stats.NodesRemoved++
+				bump(&removedByLevel, l)
 				delete(levels[l], propKey(n.Props))
 			}
 		}
@@ -266,6 +284,7 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 			if !b.DisableProfitPrune && (n.Profit < 0 || n.Profit < n.FLB) {
 				n.Valid = false
 				h.Stats.NodesInvalid++
+				bump(&invalidByLevel, l)
 			}
 		}
 	}
@@ -276,6 +295,33 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 		h.Levels[l] = sortedNodes(levels[l])
 	}
 	return h
+}
+
+// record publishes one build's effort tallies to the observability
+// registry: aggregate totals plus per-lattice-level breakdowns of nodes
+// generated, pruned by canonicity (Proposition 12), and pruned by the
+// profit lower bound — the quantities behind the paper's Section V
+// pruning-effectiveness tables. Levels are bounded by
+// MaxPropsPerEntity, so the metric-name space stays small.
+func (b *Builder) record(st *Stats, created, removed, invalid []int64) {
+	reg := b.Obs.OrDefault()
+	reg.Counter("hierarchy/builds").Inc()
+	reg.Counter("hierarchy/nodes_generated").Add(int64(st.NodesCreated))
+	reg.Counter("hierarchy/pruned_canonicity").Add(int64(st.NodesRemoved))
+	reg.Counter("hierarchy/pruned_profit_bound").Add(int64(st.NodesInvalid))
+	reg.Counter("hierarchy/initial_slices").Add(int64(st.InitialSlices))
+	reg.Counter("hierarchy/entities_capped").Add(int64(st.EntitiesCapped))
+	reg.Counter("hierarchy/combos_capped").Add(int64(st.CombosCapped))
+	perLevel := func(suffix string, tally []int64) {
+		for l, n := range tally {
+			if n > 0 {
+				reg.Counter(fmt.Sprintf("hierarchy/level%02d/%s", l, suffix)).Add(n)
+			}
+		}
+	}
+	perLevel("nodes_generated", created)
+	perLevel("pruned_canonicity", removed)
+	perLevel("pruned_profit_bound", invalid)
 }
 
 // Seed is an externally supplied initial slice (from a child web source).

@@ -3,6 +3,7 @@ package kb
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"midas/internal/binio"
 )
@@ -69,6 +70,9 @@ func (k *KB) WriteBinary(w io.Writer) error {
 // ReadBinary loads a binary KB stream into the receiver (interning into
 // its space), returning the number of facts added.
 func (k *KB) ReadBinary(r io.Reader) (int, error) {
+	start := time.Now()
+	added := 0
+	defer func() { k.recordLoad("binary", added, time.Since(start)) }()
 	br := binio.NewReader(r)
 	br.Magic(kbMagic)
 	readSection := func() []string {
@@ -104,7 +108,6 @@ func (k *KB) ReadBinary(r io.Reader) (int, error) {
 		objIDs[i] = k.space.Objects.Put(s)
 	}
 
-	added := 0
 	var prevS uint64
 	for i := 0; i < count; i++ {
 		var s uint64

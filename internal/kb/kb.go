@@ -20,8 +20,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"midas/internal/dict"
+	"midas/internal/obs"
 )
 
 // Triple is a fully interned (subject, predicate, object) fact.
@@ -91,6 +93,9 @@ type KB struct {
 	// Fig. 7-style dataset tables).
 	byPredicate map[dict.ID]int
 	size        int
+
+	// obs receives bulk-load metrics; nil falls back to obs.Default().
+	obs *obs.Registry
 }
 
 // New returns an empty KB over the given interning space.
@@ -107,6 +112,22 @@ func New(space *Space) *KB {
 
 // Space returns the interning space the KB shares with its callers.
 func (k *KB) Space() *Space { return k.space }
+
+// SetObs routes the KB's bulk-load metrics (triples loaded, load phase
+// timings, triples/sec throughput) to reg; nil restores the process-wide
+// obs.Default(). Call before loading; not safe concurrently with loads.
+func (k *KB) SetObs(reg *obs.Registry) { k.obs = reg }
+
+// recordLoad publishes one bulk load (format is "tsv" or "binary").
+func (k *KB) recordLoad(format string, added int, d time.Duration) {
+	reg := k.obs.OrDefault()
+	reg.Timer("kb/load").Observe(d)
+	reg.Counter("kb/load_triples").Add(int64(added))
+	if secs := d.Seconds(); secs > 0 && added > 0 {
+		reg.Gauge("kb/load_triples_per_sec/" + format).Set(float64(added) / secs)
+	}
+	reg.Gauge("kb/size").Set(float64(k.Size()))
+}
 
 // Add inserts an interned triple. It reports whether the triple was new.
 func (k *KB) Add(t Triple) bool {
@@ -314,9 +335,11 @@ func (k *KB) WriteTSV(w io.Writer) error {
 // ReadTSV loads tab-separated facts into the KB, returning the number of
 // facts added (duplicates are ignored).
 func (k *KB) ReadTSV(r io.Reader) (int, error) {
+	start := time.Now()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	added, line := 0, 0
+	defer func() { k.recordLoad("tsv", added, time.Since(start)) }()
 	for sc.Scan() {
 		line++
 		text := sc.Text()

@@ -1,0 +1,458 @@
+// Package obs is the pipeline's lightweight, dependency-free
+// observability layer: named atomic counters, gauges, phase timers, and
+// histograms collected in a Registry whose Snapshot serializes to
+// deterministic JSON.
+//
+// Design constraints, in order:
+//
+//   - zero allocation and lock-free on the hot update paths (counters,
+//     gauges, and timers are atomics; histograms take a short mutex);
+//   - safe for concurrent use from the framework's worker pool;
+//   - nil-tolerant: every method is a no-op on a nil receiver, so
+//     instrumented code never branches on "is observability enabled";
+//   - no third-party dependencies (the snapshot is plain encoding/json).
+//
+// Instrumented packages accept an optional *Registry and fall back to
+// the process-wide Default() registry via OrDefault, so binaries get a
+// full picture without threading a registry through every call site,
+// while tests and libraries can isolate themselves with New().
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value (utilization, rate, queue depth).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last value set (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer accumulates wall-clock durations of one phase: count, total,
+// min, and max, all updated atomically.
+type Timer struct {
+	count atomic.Int64
+	total atomic.Int64 // nanoseconds
+	min   atomic.Int64 // nanoseconds; math.MaxInt64 until first observation
+	max   atomic.Int64 // nanoseconds
+}
+
+// Observe records one phase execution of duration d.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	ns := int64(d)
+	t.count.Add(1)
+	t.total.Add(ns)
+	for {
+		cur := t.min.Load()
+		if ns >= cur || t.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := t.max.Load()
+		if ns <= cur || t.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Start begins timing a phase; the returned function stops the clock and
+// records the elapsed duration. Usable as defer reg.Timer("x").Start()().
+func (t *Timer) Start() func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// TimerSnapshot is the serialized state of a Timer. Durations are
+// reported in seconds for direct plotting against the paper's figures.
+type TimerSnapshot struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+	MeanSeconds  float64 `json:"mean_seconds"`
+}
+
+func (t *Timer) snapshot() TimerSnapshot {
+	n := t.count.Load()
+	total := t.total.Load()
+	s := TimerSnapshot{Count: n, TotalSeconds: seconds(total)}
+	if n > 0 {
+		s.MinSeconds = seconds(t.min.Load())
+		s.MaxSeconds = seconds(t.max.Load())
+		s.MeanSeconds = seconds(total / n)
+	}
+	return s
+}
+
+func seconds(ns int64) float64 { return float64(ns) / 1e9 }
+
+// DefaultBuckets are the histogram upper bounds used when none are
+// given: a coarse exponential ladder wide enough for slice counts,
+// entity counts, and profits alike.
+var DefaultBuckets = []float64{0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 100000, 1000000}
+
+// Histogram counts observations into fixed upper-bound buckets and
+// tracks count/sum/min/max. Observations above the last bound land in an
+// implicit +Inf overflow bucket.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	buckets []int64 // len(bounds)+1; last is overflow
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// Observe records one observation. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records n identical observations in one update (used when a
+// caller aggregates before reporting, e.g. per-level prune tallies).
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	h.mu.Lock()
+	h.buckets[i] += n
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count += n
+	h.sum += v * float64(n)
+	h.mu.Unlock()
+}
+
+// Bucket is one histogram bucket: the count of observations ≤ the upper
+// bound. The overflow bucket has UpperBound = +Inf, serialized as "inf".
+type Bucket struct {
+	UpperBound jsonFloat `json:"le"`
+	Count      int64     `json:"count"`
+}
+
+// HistogramSnapshot is the serialized state of a Histogram. Empty
+// buckets are omitted to keep snapshots small.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	if h.count > 0 {
+		s.Min, s.Max = h.min, h.max
+		s.Mean = h.sum / float64(h.count)
+	}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: jsonFloat(ub), Count: n})
+	}
+	return s
+}
+
+// jsonFloat is a float64 whose JSON form supports ±Inf (as "inf" /
+// "-inf" strings), needed for the overflow bucket bound.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	if math.IsInf(float64(f), 1) {
+		return []byte(`"inf"`), nil
+	}
+	if math.IsInf(float64(f), -1) {
+		return []byte(`"-inf"`), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"inf"`:
+		*f = jsonFloat(math.Inf(1))
+		return nil
+	case `"-inf"`:
+		*f = jsonFloat(math.Inf(-1))
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// Registry is a named collection of metrics, safe for concurrent use.
+// The zero value is not usable; call New. All lookup methods get-or-
+// create and are cheap enough to call on warm paths (one RLock + map
+// probe); store the returned handle when a path is truly hot.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = New()
+
+// Default returns the process-wide registry that instrumented packages
+// fall back to when no explicit registry is threaded in. Binaries
+// snapshot it for their -stats flag.
+func Default() *Registry { return defaultRegistry }
+
+// OrDefault returns r, or the process-wide Default() registry when r is
+// nil. Instrumented packages call this once per operation.
+func (r *Registry) OrDefault() *Registry {
+	if r == nil {
+		return Default()
+	}
+	return r
+}
+
+// Counter returns the named counter, creating it if needed. Returns nil
+// (whose methods no-op) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named phase timer, creating it if needed.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	t, ok := r.timers[name]
+	r.mu.RUnlock()
+	if ok {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok = r.timers[name]; !ok {
+		t = &Timer{}
+		t.min.Store(math.MaxInt64)
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (DefaultBuckets when none; bounds must be sorted
+// ascending). Bounds are fixed at first creation.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; !ok {
+		h = &Histogram{bounds: bounds, buckets: make([]int64, len(bounds)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Reset clears every metric while keeping the registry usable. Handles
+// obtained before Reset keep working but report into discarded state.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.timers = make(map[string]*Timer)
+	r.histograms = make(map[string]*Histogram)
+	r.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics. Maps
+// marshal with sorted keys, so the JSON form is deterministic for a
+// given metric state.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Timers     map[string]TimerSnapshot     `json:"timers,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current metric values. Individual metrics are read
+// atomically; the snapshot as a whole is not a cross-metric atomic cut
+// (concurrent writers may land between reads), which is fine for its
+// purpose of end-of-run reporting.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.timers) > 0 {
+		s.Timers = make(map[string]TimerSnapshot, len(r.timers))
+		for name, t := range r.timers {
+			s.Timers[name] = t.snapshot()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteFile writes a JSON snapshot to path, creating or truncating it.
+func (r *Registry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = r.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

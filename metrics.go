@@ -1,0 +1,51 @@
+package midas
+
+import (
+	"io"
+
+	"midas/internal/obs"
+)
+
+// Metrics is a handle on an observability registry: the counters, phase
+// timers, gauges, and histograms the pipeline emits as a side effect of
+// every run (per-round shard counts and timings, hierarchy pruning
+// tallies, consolidation keep/drop decisions, KB load throughput).
+//
+// Pass a Metrics via Options.Metrics to isolate one run's numbers;
+// otherwise the pipeline reports into the shared DefaultMetrics()
+// registry, which the midas and midas-bench binaries expose through
+// their -stats flag. See README.md ("Observability & CI") for the
+// snapshot schema.
+type Metrics struct {
+	reg *obs.Registry
+}
+
+// NewMetrics returns an empty, isolated metrics registry.
+func NewMetrics() *Metrics { return &Metrics{reg: obs.New()} }
+
+// DefaultMetrics returns the process-wide registry that instrumented
+// code reports into when no explicit Metrics is configured.
+func DefaultMetrics() *Metrics { return &Metrics{reg: obs.Default()} }
+
+// WriteJSON writes an indented JSON snapshot of the collected metrics:
+// {"counters": {...}, "gauges": {...}, "timers": {...},
+// "histograms": {...}}, with keys sorted so output is deterministic for
+// a given metric state.
+func (m *Metrics) WriteJSON(w io.Writer) error { return m.reg.WriteJSON(w) }
+
+// WriteFile writes a JSON snapshot to path, creating or truncating it.
+func (m *Metrics) WriteFile(path string) error { return m.reg.WriteFile(path) }
+
+// Counter returns the current value of a named counter (0 if the
+// counter has not been touched).
+func (m *Metrics) Counter(name string) int64 { return m.reg.Counter(name).Value() }
+
+// Reset clears all collected metrics.
+func (m *Metrics) Reset() { m.reg.Reset() }
+
+func (m *Metrics) registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}

@@ -223,6 +223,10 @@ type Options struct {
 	// NewCorpus sharing).
 	TypeOntology   *Ontology
 	TypePredicates []string
+	// Metrics receives the run's observability data (phase timings,
+	// pruning counters, worker utilization). nil reports into the
+	// shared DefaultMetrics() registry.
+	Metrics *Metrics
 }
 
 func (o *Options) orDefault() Options {
@@ -266,10 +270,12 @@ func DiscoverContext(ctx context.Context, corpus *Corpus, existing *KB, opts *Op
 	out, runErr := framework.RunContext(ctx, c, store, framework.Options{
 		Cost:    o.Cost,
 		Workers: o.Workers,
+		Obs:     o.Metrics.registry(),
 		Core: core.Options{
 			Cost:              o.Cost,
 			MaxPropsPerEntity: o.MaxPropsPerEntity,
 			MaxInitCombos:     o.MaxInitCombos,
+			Obs:               o.Metrics.registry(),
 		},
 	})
 	keep := make([]bool, len(out.Slices))
@@ -318,6 +324,7 @@ func DiscoverSource(source string, facts []Fact, existing *KB, opts *Options) *R
 		Cost:              o.Cost,
 		MaxPropsPerEntity: o.MaxPropsPerEntity,
 		MaxInitCombos:     o.MaxInitCombos,
+		Obs:               o.Metrics.registry(),
 	})
 	out := &Result{SourcesProcessed: 1}
 	for _, s := range res.Slices {
