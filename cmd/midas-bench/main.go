@@ -16,8 +16,12 @@
 // -stats writes a JSON snapshot of the pipeline's observability
 // registry (per-phase timings, hierarchy pruning counters, worker
 // utilization) collected as a side effect of the run; CI uploads it as
-// the perf-trajectory artifact. -pprof serves net/http/pprof while the
-// experiments run.
+// the perf-trajectory artifact. -listen serves the registry live while
+// the experiments run — /metrics as OpenMetrics text, /debug/vars as
+// expvar JSON, /debug/pprof — so a scraper polls the run instead of
+// waiting for the exit snapshot. -trace writes a Chrome trace-event
+// JSON of every pipeline span (load in Perfetto). -pprof serves
+// net/http/pprof alone, kept for compatibility (-listen includes it).
 package main
 
 import (
@@ -39,6 +43,8 @@ func main() {
 		scale     = flag.Float64("scale", 0.5, "corpus scale for fig10")
 		statsPath = flag.String("stats", "", "write a JSON metrics snapshot of the run to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		listen    = flag.String("listen", "", "serve live telemetry (/metrics, /debug/vars, /debug/pprof) on this address (e.g. localhost:9090)")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON of the run's spans to this file (load in Perfetto)")
 	)
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -47,6 +53,19 @@ func main() {
 				fmt.Fprintln(os.Stderr, "midas-bench: pprof:", err)
 			}
 		}()
+	}
+	if *listen != "" {
+		addr, err := obs.ListenAndServe(*listen, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "midas-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving live telemetry on http://%s/metrics\n", addr)
+	}
+	if *tracePath != "" {
+		// The experiments call the framework without explicit options;
+		// the default tracer is the fallback they report spans into.
+		obs.SetDefaultTracer(obs.NewTracer())
 	}
 
 	run := map[string]func(){
@@ -116,6 +135,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *statsPath)
+	}
+	if *tracePath != "" {
+		if err := obs.DefaultTracer().WriteFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "midas-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace (%d spans) to %s\n", obs.DefaultTracer().Len(), *tracePath)
 	}
 }
 

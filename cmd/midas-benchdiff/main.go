@@ -1,0 +1,171 @@
+// Command midas-benchdiff turns the CI bench-smoke artifact into a
+// regression gate: it compares the current run's metrics snapshot
+// (BENCH_stats.json, written by midas-bench -stats) against the
+// previous run's and fails when the pipeline got materially slower or
+// the pruning strategies got materially weaker.
+//
+// Checks:
+//
+//   - wall time: the framework/run phase timer's total seconds must not
+//     regress by more than -max-wall-regress (default 20%). Baselines
+//     below -min-seconds are skipped as noise — CI runners cannot
+//     resolve a 20% change of a 10ms phase.
+//   - pruning ratio: (pruned_canonicity + pruned_profit_bound) /
+//     nodes_generated must not drop by more than -max-prune-drop
+//     relative (default 20%). A drop means the hierarchy builder is
+//     materializing lattice nodes it used to eliminate — the quantity
+//     behind the paper's Section V pruning tables.
+//
+// Usage:
+//
+//	midas-benchdiff -old previous/BENCH_stats.json -new BENCH_stats.json
+//
+// Exits 0 when within thresholds, 1 on a regression, 2 on usage or
+// unreadable input. -allow-missing exits 0 when the old snapshot does
+// not exist (first run, empty CI cache).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"midas/internal/obs"
+)
+
+func main() {
+	var (
+		oldPath      = flag.String("old", "", "previous metrics snapshot (required)")
+		newPath      = flag.String("new", "", "current metrics snapshot (required)")
+		maxWall      = flag.Float64("max-wall-regress", 0.20, "max relative framework/run wall-time regression")
+		maxPruneDrop = flag.Float64("max-prune-drop", 0.20, "max relative pruning-ratio drop")
+		minSeconds   = flag.Float64("min-seconds", 0.05, "skip the wall-time check below this baseline (noise floor)")
+		allowMissing = flag.Bool("allow-missing", false, "exit 0 when the old snapshot does not exist")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *allowMissing {
+		if _, err := os.Stat(*oldPath); os.IsNotExist(err) {
+			fmt.Printf("benchdiff: no baseline at %s, skipping (first run)\n", *oldPath)
+			return
+		}
+	}
+	oldSnap, err := loadSnapshot(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newSnap, err := loadSnapshot(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	report := Compare(oldSnap, newSnap, Thresholds{
+		MaxWallRegress: *maxWall,
+		MaxPruneDrop:   *maxPruneDrop,
+		MinSeconds:     *minSeconds,
+	})
+	for _, line := range report.Lines {
+		fmt.Println(line)
+	}
+	if len(report.Regressions) > 0 {
+		for _, r := range report.Regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: within thresholds")
+}
+
+// Thresholds bounds the accepted drift between two snapshots.
+type Thresholds struct {
+	// MaxWallRegress is the max relative increase of framework/run
+	// total wall time (0.20 = +20%).
+	MaxWallRegress float64
+	// MaxPruneDrop is the max relative decrease of the hierarchy
+	// pruning ratio.
+	MaxPruneDrop float64
+	// MinSeconds is the wall-time noise floor: baselines below it skip
+	// the wall check.
+	MinSeconds float64
+}
+
+// Report is the outcome of a comparison: human-readable lines plus the
+// subset that breached a threshold.
+type Report struct {
+	Lines       []string
+	Regressions []string
+}
+
+// Compare checks the current snapshot against the baseline.
+func Compare(oldSnap, newSnap obs.Snapshot, th Thresholds) Report {
+	var rep Report
+
+	oldWall := oldSnap.Timers["framework/run"].TotalSeconds
+	newWall := newSnap.Timers["framework/run"].TotalSeconds
+	switch {
+	case oldWall <= 0:
+		rep.Lines = append(rep.Lines, "wall time: no framework/run baseline, skipping")
+	case oldWall < th.MinSeconds:
+		rep.Lines = append(rep.Lines, fmt.Sprintf(
+			"wall time: baseline %.3fs below %.3fs noise floor, skipping", oldWall, th.MinSeconds))
+	default:
+		rel := newWall/oldWall - 1
+		line := fmt.Sprintf("wall time: framework/run %.3fs → %.3fs (%+.1f%%, limit +%.0f%%)",
+			oldWall, newWall, rel*100, th.MaxWallRegress*100)
+		rep.Lines = append(rep.Lines, line)
+		if rel > th.MaxWallRegress {
+			rep.Regressions = append(rep.Regressions, line)
+		}
+	}
+
+	oldRatio, oldOK := pruneRatio(oldSnap)
+	newRatio, newOK := pruneRatio(newSnap)
+	switch {
+	case !oldOK:
+		rep.Lines = append(rep.Lines, "pruning: no baseline hierarchy counters, skipping")
+	case !newOK:
+		line := "pruning: current snapshot has no hierarchy counters"
+		rep.Lines = append(rep.Lines, line)
+		rep.Regressions = append(rep.Regressions, line)
+	default:
+		drop := 1 - newRatio/oldRatio
+		line := fmt.Sprintf("pruning ratio: %.4f → %.4f (drop %.1f%%, limit %.0f%%)",
+			oldRatio, newRatio, drop*100, th.MaxPruneDrop*100)
+		rep.Lines = append(rep.Lines, line)
+		if drop > th.MaxPruneDrop {
+			rep.Regressions = append(rep.Regressions, line)
+		}
+	}
+	return rep
+}
+
+// pruneRatio computes the fraction of generated lattice nodes that the
+// two pruning strategies eliminated.
+func pruneRatio(s obs.Snapshot) (float64, bool) {
+	generated := s.Counters["hierarchy/nodes_generated"]
+	if generated == 0 {
+		return 0, false
+	}
+	pruned := s.Counters["hierarchy/pruned_canonicity"] + s.Counters["hierarchy/pruned_profit_bound"]
+	return float64(pruned) / float64(generated), true
+}
+
+func loadSnapshot(path string) (obs.Snapshot, error) {
+	var s obs.Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "midas-benchdiff:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"midas/internal/obs"
+)
+
+func snap(runSeconds float64, generated, prunedCanon, prunedProfit int64) obs.Snapshot {
+	return obs.Snapshot{
+		Timers: map[string]obs.TimerSnapshot{
+			"framework/run": {Count: 1, TotalSeconds: runSeconds},
+		},
+		Counters: map[string]int64{
+			"hierarchy/nodes_generated":     generated,
+			"hierarchy/pruned_canonicity":   prunedCanon,
+			"hierarchy/pruned_profit_bound": prunedProfit,
+		},
+	}
+}
+
+var defaultTh = Thresholds{MaxWallRegress: 0.20, MaxPruneDrop: 0.20, MinSeconds: 0.05}
+
+func TestCompareWithinThresholds(t *testing.T) {
+	rep := Compare(snap(1.0, 1000, 300, 200), snap(1.1, 1000, 310, 190), defaultTh)
+	if len(rep.Regressions) != 0 {
+		t.Errorf("regressions = %v, want none", rep.Regressions)
+	}
+}
+
+func TestCompareWallRegression(t *testing.T) {
+	rep := Compare(snap(1.0, 1000, 300, 200), snap(1.5, 1000, 300, 200), defaultTh)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "wall time") {
+		t.Errorf("regressions = %v, want one wall-time regression", rep.Regressions)
+	}
+}
+
+func TestComparePruningDrop(t *testing.T) {
+	// Ratio 0.5 → 0.3 is a 40% relative drop.
+	rep := Compare(snap(1.0, 1000, 300, 200), snap(1.0, 1000, 200, 100), defaultTh)
+	if len(rep.Regressions) != 1 || !strings.Contains(rep.Regressions[0], "pruning ratio") {
+		t.Errorf("regressions = %v, want one pruning regression", rep.Regressions)
+	}
+}
+
+func TestCompareNoiseFloorSkipsWall(t *testing.T) {
+	// A 10ms baseline tripling is noise, not a regression.
+	rep := Compare(snap(0.010, 1000, 300, 200), snap(0.030, 1000, 300, 200), defaultTh)
+	if len(rep.Regressions) != 0 {
+		t.Errorf("regressions = %v, want none below the noise floor", rep.Regressions)
+	}
+}
+
+func TestCompareMissingBaselineCounters(t *testing.T) {
+	rep := Compare(obs.Snapshot{}, snap(1.0, 1000, 300, 200), defaultTh)
+	if len(rep.Regressions) != 0 {
+		t.Errorf("regressions = %v, want none when the baseline is empty", rep.Regressions)
+	}
+	// The reverse — a current snapshot that lost its hierarchy counters
+	// entirely — is a gate failure, not a skip.
+	rep = Compare(snap(1.0, 1000, 300, 200), obs.Snapshot{}, defaultTh)
+	found := false
+	for _, r := range rep.Regressions {
+		if strings.Contains(r, "no hierarchy counters") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("regressions = %v, want missing-counters failure", rep.Regressions)
+	}
+}
+
+func TestPruneRatio(t *testing.T) {
+	if r, ok := pruneRatio(snap(0, 1000, 300, 200)); !ok || r != 0.5 {
+		t.Errorf("pruneRatio = %v/%v, want 0.5/true", r, ok)
+	}
+	if _, ok := pruneRatio(obs.Snapshot{}); ok {
+		t.Error("pruneRatio on empty snapshot should report not-ok")
+	}
+}

@@ -22,9 +22,11 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"midas/internal/eval"
 	"midas/internal/kb"
+	"midas/internal/obs"
 	"midas/internal/source"
 )
 
@@ -43,6 +45,7 @@ func main() {
 		factsPath  = flag.String("facts", "", "extraction corpus TSV (required)")
 		silverPath = flag.String("silver", "", "silver-facts TSV from midas-datagen (required)")
 		verbose    = flag.Bool("v", false, "print per-slice matches")
+		statsPath  = flag.String("stats", "", "write a JSON metrics snapshot (scoring counters and timings) to this file")
 	)
 	flag.Parse()
 	if *predPath == "" || *factsPath == "" || *silverPath == "" {
@@ -126,8 +129,21 @@ func main() {
 		silverDescs[i] = silverByIdx[key].desc
 	}
 
+	// Score, reporting the evaluation's own counters into the obs
+	// registry so long-running curation loops that shell out to
+	// midas-eval per iteration leave a metrics trail (-stats below).
+	reg := obs.Default()
+	scoreStart := time.Now()
 	matches := eval.MatchSilver(predSets, silverSets)
 	score := eval.Score(predSets, silverSets)
+	reg.Timer("eval/score").Observe(time.Since(scoreStart))
+	reg.Counter("eval/evaluations").Inc()
+	reg.Counter("eval/predicted_slices").Add(int64(score.Predicted))
+	reg.Counter("eval/silver_slices").Add(int64(score.Expected))
+	reg.Counter("eval/matched_slices").Add(int64(score.TruePos))
+	reg.Gauge("eval/precision").Set(score.Precision)
+	reg.Gauge("eval/recall").Set(score.Recall)
+	reg.Gauge("eval/f1").Set(score.F1)
 	if *verbose {
 		for i, m := range matches {
 			label := "NO MATCH"
@@ -140,6 +156,12 @@ func main() {
 	fmt.Printf("predicted %d slices, silver %d slices\n", score.Predicted, score.Expected)
 	fmt.Printf("precision %.3f  recall %.3f  f-measure %.3f  (matched %d)\n",
 		score.Precision, score.Recall, score.F1, score.TruePos)
+	if *statsPath != "" {
+		if err := reg.WriteFile(*statsPath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *statsPath)
+	}
 }
 
 func loadPredictions(path string) (*prediction, error) {

@@ -14,7 +14,14 @@
 //
 //	midas -facts extractions.tsv [-kb existing.tsv] [-top 20]
 //	      [-min-conf 0.7] [-fp 10 -fc 0.001 -fd 0.01 -fv 0.1]
-//	      [-stats run-stats.json] [-pprof localhost:6060]
+//	      [-stats run-stats.json] [-listen localhost:9090]
+//	      [-trace run-trace.json] [-pprof localhost:6060]
+//
+// -listen serves live telemetry while the run is in flight: /metrics
+// (OpenMetrics text for any Prometheus-compatible scraper), /debug/vars
+// (expvar JSON), and /debug/pprof. -trace records spans for every
+// pipeline phase and writes Chrome trace-event JSON on exit — load it
+// in Perfetto (ui.perfetto.dev) or chrome://tracing.
 package main
 
 import (
@@ -49,6 +56,8 @@ func main() {
 		budget    = flag.Int("budget", 0, "keep at most this many slices (0 = all)")
 		statsPath = flag.String("stats", "", "write a JSON metrics snapshot (phase timings, pruning counters) to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		listen    = flag.String("listen", "", "serve live telemetry (/metrics, /debug/vars, /debug/pprof) on this address (e.g. localhost:9090)")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON of the run's spans to this file (load in Perfetto)")
 	)
 	flag.Parse()
 	if *factsPath == "" {
@@ -56,6 +65,17 @@ func main() {
 		os.Exit(2)
 	}
 	servePprof(*pprofAddr)
+	if *listen != "" {
+		addr, err := midas.DefaultMetrics().Serve(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serving live telemetry on http://%s/metrics\n", addr)
+	}
+	var tracer *midas.Tracer
+	if *tracePath != "" {
+		tracer = midas.NewTracer()
+	}
 
 	existing := midas.NewKB()
 	if *kbPath != "" {
@@ -113,6 +133,7 @@ func main() {
 		Workers:       *workers,
 		MinConfidence: *minConf,
 		MaxSlices:     *budget,
+		Trace:         tracer,
 	})
 	fmt.Fprintf(os.Stderr, "processed %d sources in %d rounds; %d slices\n",
 		res.SourcesProcessed, res.Rounds, len(res.Slices))
@@ -122,6 +143,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *statsPath)
+	}
+	if tracer != nil {
+		if err := tracer.WriteFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s\n", *tracePath)
 	}
 
 	if *report != "" {

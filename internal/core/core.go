@@ -10,14 +10,17 @@
 package core
 
 import (
+	"context"
+	"sort"
+	"strconv"
+	"time"
+
 	"midas/internal/dict"
 	"midas/internal/fact"
 	"midas/internal/hierarchy"
 	"midas/internal/kb"
 	"midas/internal/obs"
 	"midas/internal/slice"
-	"sort"
-	"time"
 )
 
 // Options configures MIDASalg.
@@ -84,8 +87,16 @@ func DiscoverTable(table *fact.Table, opts Options) *Result {
 // multi-source framework to start a parent source's hierarchy from the
 // slices already detected in its children.
 func DiscoverSeeded(table *fact.Table, seeds []hierarchy.Seed, opts Options) *Result {
+	return DiscoverSeededContext(context.Background(), table, seeds, opts)
+}
+
+// DiscoverSeededContext is DiscoverSeeded with span tracing: when ctx
+// carries a span (the framework's per-source shard span), hierarchy
+// construction and the top-down traversal each record a child span.
+func DiscoverSeededContext(ctx context.Context, table *fact.Table, seeds []hierarchy.Seed, opts Options) *Result {
 	reg := opts.Obs.OrDefault()
 	start := time.Now()
+	_, buildSpan := obs.StartSpan(ctx, "hierarchy/build")
 	b := &hierarchy.Builder{
 		Table:                 table,
 		Cost:                  opts.cost(),
@@ -96,8 +107,14 @@ func DiscoverSeeded(table *fact.Table, seeds []hierarchy.Seed, opts Options) *Re
 		Obs:                   opts.Obs,
 	}
 	h := b.Build(seeds)
+	buildSpan.Arg("nodes", strconv.Itoa(h.Stats.NodesCreated)).
+		Arg("pruned_canonicity", strconv.Itoa(h.Stats.NodesRemoved)).
+		Arg("pruned_profit_bound", strconv.Itoa(h.Stats.NodesInvalid)).
+		End()
 	reg.Timer("core/build_hierarchy").Observe(time.Since(start))
 	res := &Result{Stats: h.Stats, Hierarchy: h}
+	_, traverseSpan := obs.StartSpan(ctx, "core/traverse")
+	defer func() { traverseSpan.Arg("slices", strconv.Itoa(len(res.Slices))).End() }()
 	defer func(traverseStart time.Time) {
 		reg.Timer("core/traverse").Observe(time.Since(traverseStart))
 		reg.Timer("core/discover").Observe(time.Since(start))

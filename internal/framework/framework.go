@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,12 @@ type Options struct {
 	// per-source metrics of the packages underneath. nil falls back to
 	// the process-wide obs.Default().
 	Obs *obs.Registry
+	// Trace receives run spans (the whole run, each hierarchy round,
+	// each source's shard with its detect/consolidate phases), exported
+	// as Chrome trace-event JSON via the binaries' -trace flag. nil
+	// falls back to obs.DefaultTracer(), which is itself nil (tracing
+	// disabled, zero overhead) unless a binary enabled it.
+	Trace *obs.Tracer
 }
 
 func (o Options) cost() slice.CostModel {
@@ -74,9 +81,17 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-func (o Options) detector() Detector {
+// detectFunc is the internal detection entry point: a Detector plus the
+// context that carries the current span, so the default MIDASalg path
+// can parent its hierarchy-build and traversal spans to the source's
+// shard span. Custom Detectors keep the public two-argument signature.
+type detectFunc func(ctx context.Context, table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice
+
+func (o Options) detector() detectFunc {
 	if o.Detect != nil {
-		return o.Detect
+		return func(_ context.Context, table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice {
+			return o.Detect(table, seeds)
+		}
 	}
 	copts := o.Core
 	if copts.Cost == (slice.CostModel{}) {
@@ -85,8 +100,8 @@ func (o Options) detector() Detector {
 	if copts.Obs == nil {
 		copts.Obs = o.Obs
 	}
-	return func(table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice {
-		return core.DiscoverSeeded(table, seeds, copts).Slices
+	return func(ctx context.Context, table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice {
+		return core.DiscoverSeededContext(ctx, table, seeds, copts).Slices
 	}
 }
 
@@ -159,6 +174,7 @@ func Run(corpus *fact.Corpus, existing *kb.KB, opts Options) *Output {
 func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts Options) (*Output, error) {
 	reg := opts.Obs.OrDefault()
 	runStart := time.Now()
+	ctx, runSpan := opts.Trace.OrDefault().StartSpan(ctx, "framework/run")
 	detect := opts.detector()
 	cost := opts.cost()
 	// Discovery never mutates the KB: freeze it once so the worker pool
@@ -210,6 +226,10 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 		}
 		reg.Timer("framework/run").Observe(time.Since(runStart))
 		reg.Counter("framework/final_slices").Add(int64(len(out.Slices)))
+		runSpan.Arg("rounds", strconv.Itoa(out.Rounds)).
+			Arg("sources_processed", strconv.Itoa(out.SourcesProcessed)).
+			Arg("final_slices", strconv.Itoa(len(out.Slices))).
+			End()
 		return out, err
 	}
 
@@ -232,6 +252,8 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 		out.Rounds++
 		out.SourcesProcessed += len(batch)
 		roundStart := time.Now()
+		roundCtx, roundSpan := obs.StartSpan(ctx, fmt.Sprintf("framework/depth%02d", d))
+		roundSpan.Arg("depth", strconv.Itoa(d)).Arg("sources", strconv.Itoa(len(batch)))
 
 		// Detect + consolidate each shard on the worker pool. busyNs
 		// accumulates in-shard wall time across workers; against the
@@ -250,13 +272,16 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				shardStart := time.Now()
-				results[i] = processSource(src, pending[src], corpus.Space, member, detect, cost, reg)
+				srcCtx, srcSpan := obs.StartSpan(roundCtx, src)
+				results[i] = processSource(srcCtx, src, d, pending[src], corpus.Space, member, detect, cost, reg)
+				srcSpan.Arg("surviving", strconv.Itoa(len(results[i].surviving))).End()
 				elapsed := time.Since(shardStart)
 				shardTimer.Observe(elapsed)
 				busyNs.Add(int64(elapsed))
 			}(i, src)
 		}
 		wg.Wait()
+		roundSpan.End()
 
 		surviving := 0
 		for _, it := range results {
@@ -272,8 +297,8 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 		reg.Counter("framework/rounds").Inc()
 		reg.Counter("framework/sources_processed").Add(int64(len(batch)))
 		reg.Timer("framework/round").Observe(roundWall)
-		reg.Timer(fmt.Sprintf("framework/depth%02d", d)).Observe(roundWall)
-		reg.Counter(fmt.Sprintf("framework/depth%02d/sources", d)).Add(int64(len(batch)))
+		reg.TimerVec("framework/depth", "depth").With(depthLabel(d)).Observe(roundWall)
+		reg.CounterVec("framework/depth_sources", "depth").With(depthLabel(d)).Add(int64(len(batch)))
 		reg.Histogram("framework/round_sources").Observe(float64(len(batch)))
 		reg.Histogram("framework/round_slices").Observe(float64(surviving))
 		if wall := roundWall.Seconds(); wall > 0 {
@@ -308,8 +333,9 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 // processSource builds the source's fact table (merging leaf facts with
 // the children's tables), detects slices seeded with the children's
 // surviving slices, and consolidates parent against child slices.
-func processSource(src string, pe *pendingEntry, space *kb.Space, existing kb.Membership, detect Detector, cost slice.CostModel, reg *obs.Registry) *item {
+func processSource(ctx context.Context, src string, depth int, pe *pendingEntry, space *kb.Space, existing kb.Membership, detect detectFunc, cost slice.CostModel, reg *obs.Registry) *item {
 	// Assemble the fact table at this granularity.
+	_, tableSpan := obs.StartSpan(ctx, "table/build")
 	var table *fact.Table
 	var leaf *fact.Table
 	if len(pe.triples) > 0 {
@@ -328,6 +354,7 @@ func processSource(src string, pe *pendingEntry, space *kb.Space, existing kb.Me
 		}
 		table = fact.MergeObs(src, space, tables, reg)
 	}
+	tableSpan.Arg("entities", strconv.Itoa(len(table.Entities))).End()
 
 	// Map subjects to rows for seeding.
 	rowOf := make(map[dict.ID]int32, len(table.Entities))
@@ -350,13 +377,18 @@ func processSource(src string, pe *pendingEntry, space *kb.Space, existing kb.Me
 		}
 	}
 
-	detected := detect(table, seeds)
+	detectCtx, detectSpan := obs.StartSpan(ctx, "detect")
+	detected := detect(detectCtx, table, seeds)
+	detectSpan.Arg("slices", strconv.Itoa(len(detected))).End()
 	parents := make([]scored, len(detected))
 	for i, sl := range detected {
 		parents[i] = scored{sl: sl, facts: sl.FactSet(table), sourceTotal: table.TotalFacts}
 	}
 
-	return &item{src: src, table: table, surviving: consolidate(parents, children, cost, existing, reg)}
+	_, consSpan := obs.StartSpan(ctx, "consolidate")
+	surviving := consolidate(parents, children, depth, cost, existing, reg)
+	consSpan.Arg("surviving", strconv.Itoa(len(surviving))).End()
+	return &item{src: src, table: table, surviving: surviving}
 }
 
 // consolidate compares each parent slice against the child slices whose
@@ -365,9 +397,15 @@ func processSource(src string, pe *pendingEntry, space *kb.Space, existing kb.Me
 // otherwise the parent survives and those children are discarded
 // (Example 16). Children not covered by any parent slice survive too —
 // a coarser ancestor may still consolidate them later.
-func consolidate(parents, children []scored, cost slice.CostModel, existing kb.Membership, reg *obs.Registry) []scored {
+//
+// Keep/drop tallies are reported to the "framework/consolidate" counter
+// vector labeled by decision and hierarchy depth, so a scraper can read
+// where in the URL hierarchy consolidation is deciding each way.
+func consolidate(parents, children []scored, depth int, cost slice.CostModel, existing kb.Membership, reg *obs.Registry) []scored {
+	tally := reg.CounterVec("framework/consolidate", "decision", "depth")
+	dl := depthLabel(depth)
 	if len(children) == 0 {
-		reg.Counter("framework/consolidate/parents_kept").Add(int64(len(parents)))
+		tally.With("parents_kept", dl).Add(int64(len(parents)))
 		return parents
 	}
 	var parentsKept, parentsPruned, childrenKept, childrenDropped int64
@@ -411,12 +449,16 @@ func consolidate(parents, children []scored, cost slice.CostModel, existing kb.M
 			childrenKept++
 		}
 	}
-	reg.Counter("framework/consolidate/parents_kept").Add(parentsKept)
-	reg.Counter("framework/consolidate/parents_pruned").Add(parentsPruned)
-	reg.Counter("framework/consolidate/children_kept").Add(childrenKept)
-	reg.Counter("framework/consolidate/children_dropped").Add(childrenDropped)
+	tally.With("parents_kept", dl).Add(parentsKept)
+	tally.With("parents_pruned", dl).Add(parentsPruned)
+	tally.With("children_kept", dl).Add(childrenKept)
+	tally.With("children_dropped", dl).Add(childrenDropped)
 	return surviving
 }
+
+// depthLabel renders a hierarchy depth as a fixed-width label value so
+// lexical series order matches numeric depth order.
+func depthLabel(d int) string { return fmt.Sprintf("%02d", d) }
 
 // childSetProfit computes f over the indexed child slices, with exact
 // fact-union statistics and the crawl term charged once per distinct

@@ -86,9 +86,23 @@ func TestStressManySourcesOversubscribed(t *testing.T) {
 	if snap.Counters["hierarchy/nodes_generated"] == 0 {
 		t.Error("obs hierarchy/nodes_generated = 0, want > 0")
 	}
-	kept := snap.Counters["framework/consolidate/parents_kept"] + snap.Counters["framework/consolidate/children_kept"]
+	// Consolidation tallies are a counter vector labeled by decision and
+	// hierarchy depth; every kept decision at any depth counts.
+	var kept int64
+	for _, series := range snap.CounterVecs["framework/consolidate"].Series {
+		switch series.Labels["decision"] {
+		case "parents_kept", "children_kept":
+			kept += series.Value
+		}
+	}
 	if kept == 0 {
 		t.Error("obs consolidation kept tallies = 0, want > 0")
+	}
+	if len(snap.TimerVecs["framework/depth"].Series) == 0 {
+		t.Error("obs framework/depth timer vector is empty, want one series per depth")
+	}
+	if len(snap.CounterVecs["hierarchy/level/nodes_generated"].Series) == 0 {
+		t.Error("obs hierarchy/level/nodes_generated vector is empty, want per-level series")
 	}
 
 	// The oversubscribed run must agree with a serial run: the pool

@@ -301,8 +301,10 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 // registry: aggregate totals plus per-lattice-level breakdowns of nodes
 // generated, pruned by canonicity (Proposition 12), and pruned by the
 // profit lower bound — the quantities behind the paper's Section V
-// pruning-effectiveness tables. Levels are bounded by
-// MaxPropsPerEntity, so the metric-name space stays small.
+// pruning-effectiveness tables. The breakdowns are counter vectors
+// labeled by lattice level (bounded by MaxPropsPerEntity, so the series
+// space stays small), replacing the name-mangled per-level counters of
+// the first observability pass.
 func (b *Builder) record(st *Stats, created, removed, invalid []int64) {
 	reg := b.Obs.OrDefault()
 	reg.Counter("hierarchy/builds").Inc()
@@ -312,16 +314,17 @@ func (b *Builder) record(st *Stats, created, removed, invalid []int64) {
 	reg.Counter("hierarchy/initial_slices").Add(int64(st.InitialSlices))
 	reg.Counter("hierarchy/entities_capped").Add(int64(st.EntitiesCapped))
 	reg.Counter("hierarchy/combos_capped").Add(int64(st.CombosCapped))
-	perLevel := func(suffix string, tally []int64) {
+	perLevel := func(name string, tally []int64) {
+		vec := reg.CounterVec(name, "level")
 		for l, n := range tally {
 			if n > 0 {
-				reg.Counter(fmt.Sprintf("hierarchy/level%02d/%s", l, suffix)).Add(n)
+				vec.With(fmt.Sprintf("%02d", l)).Add(n)
 			}
 		}
 	}
-	perLevel("nodes_generated", created)
-	perLevel("pruned_canonicity", removed)
-	perLevel("pruned_profit_bound", invalid)
+	perLevel("hierarchy/level/nodes_generated", created)
+	perLevel("hierarchy/level/pruned_canonicity", removed)
+	perLevel("hierarchy/level/pruned_profit_bound", invalid)
 }
 
 // Seed is an externally supplied initial slice (from a child web source).

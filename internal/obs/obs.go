@@ -105,6 +105,12 @@ func (t *Timer) Observe(d time.Duration) {
 	}
 }
 
+func newTimer() *Timer {
+	t := &Timer{}
+	t.min.Store(math.MaxInt64)
+	return t
+}
+
 // Start begins timing a phase; the returned function stops the clock and
 // records the elapsed duration. Usable as defer reg.Timer("x").Start()().
 func (t *Timer) Start() func() {
@@ -255,20 +261,24 @@ func (f *jsonFloat) UnmarshalJSON(b []byte) error {
 // create and are cheap enough to call on warm paths (one RLock + map
 // probe); store the returned handle when a path is truly hot.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	timers     map[string]*Timer
-	histograms map[string]*Histogram
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	timers      map[string]*Timer
+	histograms  map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	timerVecs   map[string]*TimerVec
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		timers:     make(map[string]*Timer),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		timers:      make(map[string]*Timer),
+		histograms:  make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		timerVecs:   make(map[string]*TimerVec),
 	}
 }
 
@@ -343,11 +353,62 @@ func (r *Registry) Timer(name string) *Timer {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if t, ok = r.timers[name]; !ok {
-		t = &Timer{}
-		t.min.Store(math.MaxInt64)
+		t = newTimer()
 		r.timers[name] = t
 	}
 	return t
+}
+
+// CounterVec returns the named counter vector with the given label
+// names, creating it if needed. Label names are fixed at first creation
+// (like Histogram bounds); subsequent lookups by name return the
+// original vector regardless of the labels argument.
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v, ok := r.counterVecs[name]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok = r.counterVecs[name]; !ok {
+		v = &CounterVec{
+			name:   name,
+			labels: append([]string(nil), labels...),
+			series: make(map[string]*Counter),
+		}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// TimerVec returns the named timer vector with the given label names,
+// creating it if needed. Same contract as CounterVec.
+func (r *Registry) TimerVec(name string, labels ...string) *TimerVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v, ok := r.timerVecs[name]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok = r.timerVecs[name]; !ok {
+		v = &TimerVec{
+			name:   name,
+			labels: append([]string(nil), labels...),
+			series: make(map[string]*Timer),
+		}
+		r.timerVecs[name] = v
+	}
+	return v
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -386,6 +447,8 @@ func (r *Registry) Reset() {
 	r.gauges = make(map[string]*Gauge)
 	r.timers = make(map[string]*Timer)
 	r.histograms = make(map[string]*Histogram)
+	r.counterVecs = make(map[string]*CounterVec)
+	r.timerVecs = make(map[string]*TimerVec)
 	r.mu.Unlock()
 }
 
@@ -393,10 +456,12 @@ func (r *Registry) Reset() {
 // marshal with sorted keys, so the JSON form is deterministic for a
 // given metric state.
 type Snapshot struct {
-	Counters   map[string]int64             `json:"counters,omitempty"`
-	Gauges     map[string]float64           `json:"gauges,omitempty"`
-	Timers     map[string]TimerSnapshot     `json:"timers,omitempty"`
-	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Counters    map[string]int64              `json:"counters,omitempty"`
+	Gauges      map[string]float64            `json:"gauges,omitempty"`
+	Timers      map[string]TimerSnapshot      `json:"timers,omitempty"`
+	Histograms  map[string]HistogramSnapshot  `json:"histograms,omitempty"`
+	CounterVecs map[string]CounterVecSnapshot `json:"counter_vecs,omitempty"`
+	TimerVecs   map[string]TimerVecSnapshot   `json:"timer_vecs,omitempty"`
 }
 
 // Snapshot copies the current metric values. Individual metrics are read
@@ -432,6 +497,18 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
 		for name, h := range r.histograms {
 			s.Histograms[name] = h.snapshot()
+		}
+	}
+	if len(r.counterVecs) > 0 {
+		s.CounterVecs = make(map[string]CounterVecSnapshot, len(r.counterVecs))
+		for name, v := range r.counterVecs {
+			s.CounterVecs[name] = v.snapshot()
+		}
+	}
+	if len(r.timerVecs) > 0 {
+		s.TimerVecs = make(map[string]TimerVecSnapshot, len(r.timerVecs))
+		for name, v := range r.timerVecs {
+			s.TimerVecs[name] = v.snapshot()
 		}
 	}
 	return s

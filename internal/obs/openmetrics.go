@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetricsContentType is the Content-Type of the /metrics exposition,
+// understood by Prometheus and every OpenMetrics-compatible scraper.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// metricPrefix namespaces every exported metric family, per Prometheus
+// naming conventions.
+const metricPrefix = "midas_"
+
+// WriteOpenMetrics writes the registry's current state in the
+// OpenMetrics text exposition format, ending with "# EOF".
+//
+// Mapping from the registry's metric kinds:
+//
+//   - counters (and counter-vector series) become counter families with
+//     the _total sample suffix;
+//   - gauges become gauge families;
+//   - timers (and timer-vector series) become summary families in
+//     seconds (_count and _sum samples) plus _min/_max gauge families;
+//   - histograms become histogram families with cumulative buckets.
+//
+// Slashes in registry names map to underscores ("framework/run" →
+// midas_framework_run); families are emitted in sorted name order and
+// vector series in sorted label-value order, so repeated calls on a
+// quiesced registry are byte-identical.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return writeOpenMetrics(w, r.Snapshot())
+}
+
+// WriteOpenMetrics writes the snapshot in the OpenMetrics text format;
+// see Registry.WriteOpenMetrics.
+func (s Snapshot) WriteOpenMetrics(w io.Writer) error {
+	return writeOpenMetrics(w, s)
+}
+
+func writeOpenMetrics(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	for _, name := range sortedKeys(s.Counters) {
+		fam := sanitizeName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", fam)
+		fmt.Fprintf(bw, "%s_total %d\n", fam, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.CounterVecs) {
+		vs := s.CounterVecs[name]
+		fam := sanitizeName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", fam)
+		for _, series := range vs.Series {
+			fmt.Fprintf(bw, "%s_total%s %d\n", fam, renderLabels(vs.LabelNames, series.Labels), series.Value)
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fam := sanitizeName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", fam)
+		fmt.Fprintf(bw, "%s %s\n", fam, formatFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Timers) {
+		writeTimer(bw, sanitizeName(name)+"_seconds", "", s.Timers[name])
+	}
+	for _, name := range sortedKeys(s.TimerVecs) {
+		vs := s.TimerVecs[name]
+		fam := sanitizeName(name) + "_seconds"
+		// All series of one family share the TYPE declarations.
+		fmt.Fprintf(bw, "# TYPE %s summary\n", fam)
+		fmt.Fprintf(bw, "# TYPE %s_min gauge\n# TYPE %s_max gauge\n", fam, fam)
+		for _, series := range vs.Series {
+			writeTimerSamples(bw, fam, renderLabels(vs.LabelNames, series.Labels), series.TimerSnapshot)
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hs := s.Histograms[name]
+		fam := sanitizeName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", fam)
+		cum := int64(0)
+		for _, b := range hs.Buckets {
+			cum += b.Count
+			if math.IsInf(float64(b.UpperBound), 1) {
+				continue // merged into the mandatory +Inf bucket below
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", fam, formatFloat(float64(b.UpperBound)), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", fam, hs.Count)
+		fmt.Fprintf(bw, "%s_count %d\n", fam, hs.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", fam, formatFloat(hs.Sum))
+	}
+
+	fmt.Fprint(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+func writeTimer(w io.Writer, fam, labels string, ts TimerSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s summary\n", fam)
+	fmt.Fprintf(w, "# TYPE %s_min gauge\n# TYPE %s_max gauge\n", fam, fam)
+	writeTimerSamples(w, fam, labels, ts)
+}
+
+func writeTimerSamples(w io.Writer, fam, labels string, ts TimerSnapshot) {
+	fmt.Fprintf(w, "%s_count%s %d\n", fam, labels, ts.Count)
+	fmt.Fprintf(w, "%s_sum%s %s\n", fam, labels, formatFloat(ts.TotalSeconds))
+	if ts.Count > 0 {
+		fmt.Fprintf(w, "%s_min%s %s\n", fam, labels, formatFloat(ts.MinSeconds))
+		fmt.Fprintf(w, "%s_max%s %s\n", fam, labels, formatFloat(ts.MaxSeconds))
+	}
+}
+
+// renderLabels renders a label set as {k1="v1",k2="v2"}, keeping the
+// vector's declared label order and escaping values per the OpenMetrics
+// spec (backslash, double quote, and newline).
+func renderLabels(names []string, values map[string]string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(n))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[n]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+// sanitizeName maps a registry metric name onto the OpenMetrics name
+// charset [a-zA-Z0-9_:], prefixed with the midas_ namespace. Registry
+// names use '/' as the hierarchy separator; it and any other invalid
+// byte become '_'.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	b.Grow(len(metricPrefix) + len(name))
+	b.WriteString(metricPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName maps a label name onto [a-zA-Z0-9_] without the
+// family namespace prefix (label names are scoped to their family).
+func sanitizeLabelName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

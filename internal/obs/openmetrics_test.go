@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds one registry exercising every metric kind the
+// encoder handles: plain counters, gauges, timers, histograms, and both
+// vector kinds — including a label value that needs escaping.
+func goldenRegistry() *Registry {
+	r := New()
+	r.Counter("hierarchy/nodes_generated").Add(1234)
+	r.Counter("framework/sources_processed").Add(17)
+	r.Gauge("framework/final_slices").Set(42)
+	r.Gauge("session/corpus_coverage").Set(0.625)
+	r.Timer("framework/run").Observe(1500 * time.Millisecond)
+	r.Timer("framework/run").Observe(500 * time.Millisecond)
+	r.Timer("core/empty").Observe(0) // zero-duration observation still counts
+
+	h := r.Histogram("slice/profit", 0.1, 1, 10)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	cv := r.CounterVec("hierarchy/level/pruned_canonicity", "level")
+	cv.With("00").Add(11)
+	cv.With("01").Add(7)
+	esc := r.CounterVec("detect/source", "source")
+	esc.With(`web.com/a"b\c` + "\n").Inc()
+
+	tv := r.TimerVec("framework/depth", "depth")
+	tv.With("00").Observe(40 * time.Millisecond)
+	tv.With("00").Observe(60 * time.Millisecond)
+	tv.With("01").Observe(10 * time.Millisecond)
+	return r
+}
+
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update ./internal/obs` to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from %s (regenerate with -update):\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestWriteOpenMetricsStable(t *testing.T) {
+	r := goldenRegistry()
+	var b1, b2 bytes.Buffer
+	if err := r.WriteOpenMetrics(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteOpenMetrics(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("consecutive expositions of a quiesced registry differ")
+	}
+}
+
+func TestWriteOpenMetricsFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Error("exposition must end with # EOF")
+	}
+	for _, want := range []string{
+		// counter: _total suffix, midas_ namespace, '/' → '_'
+		"# TYPE midas_hierarchy_nodes_generated counter",
+		"midas_hierarchy_nodes_generated_total 1234",
+		// labeled counter series with unprefixed label name
+		`midas_hierarchy_level_pruned_canonicity_total{level="00"} 11`,
+		`midas_hierarchy_level_pruned_canonicity_total{level="01"} 7`,
+		// label-value escaping: backslash, quote, newline
+		`midas_detect_source_total{source="web.com/a\"b\\c\n"} 1`,
+		// gauge
+		"midas_session_corpus_coverage 0.625",
+		// timer as summary + min/max gauges
+		"# TYPE midas_framework_run_seconds summary",
+		"midas_framework_run_seconds_count 2",
+		"midas_framework_run_seconds_sum 2",
+		"midas_framework_run_seconds_min 0.5",
+		"midas_framework_run_seconds_max 1.5",
+		// labeled timer series
+		`midas_framework_depth_seconds_count{depth="00"} 2`,
+		`midas_framework_depth_seconds_max{depth="00"} 0.06`,
+		// histogram: cumulative buckets and mandatory +Inf
+		`midas_slice_profit_bucket{le="0.1"} 1`,
+		`midas_slice_profit_bucket{le="1"} 2`,
+		`midas_slice_profit_bucket{le="10"} 3`,
+		`midas_slice_profit_bucket{le="+Inf"} 4`,
+		"midas_slice_profit_count 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q\ngot:\n%s", want, out)
+		}
+	}
+
+	// Families are emitted in sorted name order within each kind, and
+	// vector series in sorted label-value order (the golden file locks
+	// the full layout; spot-check the relative order here).
+	for _, pair := range [][2]string{
+		{"midas_framework_sources_processed_total", "midas_hierarchy_nodes_generated_total"},
+		{"midas_detect_source_total", "midas_hierarchy_level_pruned_canonicity_total"},
+		{`pruned_canonicity_total{level="00"}`, `pruned_canonicity_total{level="01"}`},
+		{`midas_framework_depth_seconds_count{depth="00"}`, `midas_framework_depth_seconds_count{depth="01"}`},
+	} {
+		i, j := strings.Index(out, pair[0]), strings.Index(out, pair[1])
+		if i < 0 || j < 0 || i > j {
+			t.Errorf("want %q before %q (at %d, %d)", pair[0], pair[1], i, j)
+		}
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	if got := sanitizeName("framework/run.wall-time"); got != "midas_framework_run_wall_time" {
+		t.Errorf("sanitizeName = %q", got)
+	}
+	if got := sanitizeLabelName("my-label.1"); got != "my_label_1" {
+		t.Errorf("sanitizeLabelName = %q", got)
+	}
+	if got := sanitizeLabelName("9lives"); got != "_lives" {
+		t.Errorf("sanitizeLabelName leading digit = %q", got)
+	}
+}

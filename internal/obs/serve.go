@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+)
+
+// NewServeMux returns the live-telemetry mux over a registry:
+//
+//	/metrics      OpenMetrics/Prometheus text exposition
+//	/debug/vars   expvar JSON (stdlib vars plus the registry snapshot
+//	              under the "midas" key)
+//	/debug/pprof  the standard net/http/pprof handlers
+//	/             a plain-text index of the above
+//
+// A scraper polling /metrics sees the registry as it fills during a
+// run, instead of waiting for the end-of-run -stats snapshot.
+func NewServeMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", OpenMetricsContentType)
+		if err := r.WriteOpenMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprint(w, "{")
+		first := true
+		expvar.Do(func(kv expvar.KeyValue) {
+			if kv.Key == "midas" {
+				return // ours below; skip any globally published duplicate
+			}
+			if !first {
+				fmt.Fprint(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "\n%q: %s", kv.Key, kv.Value)
+		})
+		if !first {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprint(w, "\n\"midas\": ")
+		r.WriteJSON(w)
+		fmt.Fprint(w, "}\n")
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "midas live telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// ListenAndServe starts serving the registry's telemetry mux on addr in
+// a background goroutine, returning the bound address (useful with
+// ":0"). The server runs for the remaining lifetime of the process —
+// these binaries exit when their run ends, which closes the listener.
+func ListenAndServe(addr string, r *Registry) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewServeMux(r)}
+	go srv.Serve(ln)
+	return ln.Addr(), nil
+}

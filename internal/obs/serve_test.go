@@ -1,0 +1,180 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"midas/internal/fact"
+	"midas/internal/framework"
+	"midas/internal/hierarchy"
+	"midas/internal/obs"
+	"midas/internal/slice"
+)
+
+func smallCorpus() *fact.Corpus {
+	corpus := fact.NewCorpus(nil)
+	for _, f := range []fact.Fact{
+		{Subject: "saturn-v", Predicate: "category", Object: "rocket_family", Confidence: 0.9, URL: "http://space.example.org/us/saturn.htm"},
+		{Subject: "saturn-v", Predicate: "sponsor", Object: "NASA", Confidence: 0.9, URL: "http://space.example.org/us/saturn.htm"},
+		{Subject: "atlas", Predicate: "category", Object: "rocket_family", Confidence: 0.9, URL: "http://space.example.org/us/atlas.htm"},
+		{Subject: "atlas", Predicate: "sponsor", Object: "NASA", Confidence: 0.9, URL: "http://space.example.org/us/atlas.htm"},
+		{Subject: "ariane", Predicate: "category", Object: "rocket_family", Confidence: 0.9, URL: "http://space.example.org/eu/ariane.htm"},
+		{Subject: "ariane", Predicate: "sponsor", Object: "ESA", Confidence: 0.9, URL: "http://space.example.org/eu/ariane.htm"},
+	} {
+		corpus.Add(f)
+	}
+	return corpus
+}
+
+// TestServeDuringRun scrapes /metrics and /debug/vars from the registry
+// mux while a framework.Run is blocked mid-detection, proving the export
+// surface works against a live, mid-flight registry (the production
+// scrape scenario: a collector polls midas-bench -listen mid-run).
+func TestServeDuringRun(t *testing.T) {
+	reg := obs.New()
+	srv := httptest.NewServer(obs.NewServeMux(reg))
+	defer srv.Close()
+
+	inDetect := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	opts := framework.Options{
+		Workers: 1,
+		Obs:     reg,
+		Detect: func(table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice {
+			if !once {
+				once = true
+				close(inDetect)
+				<-release
+			}
+			return nil
+		},
+	}
+
+	done := make(chan *framework.Output, 1)
+	go func() { done <- framework.Run(smallCorpus(), nil, opts) }()
+	<-inDetect // the run is now in-flight, holding a detect phase open
+
+	body := get(t, srv.URL+"/metrics", obs.OpenMetricsContentType)
+	if !strings.Contains(body, "midas_") || !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("/metrics mid-run is not an OpenMetrics exposition:\n%s", body)
+	}
+
+	varsBody := get(t, srv.URL+"/debug/vars", "application/json; charset=utf-8")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(varsBody), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v\n%s", err, varsBody)
+	}
+	if _, ok := vars["midas"]; !ok {
+		t.Error("/debug/vars missing the midas registry snapshot key")
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(vars["midas"], &snap); err != nil {
+		t.Fatalf("midas key is not a registry snapshot: %v", err)
+	}
+
+	close(release)
+	if out := <-done; out == nil {
+		t.Fatal("framework.Run returned nil")
+	}
+
+	// After the run quiesces, the scrape must carry the labeled
+	// per-depth framework series.
+	body = get(t, srv.URL+"/metrics", obs.OpenMetricsContentType)
+	if !strings.Contains(body, `midas_framework_depth_seconds_count{depth="`) {
+		t.Errorf("post-run /metrics missing labeled depth timer series:\n%s", body)
+	}
+	if !strings.Contains(body, "midas_framework_run_seconds_count 1") {
+		t.Errorf("post-run /metrics missing framework/run summary:\n%s", body)
+	}
+}
+
+func TestServeIndexAndPprof(t *testing.T) {
+	srv := httptest.NewServer(obs.NewServeMux(obs.New()))
+	defer srv.Close()
+	if body := get(t, srv.URL+"/", ""); !strings.Contains(body, "/metrics") {
+		t.Errorf("index should list endpoints, got:\n%s", body)
+	}
+	if body := get(t, srv.URL+"/debug/pprof/cmdline", ""); body == "" {
+		t.Error("pprof cmdline endpoint empty")
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("probe").Inc()
+	addr, err := obs.ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := get(t, "http://"+addr.String()+"/metrics", obs.OpenMetricsContentType)
+	if !strings.Contains(body, "midas_probe_total 1") {
+		t.Errorf("scrape missing probe counter:\n%s", body)
+	}
+}
+
+// TestTraceSpansPerPhase runs the pipeline with a tracer and checks the
+// acceptance bar: at least one span per pipeline phase in the export.
+func TestTraceSpansPerPhase(t *testing.T) {
+	tr := obs.NewTracer()
+	framework.Run(smallCorpus(), nil, framework.Options{Workers: 2, Obs: obs.New(), Trace: tr})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	seen := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name]++
+	}
+	for _, phase := range []string{"framework/run", "table/build", "detect", "consolidate", "hierarchy/build", "core/traverse"} {
+		if seen[phase] == 0 {
+			t.Errorf("no %q span in trace; got %v", phase, seen)
+		}
+	}
+	depthSpans := 0
+	for name, n := range seen {
+		if strings.HasPrefix(name, "framework/depth") {
+			depthSpans += n
+		}
+	}
+	if depthSpans == 0 {
+		t.Errorf("no per-round depth span in trace; got %v", seen)
+	}
+}
+
+func get(t *testing.T, url, wantContentType string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if wantContentType != "" {
+		if got := resp.Header.Get("Content-Type"); got != wantContentType {
+			t.Errorf("GET %s Content-Type = %q, want %q", url, got, wantContentType)
+		}
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects spans — named, timed, parented intervals — from a
+// pipeline run and exports them as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Like the rest of this package it is dependency-free, goroutine-safe,
+// and nil-tolerant: a nil *Tracer records nothing and costs nothing, so
+// instrumented code starts spans unconditionally. Spans propagate
+// through context (ContextWithSpan / StartSpan), which is how the
+// framework's worker goroutines parent their per-source spans to the
+// round that dispatched them.
+type Tracer struct {
+	epoch  time.Time
+	nextID atomic.Int64
+	mu     sync.Mutex
+	events []spanEvent
+}
+
+// spanEvent is one completed span. Times are offsets from the tracer's
+// epoch, so exports are stable regardless of wall-clock adjustments
+// mid-run.
+type spanEvent struct {
+	id     int64
+	parent int64 // 0 = root
+	name   string
+	start  time.Duration
+	dur    time.Duration
+	args   map[string]string
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// defaultTracer is the process-wide tracer, nil (disabled) unless a
+// binary enables it for a -trace run.
+var defaultTracer atomic.Pointer[Tracer]
+
+// DefaultTracer returns the process-wide tracer, or nil when tracing is
+// disabled (the default). Instrumented packages fall back to it the way
+// they fall back to the Default registry.
+func DefaultTracer() *Tracer { return defaultTracer.Load() }
+
+// SetDefaultTracer installs t as the process-wide tracer (nil disables).
+func SetDefaultTracer(t *Tracer) { defaultTracer.Store(t) }
+
+// OrDefault returns t, or the process-wide default tracer when t is nil
+// (which may itself be nil, i.e. tracing disabled).
+func (t *Tracer) OrDefault() *Tracer {
+	if t == nil {
+		return DefaultTracer()
+	}
+	return t
+}
+
+// Span is one in-flight interval. A Span is owned by the goroutine that
+// started it: Arg and End are not for concurrent use on the same span,
+// but any number of goroutines may start child spans concurrently.
+type Span struct {
+	t      *Tracer
+	id     int64
+	parent int64
+	name   string
+	start  time.Duration
+	args   map[string]string
+}
+
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil if none.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a span on t, parented to the current span of ctx (a
+// root span when ctx has none), and returns the derived context carrying
+// the new span. On a nil tracer it returns ctx unchanged and a nil span
+// whose methods no-op.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	var parent int64
+	if p := SpanFromContext(ctx); p != nil && p.t == t {
+		parent = p.id
+	}
+	s := &Span{
+		t:      t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Since(t.epoch),
+	}
+	return ContextWithSpan(ctx, s), s
+}
+
+// StartSpan starts a child of the current span of ctx, on that span's
+// tracer. Without a span in ctx it is a no-op — this is what lets
+// instrumented packages trace unconditionally while tracing stays free
+// when no binary enabled it.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	p := SpanFromContext(ctx)
+	if p == nil {
+		return ctx, nil
+	}
+	return p.t.StartSpan(ctx, name)
+}
+
+// Arg attaches a key/value annotation, shown in the Perfetto span
+// details pane. Returns s for chaining; no-op on a nil span.
+func (s *Span) Arg(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.args == nil {
+		s.args = make(map[string]string, 4)
+	}
+	s.args[key] = value
+	return s
+}
+
+// End completes the span and records it on the tracer. No-op on a nil
+// span; calling End twice records the span twice (don't).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	ev := spanEvent{
+		id:     s.id,
+		parent: s.parent,
+		name:   s.name,
+		start:  s.start,
+		dur:    time.Since(s.t.epoch) - s.start,
+		args:   s.args,
+	}
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, ev)
+	s.t.mu.Unlock()
+}
+
+// Len returns the number of completed spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// chromeEvent is one trace event in the Chrome trace-event format
+// ("X" = complete event with duration; timestamps in microseconds).
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes every completed span as Chrome trace-event
+// JSON ({"traceEvents": [...]}). Spans are laid out onto display lanes
+// (trace "threads") so that two spans share a lane only when their
+// intervals nest or are disjoint — Perfetto renders containment as
+// nesting, so parent/child spans stack while concurrent workers spread
+// across lanes. No-op (empty trace) on a nil tracer.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var events []spanEvent
+	if t != nil {
+		t.mu.Lock()
+		events = append(events, t.events...)
+		t.mu.Unlock()
+	}
+
+	// Deterministic layout order: by start time, longer spans first on
+	// ties so parents are placed before the children they contain.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].start != events[j].start {
+			return events[i].start < events[j].start
+		}
+		if events[i].dur != events[j].dur {
+			return events[i].dur > events[j].dur
+		}
+		return events[i].id < events[j].id
+	})
+
+	laneOf := make(map[int64]int, len(events))
+	type interval struct{ start, end time.Duration }
+	var lanes [][]interval
+	fits := func(lane []interval, start, end time.Duration) bool {
+		for _, iv := range lane {
+			disjoint := end <= iv.start || iv.end <= start
+			contains := (iv.start <= start && end <= iv.end) || (start <= iv.start && iv.end <= end)
+			if !disjoint && !contains {
+				return false
+			}
+		}
+		return true
+	}
+	out := make([]chromeEvent, 0, len(events))
+	for _, ev := range events {
+		start, end := ev.start, ev.start+ev.dur
+		lane := -1
+		// Prefer the parent's lane (nests under it), then any lane the
+		// span fits, then a fresh lane.
+		if pl, ok := laneOf[ev.parent]; ok && fits(lanes[pl], start, end) {
+			lane = pl
+		} else {
+			for i := range lanes {
+				if fits(lanes[i], start, end) {
+					lane = i
+					break
+				}
+			}
+		}
+		if lane < 0 {
+			lanes = append(lanes, nil)
+			lane = len(lanes) - 1
+		}
+		lanes[lane] = append(lanes[lane], interval{start, end})
+		laneOf[ev.id] = lane
+		out = append(out, chromeEvent{
+			Name:  ev.name,
+			Cat:   "midas",
+			Phase: "X",
+			TS:    float64(ev.start.Microseconds()),
+			Dur:   float64(ev.dur) / float64(time.Microsecond),
+			PID:   1,
+			TID:   lane + 1,
+			Args:  ev.args,
+		})
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	for i, ev := range out {
+		if i > 0 {
+			fmt.Fprint(bw, ",\n")
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+	}
+	fmt.Fprint(bw, "]}\n")
+	return bw.Flush()
+}
+
+// WriteFile writes the Chrome trace to path, creating or truncating it.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = t.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

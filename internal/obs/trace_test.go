@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// decodeTrace parses WriteChromeTrace output through encoding/json,
+// proving the export is well-formed Chrome trace-event JSON.
+func decodeTrace(t *testing.T, tr *Tracer) []chromeEvent {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+func TestTracerSpansAndArgs(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.StartSpan(context.Background(), "framework/run")
+	_, child := StartSpan(ctx, "detect")
+	child.Arg("slices", "3").End()
+	root.Arg("rounds", "1").End()
+
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	events := decodeTrace(t, tr)
+	byName := map[string]chromeEvent{}
+	for _, ev := range events {
+		if ev.Phase != "X" || ev.Cat != "midas" || ev.PID != 1 {
+			t.Errorf("event %+v: want complete midas event on pid 1", ev)
+		}
+		byName[ev.Name] = ev
+	}
+	if byName["detect"].Args["slices"] != "3" {
+		t.Errorf("detect args = %v", byName["detect"].Args)
+	}
+	if byName["framework/run"].Args["rounds"] != "1" {
+		t.Errorf("run args = %v", byName["framework/run"].Args)
+	}
+	// The child nests inside the parent, so they share a display lane.
+	if byName["detect"].TID != byName["framework/run"].TID {
+		t.Errorf("child lane %d != parent lane %d, nested spans should share",
+			byName["detect"].TID, byName["framework/run"].TID)
+	}
+}
+
+func TestTracerConcurrentChildrenSpreadLanes(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.StartSpan(context.Background(), "round")
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, s := StartSpan(ctx, "worker")
+			time.Sleep(5 * time.Millisecond) // force overlap
+			s.End()
+		}()
+	}
+	close(start)
+	wg.Wait()
+	root.End()
+
+	events := decodeTrace(t, tr)
+	if len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
+	}
+	// Overlapping siblings must not share a lane with each other, and a
+	// lane holding a worker may hold the root only by containment.
+	lanes := map[int][]chromeEvent{}
+	for _, ev := range events {
+		for _, prev := range lanes[ev.TID] {
+			disjoint := ev.TS >= prev.TS+prev.Dur || prev.TS >= ev.TS+ev.Dur
+			contains := (prev.TS <= ev.TS && ev.TS+ev.Dur <= prev.TS+prev.Dur) ||
+				(ev.TS <= prev.TS && prev.TS+prev.Dur <= ev.TS+ev.Dur)
+			if !disjoint && !contains {
+				t.Errorf("lane %d holds partially-overlapping spans %q and %q", ev.TID, prev.Name, ev.Name)
+			}
+		}
+		lanes[ev.TID] = append(lanes[ev.TID], ev)
+	}
+}
+
+func TestTracerNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.StartSpan(context.Background(), "x")
+	s.Arg("k", "v").End()
+	if s != nil {
+		t.Error("nil tracer should return nil span")
+	}
+	if got := SpanFromContext(ctx); got != nil {
+		t.Errorf("nil span should not enter the context, got %v", got)
+	}
+	// Package-level StartSpan without a span in ctx is a no-op.
+	_, s2 := StartSpan(context.Background(), "y")
+	s2.End()
+	if tr.Len() != 0 {
+		t.Errorf("nil tracer Len = %d", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Errorf("nil tracer should still write an empty trace document, got %s", buf.String())
+	}
+}
+
+func TestTracerOrDefault(t *testing.T) {
+	prev := DefaultTracer()
+	defer SetDefaultTracer(prev)
+
+	SetDefaultTracer(nil)
+	var nilT *Tracer
+	if nilT.OrDefault() != nil {
+		t.Error("OrDefault with no default should stay nil")
+	}
+	d := NewTracer()
+	SetDefaultTracer(d)
+	if nilT.OrDefault() != d {
+		t.Error("OrDefault should fall back to the default tracer")
+	}
+	if d.OrDefault() != d {
+		t.Error("OrDefault on a non-nil tracer should return itself")
+	}
+}
+
+func TestTracerWriteFile(t *testing.T) {
+	tr := NewTracer()
+	_, s := tr.StartSpan(context.Background(), "phase")
+	s.End()
+	path := t.TempDir() + "/trace.json"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty trace output")
+	}
+}

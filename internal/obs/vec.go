@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+)
+
+// labelSep joins label values into a series key. 0xFF cannot appear in
+// UTF-8 text, so joined keys are unambiguous.
+const labelSep = "\xff"
+
+// CounterVec is a family of counters partitioned by a small, fixed set
+// of labels (round, depth, lattice level, decision). Each distinct
+// label-value combination owns one Counter; With is get-or-create and
+// cheap enough for warm paths (one RLock + map probe), matching the
+// Registry's lookup cost.
+type CounterVec struct {
+	name   string
+	labels []string
+	mu     sync.RWMutex
+	series map[string]*Counter
+}
+
+// With returns the counter for the given label values, creating it if
+// needed. The number of values must match the vector's label names;
+// mismatches panic (programmer error, like a malformed metric name).
+// Returns nil (whose methods no-op) on a nil vector.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key := v.key(values)
+	v.mu.RLock()
+	c, ok := v.series[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.series[key]; !ok {
+		c = &Counter{}
+		v.series[key] = c
+	}
+	return c
+}
+
+func (v *CounterVec) key(values []string) string {
+	if len(values) != len(v.labels) {
+		panic("obs: CounterVec " + v.name + ": label value count mismatch")
+	}
+	return strings.Join(values, labelSep)
+}
+
+// TimerVec is a family of phase timers partitioned by labels, e.g. the
+// per-hierarchy-depth round timers of the framework.
+type TimerVec struct {
+	name   string
+	labels []string
+	mu     sync.RWMutex
+	series map[string]*Timer
+}
+
+// With returns the timer for the given label values, creating it if
+// needed. Same contract as CounterVec.With.
+func (v *TimerVec) With(values ...string) *Timer {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic("obs: TimerVec " + v.name + ": label value count mismatch")
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	t, ok := v.series[key]
+	v.mu.RUnlock()
+	if ok {
+		return t
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t, ok = v.series[key]; !ok {
+		t = newTimer()
+		v.series[key] = t
+	}
+	return t
+}
+
+// LabeledCounter is one serialized series of a CounterVec.
+type LabeledCounter struct {
+	Labels map[string]string `json:"labels"`
+	Value  int64             `json:"value"`
+}
+
+// CounterVecSnapshot is the serialized state of a CounterVec: its label
+// names and every series, sorted by label values for determinism.
+type CounterVecSnapshot struct {
+	LabelNames []string         `json:"label_names"`
+	Series     []LabeledCounter `json:"series"`
+}
+
+// LabeledTimer is one serialized series of a TimerVec.
+type LabeledTimer struct {
+	Labels map[string]string `json:"labels"`
+	TimerSnapshot
+}
+
+// TimerVecSnapshot is the serialized state of a TimerVec.
+type TimerVecSnapshot struct {
+	LabelNames []string       `json:"label_names"`
+	Series     []LabeledTimer `json:"series"`
+}
+
+func labelMap(names []string, key string) map[string]string {
+	values := strings.Split(key, labelSep)
+	m := make(map[string]string, len(names))
+	for i, n := range names {
+		m[n] = values[i]
+	}
+	return m
+}
+
+func (v *CounterVec) snapshot() CounterVecSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	s := CounterVecSnapshot{LabelNames: append([]string(nil), v.labels...)}
+	for _, key := range sortedKeys(v.series) {
+		s.Series = append(s.Series, LabeledCounter{
+			Labels: labelMap(v.labels, key),
+			Value:  v.series[key].Value(),
+		})
+	}
+	return s
+}
+
+func (v *TimerVec) snapshot() TimerVecSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	s := TimerVecSnapshot{LabelNames: append([]string(nil), v.labels...)}
+	for _, key := range sortedKeys(v.series) {
+		s.Series = append(s.Series, LabeledTimer{
+			Labels:        labelMap(v.labels, key),
+			TimerSnapshot: v.series[key].snapshot(),
+		})
+	}
+	return s
+}

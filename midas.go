@@ -227,6 +227,10 @@ type Options struct {
 	// pruning counters, worker utilization). nil reports into the
 	// shared DefaultMetrics() registry.
 	Metrics *Metrics
+	// Trace receives the run's spans (pipeline phases down to per-source
+	// detect/consolidate), exportable as Chrome trace-event JSON. nil
+	// disables tracing.
+	Trace *Tracer
 }
 
 func (o *Options) orDefault() Options {
@@ -271,6 +275,7 @@ func DiscoverContext(ctx context.Context, corpus *Corpus, existing *KB, opts *Op
 		Cost:    o.Cost,
 		Workers: o.Workers,
 		Obs:     o.Metrics.registry(),
+		Trace:   o.Trace.tracer(),
 		Core: core.Options{
 			Cost:              o.Cost,
 			MaxPropsPerEntity: o.MaxPropsPerEntity,

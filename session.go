@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"midas/internal/obs"
 	"midas/internal/source"
 )
 
@@ -59,6 +60,15 @@ func NewSession(existing *KB, opts *Options) *Session {
 // absorbed).
 func (s *Session) KB() *KB { return s.kb }
 
+// metrics returns the registry session counters report into: the one
+// configured via Options.Metrics, else the process-wide default — the
+// same fallback the pipeline itself uses, so a long-running curation
+// session exposes its per-iteration counters through the -stats and
+// -listen surfaces without extra wiring.
+func (s *Session) metrics() *obs.Registry {
+	return s.opts.Metrics.registry().OrDefault()
+}
+
 // CorpusSize returns the number of extraction facts loaded.
 func (s *Session) CorpusSize() int { return s.corpus.Len() }
 
@@ -68,12 +78,18 @@ func (s *Session) AddFacts(facts ...Fact) {
 		s.corpus.Add(f)
 	}
 	s.dirty = s.dirty || len(facts) > 0
+	s.metrics().Counter("session/facts_added").Add(int64(len(facts)))
 }
 
 // Discover runs the full pipeline over the current corpus against the
 // current KB.
 func (s *Session) Discover() *Result {
-	return Discover(s.corpus, s.kb, &s.opts)
+	reg := s.metrics()
+	defer reg.Timer("session/discover").Start()()
+	res := Discover(s.corpus, s.kb, &s.opts)
+	reg.Counter("session/discoveries").Inc()
+	reg.Gauge("session/last_slices").Set(float64(len(res.Slices)))
+	return res
 }
 
 // Absorb simulates extracting a recommended slice: every corpus fact of
@@ -81,6 +97,8 @@ func (s *Session) Discover() *Result {
 // to the KB. It returns the number of facts that were new. Subsequent
 // Discover calls no longer count these facts as gain.
 func (s *Session) Absorb(sl Slice) int {
+	reg := s.metrics()
+	defer reg.Timer("session/absorb").Start()()
 	s.reindex()
 	members := make(map[string]bool, len(sl.Entities))
 	for _, e := range sl.Entities {
@@ -97,6 +115,9 @@ func (s *Session) Absorb(sl Slice) int {
 			}
 		}
 	}
+	reg.Counter("session/absorbs").Inc()
+	reg.Counter("session/facts_absorbed").Add(int64(added))
+	reg.Gauge("session/kb_facts").Set(float64(s.kb.Size()))
 	return added
 }
 
@@ -128,6 +149,9 @@ func (s *Session) Progress() (kbFacts int, corpusCovered float64) {
 	if total > 0 {
 		corpusCovered = float64(covered) / float64(total)
 	}
+	reg := s.metrics()
+	reg.Gauge("session/kb_facts").Set(float64(s.kb.Size()))
+	reg.Gauge("session/corpus_coverage").Set(corpusCovered)
 	return s.kb.Size(), corpusCovered
 }
 

@@ -2,6 +2,7 @@ package midas_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"midas"
@@ -126,4 +127,50 @@ func TestSessionAddFactsBetweenRounds(t *testing.T) {
 		}
 	}
 	t.Error("new vertical not discovered")
+}
+
+// TestSessionMetrics: a Session configured with an isolated Metrics
+// leaves a per-iteration trail — discovery timers and counters, KB and
+// coverage gauges — scrapeable as OpenMetrics.
+func TestSessionMetrics(t *testing.T) {
+	m := midas.NewMetrics()
+	sess := midas.NewSession(nil, &midas.Options{Metrics: m})
+	sess.AddFacts(sessionCorpusFacts()...)
+	if got := m.Counter("session/facts_added"); got != 150 {
+		t.Errorf("session/facts_added = %d, want 150", got)
+	}
+
+	res := sess.Discover()
+	if len(res.Slices) == 0 {
+		t.Fatal("no slices discovered")
+	}
+	sess.Absorb(res.Slices[0])
+	sess.Discover()
+	sess.Progress()
+
+	if got := m.Counter("session/discoveries"); got != 2 {
+		t.Errorf("session/discoveries = %d, want 2", got)
+	}
+	if got := m.Counter("session/absorbs"); got != 1 {
+		t.Errorf("session/absorbs = %d, want 1", got)
+	}
+	if got := m.Counter("session/facts_absorbed"); got <= 0 {
+		t.Errorf("session/facts_absorbed = %d, want > 0", got)
+	}
+
+	var buf strings.Builder
+	if err := m.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"midas_session_discoveries_total 2",
+		"midas_session_discover_seconds_count 2",
+		"# TYPE midas_session_kb_facts gauge",
+		"# TYPE midas_session_corpus_coverage gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics exposition missing %q", want)
+		}
+	}
 }
