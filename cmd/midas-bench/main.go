@@ -20,8 +20,10 @@
 // the experiments run — /metrics as OpenMetrics text, /debug/vars as
 // expvar JSON, /debug/pprof — so a scraper polls the run instead of
 // waiting for the exit snapshot. -trace writes a Chrome trace-event
-// JSON of every pipeline span (load in Perfetto). -pprof serves
-// net/http/pprof alone, kept for compatibility (-listen includes it).
+// JSON of every pipeline span (load in Perfetto); -trace-sample N keeps
+// only every Nth root span (with its children), bounding the trace on
+// -exp all runs. -pprof serves net/http/pprof alone, kept for
+// compatibility (-listen includes it).
 package main
 
 import (
@@ -38,13 +40,14 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (see doc comment)")
-		seed      = flag.Int64("seed", 7, "generator seed")
-		scale     = flag.Float64("scale", 0.5, "corpus scale for fig10")
-		statsPath = flag.String("stats", "", "write a JSON metrics snapshot of the run to this file")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		listen    = flag.String("listen", "", "serve live telemetry (/metrics, /debug/vars, /debug/pprof) on this address (e.g. localhost:9090)")
-		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON of the run's spans to this file (load in Perfetto)")
+		exp         = flag.String("exp", "all", "experiment id (see doc comment)")
+		seed        = flag.Int64("seed", 7, "generator seed")
+		scale       = flag.Float64("scale", 0.5, "corpus scale for fig10")
+		statsPath   = flag.String("stats", "", "write a JSON metrics snapshot of the run to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		listen      = flag.String("listen", "", "serve live telemetry (/metrics, /debug/vars, /debug/pprof) on this address (e.g. localhost:9090)")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of the run's spans to this file (load in Perfetto)")
+		traceSample = flag.Int("trace-sample", 1, "with -trace, record every Nth root span (1 = all)")
 	)
 	flag.Parse()
 	if *pprofAddr != "" {
@@ -65,7 +68,9 @@ func main() {
 	if *tracePath != "" {
 		// The experiments call the framework without explicit options;
 		// the default tracer is the fallback they report spans into.
-		obs.SetDefaultTracer(obs.NewTracer())
+		tr := obs.NewTracer()
+		tr.SetRootSampling(*traceSample)
+		obs.SetDefaultTracer(tr)
 	}
 
 	run := map[string]func(){

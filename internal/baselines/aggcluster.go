@@ -6,6 +6,7 @@ import (
 
 	"midas/internal/dict"
 	"midas/internal/fact"
+	"midas/internal/idset"
 	"midas/internal/slice"
 )
 
@@ -75,14 +76,15 @@ func AggCluster(table *fact.Table, cost slice.CostModel) []*slice.Slice {
 		}
 	}
 
-	// Induced slices of the surviving clusters, deduplicated.
-	outKeys := make(map[string]struct{})
+	// Induced slices of the surviving clusters, deduplicated by interned
+	// property-set ID.
+	outKeys := make(map[idset.SetID]struct{})
 	var out []*slice.Slice
 	for _, c := range clusters {
 		if !c.active || len(c.props) == 0 {
 			continue
 		}
-		key := propsKey(c.props)
+		key := ind.props.Intern(c.props)
 		if _, dup := outKeys[key]; dup {
 			continue
 		}
@@ -147,12 +149,14 @@ func mergeGain(ind *inducer, a, b *cluster) (float64, bool) {
 	return ind.profit(common) - a.profit - b.profit, true
 }
 
-// inducer evaluates the slice induced by a property set, with caching.
+// inducer evaluates the slice induced by a property set, with caching
+// keyed by interned property-set ID.
 type inducer struct {
 	table *fact.Table
 	cost  slice.CostModel
 	post  map[fact.Property][]int32 // rows carrying each property
-	cache map[string]inducedStats
+	props *idset.Interner[fact.Property]
+	cache map[idset.SetID]inducedStats
 }
 
 type inducedStats struct {
@@ -166,7 +170,8 @@ func newInducer(table *fact.Table, cost slice.CostModel) *inducer {
 		table: table,
 		cost:  cost,
 		post:  make(map[fact.Property][]int32),
-		cache: make(map[string]inducedStats),
+		props: idset.NewInterner[fact.Property](),
+		cache: make(map[idset.SetID]inducedStats),
 	}
 	for i := range table.Entities {
 		for _, p := range table.Entities[i].Props {
@@ -177,7 +182,7 @@ func newInducer(table *fact.Table, cost slice.CostModel) *inducer {
 }
 
 func (ind *inducer) stats(props []fact.Property) inducedStats {
-	key := propsKey(props)
+	key := ind.props.Intern(props)
 	if s, ok := ind.cache[key]; ok {
 		return s
 	}
@@ -225,7 +230,7 @@ func (ind *inducer) slice(props []fact.Property) *slice.Slice {
 	return &slice.Slice{
 		Source:   ind.table.Source,
 		Props:    ps,
-		Entities: ents,
+		Entities: idset.FromSorted(ents),
 		Facts:    s.facts,
 		NewFacts: s.fresh,
 		Profit:   s.profit,
@@ -233,47 +238,9 @@ func (ind *inducer) slice(props []fact.Property) *slice.Slice {
 }
 
 func intersectProps(a, b []fact.Property) []fact.Property {
-	var out []fact.Property
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			out = append(out, a[i])
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return out
+	return idset.AppendIntersect(nil, a, b)
 }
 
 func intersectRows(a, b []int32) []int32 {
-	var out []int32
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			out = append(out, a[i])
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return out
-}
-
-func propsKey(props []fact.Property) string {
-	buf := make([]byte, 0, len(props)*8)
-	for _, p := range props {
-		buf = append(buf,
-			byte(p>>56), byte(p>>48), byte(p>>40), byte(p>>32),
-			byte(p>>24), byte(p>>16), byte(p>>8), byte(p))
-	}
-	return string(buf)
+	return idset.AppendIntersect(nil, a, b)
 }

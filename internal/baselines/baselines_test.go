@@ -207,10 +207,10 @@ func TestAggClusterSlicesAreValid(t *testing.T) {
 			rows[table.Entities[i].Subject] = i
 		}
 		for _, s := range baselines.AggCluster(table, slice.ExampleCostModel()) {
-			if s.Profit <= 0 || len(s.Props) == 0 || len(s.Entities) == 0 {
+			if s.Profit <= 0 || len(s.Props) == 0 || s.Entities.Empty() {
 				return false
 			}
-			for _, subj := range s.Entities {
+			for _, subj := range s.Entities.Values() {
 				e := &table.Entities[rows[subj]]
 				for _, p := range s.Props {
 					if !e.HasProp(p) {

@@ -5,6 +5,7 @@ import (
 
 	"midas/internal/dict"
 	"midas/internal/fact"
+	"midas/internal/idset"
 	"midas/internal/slice"
 )
 
@@ -93,7 +94,7 @@ func Greedy(table *fact.Table, cost slice.CostModel) *slice.Slice {
 	return &slice.Slice{
 		Source:   table.Source,
 		Props:    props,
-		Entities: ents,
+		Entities: idset.FromSorted(ents),
 		Facts:    facts,
 		NewFacts: newFacts,
 		Profit:   profit,

@@ -17,6 +17,7 @@ package baselines
 import (
 	"midas/internal/dict"
 	"midas/internal/fact"
+	"midas/internal/idset"
 	"midas/internal/slice"
 )
 
@@ -34,7 +35,7 @@ func Naive(table *fact.Table) *slice.Slice {
 	}
 	return &slice.Slice{
 		Source:   table.Source,
-		Entities: ents,
+		Entities: idset.FromSorted(ents),
 		Facts:    table.TotalFacts,
 		NewFacts: table.TotalNew,
 		Profit:   float64(table.TotalNew),

@@ -18,6 +18,7 @@ import (
 	"midas/internal/dict"
 	"midas/internal/fact"
 	"midas/internal/hierarchy"
+	"midas/internal/idset"
 	"midas/internal/kb"
 	"midas/internal/obs"
 	"midas/internal/slice"
@@ -123,7 +124,7 @@ func DiscoverSeededContext(ctx context.Context, table *fact.Table, seeds []hiera
 		reg.Histogram("core/slices_per_source").Observe(float64(len(res.Slices)))
 		for _, sl := range res.Slices {
 			reg.Histogram("core/slice_profit").Observe(sl.Profit)
-			reg.Histogram("core/slice_entities").Observe(float64(len(sl.Entities)))
+			reg.Histogram("core/slice_entities").Observe(float64(sl.Entities.Len()))
 		}
 	}(time.Now())
 	if h.MaxLevel == 0 {
@@ -132,7 +133,9 @@ func DiscoverSeededContext(ctx context.Context, table *fact.Table, seeds []hiera
 
 	entFacts, entNew := b.EntityStats()
 	cost := opts.cost()
-	covered := make(map[int32]struct{})
+	// Entity indexes are dense table rows, so coverage is a flat bitmap
+	// rather than a hash set.
+	covered := make([]bool, len(table.Entities))
 	first := true
 
 	// Algorithm 1: top-down, level by level; within a level, the
@@ -148,8 +151,8 @@ func DiscoverSeededContext(ctx context.Context, table *fact.Table, seeds []hiera
 		for _, n := range level {
 			if n.Valid && !n.Covered {
 				dFacts, dNew := 0, 0
-				for _, e := range n.Entities {
-					if _, dup := covered[e]; !dup {
+				for _, e := range n.Entities.Values() {
+					if !covered[e] {
 						dFacts += int(entFacts[e])
 						dNew += int(entNew[e])
 					}
@@ -161,8 +164,8 @@ func DiscoverSeededContext(ctx context.Context, table *fact.Table, seeds []hiera
 				if delta > 0 {
 					first = false
 					res.TotalProfit += delta
-					for _, e := range n.Entities {
-						covered[e] = struct{}{}
+					for _, e := range n.Entities.Values() {
+						covered[e] = true
 					}
 					res.Nodes = append(res.Nodes, n)
 					res.Slices = append(res.Slices, nodeToSlice(table, n))
@@ -180,8 +183,11 @@ func DiscoverSeededContext(ctx context.Context, table *fact.Table, seeds []hiera
 }
 
 func nodeToSlice(table *fact.Table, n *hierarchy.Node) *slice.Slice {
-	ents := make([]dict.ID, len(n.Entities))
-	for i, e := range n.Entities {
+	// Table rows are sorted by subject ID, so mapping ascending row
+	// indexes to subjects yields an already-sorted set.
+	rows := n.Entities.Values()
+	ents := make([]dict.ID, len(rows))
+	for i, e := range rows {
 		ents[i] = table.Entities[e].Subject
 	}
 	props := make([]fact.Property, len(n.Props))
@@ -189,7 +195,7 @@ func nodeToSlice(table *fact.Table, n *hierarchy.Node) *slice.Slice {
 	return &slice.Slice{
 		Source:   table.Source,
 		Props:    props,
-		Entities: ents,
+		Entities: idset.FromSorted(ents),
 		Facts:    n.Facts,
 		NewFacts: n.NewFacts,
 		Profit:   n.Profit,

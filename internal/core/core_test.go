@@ -53,8 +53,8 @@ func TestRunningExampleSingleSource(t *testing.T) {
 	if !approx(s.Profit, 4.327) {
 		t.Errorf("profit = %.4f, want 4.327", s.Profit)
 	}
-	if len(s.Entities) != 2 {
-		t.Errorf("entities = %d, want 2 (Atlas, Castor-4)", len(s.Entities))
+	if s.Entities.Len() != 2 {
+		t.Errorf("entities = %d, want 2 (Atlas, Castor-4)", s.Entities.Len())
 	}
 }
 
@@ -211,7 +211,7 @@ func TestAblationSwitchesStillCoverFacts(t *testing.T) {
 			seen := make(map[int32]struct{})
 			n := 0
 			for _, node := range r.Nodes {
-				for _, e := range node.Entities {
+				for _, e := range node.Entities.Values() {
 					if _, dup := seen[e]; !dup {
 						seen[e] = struct{}{}
 					}

@@ -63,7 +63,7 @@ func TestTraversalInvariants(t *testing.T) {
 			}
 			// Stats match recomputation from the table.
 			facts, fresh := 0, 0
-			for _, subj := range s.Entities {
+			for _, subj := range s.Entities.Values() {
 				e := &table.Entities[rows[subj]]
 				facts += e.Facts()
 				fresh += e.NewCount
@@ -84,7 +84,7 @@ func TestTraversalInvariants(t *testing.T) {
 					continue
 				}
 				if len(other.Props) < len(s.Props) && propsSubset(other.Props, s.Props) &&
-					entitySubset(s.Entities, other.Entities) {
+					entitySubset(s.Entities.Values(), other.Entities.Values()) {
 					return false
 				}
 			}
@@ -181,8 +181,8 @@ func TestDiscoverSeededMergesSeeds(t *testing.T) {
 	for _, s := range res.Slices {
 		if len(s.Props) == 1 && s.Props[0] == seed.Props[0] {
 			found = true
-			if len(s.Entities) != 12 {
-				t.Errorf("seeded slice covers %d entities, want 12", len(s.Entities))
+			if s.Entities.Len() != 12 {
+				t.Errorf("seeded slice covers %d entities, want 12", s.Entities.Len())
 			}
 		}
 	}

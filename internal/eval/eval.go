@@ -6,11 +6,14 @@
 package eval
 
 import (
+	"context"
 	"math/rand"
 	"sort"
+	"strconv"
 
 	"midas/internal/dict"
 	"midas/internal/kb"
+	"midas/internal/obs"
 	"midas/internal/slice"
 )
 
@@ -46,6 +49,14 @@ func prf(tp, predicted, expected int) PRF {
 // above the threshold. It returns, per predicted slice, the index of the
 // matched silver slice or -1.
 func MatchSilver(predicted, silver [][]kb.Triple) []int {
+	matched := 0
+	_, span := obs.StartSpanOrRoot(context.Background(), "eval/match_silver")
+	defer func() {
+		span.Arg("predicted", strconv.Itoa(len(predicted))).
+			Arg("silver", strconv.Itoa(len(silver))).
+			Arg("matched", strconv.Itoa(matched)).
+			End()
+	}()
 	out := make([]int, len(predicted))
 	used := make([]bool, len(silver))
 	for i, p := range predicted {
@@ -62,6 +73,7 @@ func MatchSilver(predicted, silver [][]kb.Triple) []int {
 		if best >= 0 {
 			out[i] = best
 			used[best] = true
+			matched++
 		}
 	}
 	return out
@@ -157,10 +169,10 @@ func (o *Oracle) Correct(s *slice.Slice, facts []kb.Triple) bool {
 
 // Ratios returns (R_new, R_anno) for a predicted slice.
 func (o *Oracle) Ratios(s *slice.Slice, facts []kb.Triple) (rNew, rAnno float64) {
-	if len(s.Entities) == 0 {
+	if s.Entities.Empty() {
 		return 0, 0
 	}
-	sample := o.sample(s.Entities)
+	sample := o.sample(s.Entities.Values())
 
 	// R_new: fraction of sampled entities contributing ≥1 new fact.
 	bySubject := make(map[dict.ID]bool, len(sample))
@@ -226,6 +238,8 @@ func (o *Oracle) sample(entities []dict.ID) []dict.ID {
 // returns the precision at each requested k (ks must be ascending).
 // Fewer predictions than k yield the precision over all predictions.
 func TopKPrecision(slices []*slice.Slice, factSets [][]kb.Triple, o *Oracle, ks []int) []float64 {
+	_, span := obs.StartSpanOrRoot(context.Background(), "eval/topk_precision")
+	defer span.Arg("slices", strconv.Itoa(len(slices))).End()
 	out := make([]float64, len(ks))
 	correct := 0
 	next := 0

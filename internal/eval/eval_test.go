@@ -7,6 +7,7 @@ import (
 
 	"midas/internal/dict"
 	"midas/internal/eval"
+	"midas/internal/idset"
 	"midas/internal/kb"
 	"midas/internal/slice"
 )
@@ -93,10 +94,11 @@ func TestScoreEmpty(t *testing.T) {
 // oracleSlice builds a slice + fact set over labeled entities.
 func oracleSlice(sp *kb.Space, verticalOf map[dict.ID]string, n int, vertical string, known *kb.KB, knownCount int) (*slice.Slice, []kb.Triple) {
 	s := &slice.Slice{Source: "src"}
+	var ents []dict.ID
 	var facts []kb.Triple
 	for i := 0; i < n; i++ {
 		tr := sp.Intern(fmt.Sprintf("%s-e%d", vertical, i), "p", fmt.Sprintf("%s-v%d", vertical, i))
-		s.Entities = append(s.Entities, tr.S)
+		ents = append(ents, tr.S)
 		facts = append(facts, tr)
 		if vertical != "" {
 			verticalOf[tr.S] = vertical
@@ -105,6 +107,7 @@ func oracleSlice(sp *kb.Space, verticalOf map[dict.ID]string, n int, vertical st
 			known.Add(tr)
 		}
 	}
+	s.Entities = idset.FromUnsorted(ents)
 	return s, facts
 }
 
@@ -144,12 +147,14 @@ func TestOracleHeterogeneousSlice(t *testing.T) {
 	o := &eval.Oracle{VerticalOf: verticalOf, Seed: 1}
 	// Mix four verticals evenly: majority ratio 0.25 < 0.5.
 	s := &slice.Slice{Source: "src"}
+	var ents []dict.ID
 	var facts []kb.Triple
 	for v := 0; v < 4; v++ {
 		part, pf := oracleSlice(sp, verticalOf, 10, fmt.Sprintf("v%d", v), nil, 0)
-		s.Entities = append(s.Entities, part.Entities...)
+		ents = append(ents, part.Entities.Values()...)
 		facts = append(facts, pf...)
 	}
+	s.Entities = idset.FromUnsorted(ents)
 	if o.Correct(s, facts) {
 		t.Error("heterogeneous slice must be incorrect")
 	}

@@ -72,14 +72,14 @@ func Annotation(seed int64, budget, top int, workers int) []AnnotationRow {
 				continue
 			}
 			annotated := make(map[dict.ID]bool, budget)
-			for _, e := range rec.Entities {
+			for _, e := range rec.Entities.Values() {
 				if len(annotated) >= budget {
 					break
 				}
 				annotated[e] = true
 			}
-			scope := make(map[dict.ID]bool, len(rec.Entities))
-			for _, e := range rec.Entities {
+			scope := make(map[dict.ID]bool, rec.Entities.Len())
+			for _, e := range rec.Entities.Values() {
 				scope[e] = true
 			}
 			w := wrapper.Induce(pages, annotated)

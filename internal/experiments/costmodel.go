@@ -47,7 +47,7 @@ func CostSensitivity(seed int64, workers int) []CostRow {
 		row := CostRow{Label: v.label, Cost: v.cost, Slices: len(out.Slices)}
 		preds := 0
 		for _, s := range out.Slices {
-			row.MeanSize += float64(len(s.Entities))
+			row.MeanSize += float64(s.Entities.Len())
 			row.NewFacts += s.NewFacts
 			row.TotalProfit += s.Profit
 			seen := make(map[int32]struct{})

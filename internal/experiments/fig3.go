@@ -48,7 +48,7 @@ func Fig3(seed int64, top int, workers int) []Fig3Row {
 		}
 		// Majority vertical of the slice's entities names the content.
 		votes := make(map[string]int)
-		for _, e := range s.Entities {
+		for _, e := range s.Entities.Values() {
 			votes[world.VerticalOf[e]]++
 		}
 		desc, best := "(mixed)", 0

@@ -13,11 +13,14 @@
 package fact
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
 	"midas/internal/dict"
+	"midas/internal/idset"
 	"midas/internal/kb"
 	"midas/internal/obs"
 )
@@ -113,12 +116,31 @@ func (c *Corpus) FilterConfidence(min float64) *Corpus {
 // dictionary.
 func (c *Corpus) NumURLs() int { return c.URLs.Len() }
 
+// PropSetID identifies an interned property set within one Table's
+// PropSets interner: two rows (of the same table) have equal property
+// sets iff their PropSet IDs are equal.
+type PropSetID = idset.SetID
+
+// PropInterner deduplicates sorted property sets into a shared arena,
+// assigning dense PropSetIDs. Hierarchy builders keep their own
+// interner (node property sets include subsets no row carries); a
+// Table's interner covers exactly its rows.
+type PropInterner = idset.Interner[Property]
+
+// NewPropInterner returns an empty property-set interner.
+func NewPropInterner() *PropInterner { return idset.NewInterner[Property]() }
+
 // Entity is one row of a fact table: a subject together with its
 // deduplicated properties. Props and New are parallel; New[i] reports
 // whether the fact (Subject, Props[i].Pred, Props[i].Value) is absent
 // from the existing KB. len(Props) is the entity's fact count.
+//
+// Props is a view into the table's interned property-set arena
+// (identical rows share storage) and PropSet is its dense ID; New is a
+// sub-slice of a per-table newness arena. Neither may be mutated.
 type Entity struct {
 	Subject  dict.ID
+	PropSet  PropSetID
 	Props    []Property
 	New      []bool
 	NewCount int
@@ -143,6 +165,9 @@ type Table struct {
 	Space  *kb.Space
 	// Entities holds one row per distinct subject, sorted by subject ID.
 	Entities []Entity
+	// PropSets interns the distinct per-row property sets; row Props
+	// slices are views into its arena.
+	PropSets *PropInterner
 	// TotalFacts is |T_W|: the number of deduplicated facts.
 	TotalFacts int
 	// TotalNew is the number of facts absent from the KB.
@@ -176,7 +201,7 @@ func (t *Table) Properties() []Property {
 	for p := range seen {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -208,39 +233,63 @@ func BuildObs(source string, space *kb.Space, triples []kb.Triple, existing kb.M
 }
 
 func buildWith(source string, space *kb.Space, triples []kb.Triple, existing kb.Membership) *Table {
-	bySubject := make(map[dict.ID]map[Property]struct{})
-	for _, tr := range triples {
-		set, ok := bySubject[tr.S]
-		if !ok {
-			set = make(map[Property]struct{}, 4)
-			bySubject[tr.S] = set
-		}
-		set[Prop(tr.P, tr.O)] = struct{}{}
+	// Columnar build: flatten to (subject, property) pairs, sort, dedup,
+	// then walk per-subject runs. No per-subject maps are allocated; each
+	// run's property set is interned so identical rows share one arena
+	// view.
+	type sp struct {
+		s dict.ID
+		p Property
 	}
-	t := &Table{Source: source, Space: space, Entities: make([]Entity, 0, len(bySubject))}
-	subjects := make([]dict.ID, 0, len(bySubject))
-	for s := range bySubject {
-		subjects = append(subjects, s)
+	pairs := make([]sp, len(triples))
+	for i, tr := range triples {
+		pairs[i] = sp{s: tr.S, p: Prop(tr.P, tr.O)}
 	}
-	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
-	for _, s := range subjects {
-		set := bySubject[s]
-		props := make([]Property, 0, len(set))
-		for p := range set {
-			props = append(props, p)
+	slices.SortFunc(pairs, func(a, b sp) int {
+		if a.s != b.s {
+			return cmp.Compare(a.s, b.s)
 		}
-		sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
-		e := Entity{Subject: s, Props: props, New: make([]bool, len(props))}
-		for i, p := range props {
+		return cmp.Compare(a.p, b.p)
+	})
+	kept := pairs[:0]
+	for _, pr := range pairs {
+		if len(kept) == 0 || kept[len(kept)-1] != pr {
+			kept = append(kept, pr)
+		}
+	}
+	pairs = kept
+
+	t := &Table{Source: source, Space: space, PropSets: NewPropInterner()}
+	// Exact capacity: appends never reallocate, so earlier New views
+	// stay valid.
+	newArena := make([]bool, 0, len(pairs))
+	var scratch []Property
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].s == pairs[i].s {
+			j++
+		}
+		s := pairs[i].s
+		scratch = scratch[:0]
+		for k := i; k < j; k++ {
+			scratch = append(scratch, pairs[k].p)
+		}
+		id := t.PropSets.Intern(scratch)
+		props := t.PropSets.Get(id)
+		start := len(newArena)
+		e := Entity{Subject: s, PropSet: id, Props: props}
+		for _, p := range props {
 			isNew := existing == nil || !existing.Contains(kb.Triple{S: s, P: p.Pred(), O: p.Value()})
-			e.New[i] = isNew
+			newArena = append(newArena, isNew)
 			if isNew {
 				e.NewCount++
 			}
 		}
+		e.New = newArena[start:len(newArena):len(newArena)]
 		t.TotalFacts += len(props)
 		t.TotalNew += e.NewCount
 		t.Entities = append(t.Entities, e)
+		i = j
 	}
 	return t
 }
@@ -275,48 +324,69 @@ func recordTable(reg *obs.Registry, t *Table, d time.Duration) {
 }
 
 func merge(source string, space *kb.Space, children []*Table) *Table {
-	type acc struct {
-		props map[Property]bool // property -> isNew
+	// Columnar merge, mirroring buildWith: flatten every child row to
+	// (subject, property, isNew) tuples, stable-sort by (subject,
+	// property), keep the first tuple of each (s, p) run (the "first
+	// seen" of the doc comment), then assemble per-subject runs.
+	type spn struct {
+		s dict.ID
+		p Property
+		n bool
 	}
-	bySubject := make(map[dict.ID]*acc)
+	total := 0
+	for _, c := range children {
+		total += c.TotalFacts
+	}
+	tuples := make([]spn, 0, total)
 	for _, c := range children {
 		for i := range c.Entities {
 			e := &c.Entities[i]
-			a, ok := bySubject[e.Subject]
-			if !ok {
-				a = &acc{props: make(map[Property]bool, len(e.Props))}
-				bySubject[e.Subject] = a
-			}
 			for j, p := range e.Props {
-				if _, seen := a.props[p]; !seen {
-					a.props[p] = e.New[j]
-				}
+				tuples = append(tuples, spn{s: e.Subject, p: p, n: e.New[j]})
 			}
 		}
 	}
-	t := &Table{Source: source, Space: space, Entities: make([]Entity, 0, len(bySubject))}
-	subjects := make([]dict.ID, 0, len(bySubject))
-	for s := range bySubject {
-		subjects = append(subjects, s)
-	}
-	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
-	for _, s := range subjects {
-		a := bySubject[s]
-		props := make([]Property, 0, len(a.props))
-		for p := range a.props {
-			props = append(props, p)
+	slices.SortStableFunc(tuples, func(a, b spn) int {
+		if a.s != b.s {
+			return cmp.Compare(a.s, b.s)
 		}
-		sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
-		e := Entity{Subject: s, Props: props, New: make([]bool, len(props))}
-		for i, p := range props {
-			e.New[i] = a.props[p]
-			if e.New[i] {
+		return cmp.Compare(a.p, b.p)
+	})
+	kept := tuples[:0]
+	for _, tu := range tuples {
+		if len(kept) == 0 || kept[len(kept)-1].s != tu.s || kept[len(kept)-1].p != tu.p {
+			kept = append(kept, tu)
+		}
+	}
+	tuples = kept
+
+	t := &Table{Source: source, Space: space, PropSets: NewPropInterner()}
+	newArena := make([]bool, 0, len(tuples))
+	var scratch []Property
+	for i := 0; i < len(tuples); {
+		j := i
+		for j < len(tuples) && tuples[j].s == tuples[i].s {
+			j++
+		}
+		scratch = scratch[:0]
+		for k := i; k < j; k++ {
+			scratch = append(scratch, tuples[k].p)
+		}
+		id := t.PropSets.Intern(scratch)
+		props := t.PropSets.Get(id)
+		start := len(newArena)
+		e := Entity{Subject: tuples[i].s, PropSet: id, Props: props}
+		for k := i; k < j; k++ {
+			newArena = append(newArena, tuples[k].n)
+			if tuples[k].n {
 				e.NewCount++
 			}
 		}
+		e.New = newArena[start:len(newArena):len(newArena)]
 		t.TotalFacts += len(props)
 		t.TotalNew += e.NewCount
 		t.Entities = append(t.Entities, e)
+		i = j
 	}
 	return t
 }

@@ -367,8 +367,8 @@ func processSource(ctx context.Context, src string, depth int, pe *pendingEntry,
 	for _, c := range pe.children {
 		for _, s := range c.surviving {
 			children = append(children, s)
-			rows := make([]int32, 0, len(s.sl.Entities))
-			for _, subj := range s.sl.Entities {
+			rows := make([]int32, 0, s.sl.Entities.Len())
+			for _, subj := range s.sl.Entities.Values() {
 				if r, ok := rowOf[subj]; ok {
 					rows = append(rows, r)
 				}
@@ -414,7 +414,7 @@ func consolidate(parents, children []scored, depth int, cost slice.CostModel, ex
 	for _, p := range parents {
 		var cs []int
 		for i := range children {
-			if !consumed[i] && entitySubset(children[i].sl.Entities, p.sl.Entities) {
+			if !consumed[i] && children[i].sl.Entities.IsSubsetOf(p.sl.Entities) {
 				cs = append(cs, i)
 			}
 		}
@@ -476,21 +476,4 @@ func childSetProfit(children []scored, idx []int, cost slice.CostModel, existing
 		perSource = append(perSource, t)
 	}
 	return cost.SetProfit(len(idx), unionFacts, unionNew, perSource)
-}
-
-// entitySubset reports whether sorted a ⊆ sorted b.
-func entitySubset(a, b []dict.ID) bool {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			i++
-			j++
-		case a[i] < b[j]:
-			return false
-		default:
-			j++
-		}
-	}
-	return i == len(a)
 }

@@ -105,7 +105,7 @@ func TestFrameworkConsolidatesRedundancy(t *testing.T) {
 			if i == j {
 				continue
 			}
-			if contains(a.Entities, b.Entities) && a.Source == b.Source {
+			if contains(a.Entities.Values(), b.Entities.Values()) && a.Source == b.Source {
 				t.Errorf("slice %d is contained in slice %d at the same source", j, i)
 			}
 		}

@@ -1,0 +1,24 @@
+package hierarchy_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"midas/internal/hierarchy"
+	"midas/internal/slice"
+)
+
+// BenchmarkHierarchyBuild measures a full lattice construction — step 1
+// of MIDASalg — over a deterministic synthetic table large enough for
+// the sweep's union/subset kernels and node keying to dominate.
+func BenchmarkHierarchyBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	table := randomTable(rng, 400, 8, 3, 0.6, 0.3)
+	cost := slice.DefaultCostModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld := &hierarchy.Builder{Table: table, Cost: cost}
+		bld.Build(nil)
+	}
+}

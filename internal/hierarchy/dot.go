@@ -39,7 +39,7 @@ func (h *Hierarchy) WriteDOT(w io.Writer, space *kb.Space) error {
 				}
 				label += escapeDOT(p.Format(space))
 			}
-			label += fmt.Sprintf(`\n|Π|=%d new=%d f=%.2f`, len(n.Entities), n.NewFacts, n.Profit)
+			label += fmt.Sprintf(`\n|Π|=%d new=%d f=%.2f`, n.Entities.Len(), n.NewFacts, n.Profit)
 			attrs := fmt.Sprintf("label=\"%s\"", label)
 			if !n.Valid {
 				attrs += ", style=dashed, color=gray"

@@ -25,17 +25,20 @@ import (
 	"sort"
 
 	"midas/internal/fact"
+	"midas/internal/idset"
 	"midas/internal/obs"
 	"midas/internal/slice"
 )
 
 // Node is a candidate slice in the hierarchy.
 type Node struct {
-	// Props is the defining property set C, sorted ascending.
+	// Props is the defining property set C, sorted ascending. It is a
+	// view into the builder's property-set arena; nodes over the same
+	// set share storage. Do not mutate.
 	Props []fact.Property
-	// Entities are local row indexes into the builder's fact table,
-	// sorted ascending: the entities carrying every property in Props.
-	Entities []int32
+	// Entities holds the local row indexes into the builder's fact table
+	// whose rows carry every property in Props.
+	Entities idset.Set
 	// Facts and NewFacts are |Π*| and |Π* \ E| for this node.
 	Facts    int
 	NewFacts int
@@ -63,6 +66,9 @@ type Node struct {
 	Parents  []*Node
 
 	removed bool
+	// set is the interned ID of Props in the builder's interner; it keys
+	// the node within its lattice level.
+	set idset.SetID
 	// pending accumulates entity indexes before finalization.
 	pending []int32
 }
@@ -137,6 +143,11 @@ type Builder struct {
 	entFacts []int32 // per-entity fact counts
 	entNew   []int32 // per-entity new-fact counts
 	propFreq map[fact.Property]int32
+	// props interns node property sets; it is distinct from the table's
+	// interner because lattice nodes carry subsets no row has.
+	props *idset.Interner[fact.Property]
+	// union scratch buffers, reused across finalize and setProfit calls.
+	unionA, unionB []int32
 }
 
 // Default caps. Entities in real extractions have a handful of
@@ -162,8 +173,8 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 	b.prepare()
 
 	h := &Hierarchy{}
-	// levelNodes[l] maps a property-set key to its node.
-	levels := make([]map[string]*Node, 1, 8)
+	// levels[l] maps an interned property-set ID to its node.
+	levels := make([]map[idset.SetID]*Node, 1, 8)
 	// Per-level effort tallies, reported to Obs when the build finishes.
 	var createdByLevel, removedByLevel, invalidByLevel []int64
 	bump := func(tally *[]int64, l int) {
@@ -173,25 +184,23 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 		(*tally)[l]++
 	}
 
-	getLevel := func(l int) map[string]*Node {
+	getLevel := func(l int) map[idset.SetID]*Node {
 		for len(levels) <= l {
-			levels = append(levels, make(map[string]*Node))
+			levels = append(levels, make(map[idset.SetID]*Node))
 		}
 		return levels[l]
 	}
-	makeNode := func(props []fact.Property) *Node {
-		h.Stats.NodesCreated++
-		bump(&createdByLevel, len(props))
-		return &Node{Props: props, Valid: true}
-	}
 	getNode := func(props []fact.Property) *Node {
-		l := len(props)
-		m := getLevel(l)
-		key := propKey(props)
-		n, ok := m[key]
+		id := b.props.Intern(props)
+		m := getLevel(len(props))
+		n, ok := m[id]
 		if !ok {
-			n = makeNode(props)
-			m[key] = n
+			h.Stats.NodesCreated++
+			bump(&createdByLevel, len(props))
+			// The node keeps the interned arena view, not the caller's
+			// (possibly scratch) slice.
+			n = &Node{Props: b.props.Get(id), set: id, Valid: true}
+			m[id] = n
 		}
 		return n
 	}
@@ -247,7 +256,7 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 							p.Children = append(p.Children, n)
 							n.Parents = append(n.Parents, p)
 						}
-						p.pending = append(p.pending, n.Entities...)
+						p.pending = append(p.pending, n.Entities.Values()...)
 					}
 					continue
 				}
@@ -258,7 +267,7 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 						p.Children = append(p.Children, n)
 						n.Parents = append(n.Parents, p)
 					}
-					p.pending = append(p.pending, n.Entities...)
+					p.pending = append(p.pending, n.Entities.Values()...)
 				}
 			}
 			for _, p := range levels[l-1] {
@@ -273,7 +282,7 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 				b.remove(n)
 				h.Stats.NodesRemoved++
 				bump(&removedByLevel, l)
-				delete(levels[l], propKey(n.Props))
+				delete(levels[l], n.set)
 			}
 		}
 
@@ -335,6 +344,7 @@ type Seed struct {
 
 func (b *Builder) prepare() {
 	t := b.Table
+	b.props = idset.NewInterner[fact.Property]()
 	b.entFacts = make([]int32, len(t.Entities))
 	b.entNew = make([]int32, len(t.Entities))
 	b.propFreq = make(map[fact.Property]int32)
@@ -433,26 +443,37 @@ func combosByPredicate(props []fact.Property, max int) ([][]fact.Property, bool)
 	return combos, capped
 }
 
-// finalize sorts and deduplicates a node's pending entities into its
-// entity set and refreshes its fact counts. Safe to call repeatedly.
+// finalize folds a node's pending entities into its entity set (sort,
+// dedup, union with the existing set) and refreshes its fact counts.
+// Safe to call repeatedly. The union runs through a reused scratch
+// buffer; the node's set is always backed by a fresh exact-size slice.
 func (b *Builder) finalize(n *Node) {
 	if len(n.pending) == 0 {
 		return
 	}
-	merged := append(n.Entities, n.pending...)
-	n.pending = n.pending[:0]
-	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
-	out := merged[:0]
+	p := n.pending
+	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
+	dedup := p[:0]
 	var last int32 = -1
-	for _, e := range merged {
+	for _, e := range p {
 		if e != last {
-			out = append(out, e)
+			dedup = append(dedup, e)
 			last = e
 		}
 	}
-	n.Entities = out
+	var merged []int32
+	if n.Entities.Empty() {
+		merged = dedup
+	} else {
+		b.unionA = idset.AppendUnion(b.unionA[:0], n.Entities.Values(), dedup)
+		merged = b.unionA
+	}
+	ents := make([]int32, len(merged))
+	copy(ents, merged)
+	n.Entities = idset.FromSorted(ents)
+	n.pending = n.pending[:0]
 	n.Facts, n.NewFacts = 0, 0
-	for _, e := range n.Entities {
+	for _, e := range ents {
 		n.Facts += int(b.entFacts[e])
 		n.NewFacts += int(b.entNew[e])
 	}
@@ -524,7 +545,7 @@ func (b *Builder) remove(n *Node) {
 // current child x of p: props(p) ⊂ props(x) ⊂ props(c).
 func descendantViaOther(p, c *Node) bool {
 	for _, x := range p.Children {
-		if x != c && len(x.Props) < len(c.Props) && isSubset(x.Props, c.Props) {
+		if x != c && len(x.Props) < len(c.Props) && idset.IsSubset(x.Props, c.Props) {
 			return true
 		}
 	}
@@ -571,38 +592,28 @@ func (b *Builder) score(n *Node) {
 }
 
 // setProfit computes f over a set of (possibly entity-overlapping) nodes
-// of this source.
+// of this source. The entity union is accumulated in two ping-pong
+// scratch buffers instead of a per-call map.
 func (b *Builder) setProfit(nodes []*Node) float64 {
 	if len(nodes) == 1 {
 		return nodes[0].Profit
 	}
-	seen := make(map[int32]struct{})
-	facts, newFacts := 0, 0
+	acc, spare := b.unionA[:0], b.unionB[:0]
 	for _, n := range nodes {
-		for _, e := range n.Entities {
-			if _, dup := seen[e]; dup {
-				continue
-			}
-			seen[e] = struct{}{}
-			facts += int(b.entFacts[e])
-			newFacts += int(b.entNew[e])
-		}
+		spare = idset.AppendUnion(spare[:0], acc, n.Entities.Values())
+		acc, spare = spare, acc
 	}
+	facts, newFacts := 0, 0
+	for _, e := range acc {
+		facts += int(b.entFacts[e])
+		newFacts += int(b.entNew[e])
+	}
+	b.unionA, b.unionB = acc, spare
 	return b.Cost.SetProfit(len(nodes), facts, newFacts, []int{b.Table.TotalFacts})
 }
 
 // EntityStats exposes the per-entity fact counters for the traversal.
 func (b *Builder) EntityStats() (facts, newFacts []int32) { return b.entFacts, b.entNew }
-
-func propKey(props []fact.Property) string {
-	buf := make([]byte, 0, len(props)*8)
-	for _, p := range props {
-		buf = append(buf,
-			byte(p>>56), byte(p>>48), byte(p>>40), byte(p>>32),
-			byte(p>>24), byte(p>>16), byte(p>>8), byte(p))
-	}
-	return string(buf)
-}
 
 func dropProp(props []fact.Property, i int) []fact.Property {
 	out := make([]fact.Property, 0, len(props)-1)
@@ -620,32 +631,26 @@ func deleteNode(list []*Node, n *Node) []*Node {
 	return out
 }
 
-// isSubset reports whether sorted a ⊆ sorted b.
-func isSubset(a, b []fact.Property) bool {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			i++
-			j++
-		case a[i] < b[j]:
-			return false
-		default:
-			j++
-		}
+// sortedNodes orders a level's nodes by their property sets. All nodes
+// of one level have equally many properties, so elementwise comparison
+// of the packed uint64 properties reproduces the ordering of the
+// big-endian byte keys the levels were once keyed by — node iteration
+// order is unchanged and the build stays deterministic.
+func sortedNodes(m map[idset.SetID]*Node) []*Node {
+	out := make([]*Node, 0, len(m))
+	for _, n := range m {
+		out = append(out, n)
 	}
-	return i == len(a)
+	sort.Slice(out, func(i, j int) bool { return lessProps(out[i].Props, out[j].Props) })
+	return out
 }
 
-func sortedNodes(m map[string]*Node) []*Node {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// lessProps compares property sets lexicographically, shorter first.
+func lessProps(a, b []fact.Property) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
 	}
-	sort.Strings(keys)
-	out := make([]*Node, len(keys))
-	for i, k := range keys {
-		out[i] = m[k]
-	}
-	return out
+	return len(a) < len(b)
 }

@@ -143,13 +143,13 @@ func TestLatticeStructure(t *testing.T) {
 				if !isSubset(n.Props, c.Props) {
 					return false
 				}
-				if !entitySuperset(n.Entities, c.Entities) {
+				if !entitySuperset(n.Entities.Values(), c.Entities.Values()) {
 					return false
 				}
 			}
 			// Node stats match its entity rows.
 			facts, fresh := 0, 0
-			for _, e := range n.Entities {
+			for _, e := range n.Entities.Values() {
 				facts += table.Entities[e].Facts()
 				fresh += table.Entities[e].NewCount
 			}
@@ -157,7 +157,7 @@ func TestLatticeStructure(t *testing.T) {
 				return false
 			}
 			// Entities really carry every property of the node.
-			for _, e := range n.Entities {
+			for _, e := range n.Entities.Values() {
 				for _, p := range n.Props {
 					if !table.Entities[e].HasProp(p) {
 						return false
@@ -290,7 +290,7 @@ func TestMaxPropsPerEntity(t *testing.T) {
 	shared := fact.Prop(sp.Predicates.Lookup("shared"), sp.Objects.Lookup("v"))
 	found := false
 	for _, n := range h.Nodes() {
-		if len(n.Props) == 1 && n.Props[0] == shared && len(n.Entities) == 3 {
+		if len(n.Props) == 1 && n.Props[0] == shared && n.Entities.Len() == 3 {
 			found = true
 		}
 	}

@@ -1,0 +1,72 @@
+package hierarchy_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"midas/internal/fact"
+	"midas/internal/idset"
+)
+
+// legacyPropKey replicates the big-endian string key that used to key
+// lattice nodes before property sets were interned, kept here as the
+// reference the interner is differentially tested against.
+func legacyPropKey(props []fact.Property) string {
+	buf := make([]byte, 0, len(props)*8)
+	for _, p := range props {
+		buf = append(buf,
+			byte(p>>56), byte(p>>48), byte(p>>40), byte(p>>32),
+			byte(p>>24), byte(p>>16), byte(p>>8), byte(p))
+	}
+	return string(buf)
+}
+
+func lessPropsRef(a, b []fact.Property) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// TestInternedIDMatchesPropKey checks the two properties the node-keying
+// refactor rests on, against the legacy string keys on randomized
+// property sets: interned IDs are equal exactly when the string keys
+// are, and the elementwise property order used to sort a level's nodes
+// agrees with the byte order of the string keys (so build determinism
+// and node iteration order are preserved).
+func TestInternedIDMatchesPropKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := idset.NewInterner[fact.Property]()
+	type rec struct {
+		id    idset.SetID
+		key   string
+		props []fact.Property
+	}
+	var seen []rec
+	for trial := 0; trial < 400; trial++ {
+		set := make(map[fact.Property]struct{})
+		for i, n := 0, rng.Intn(6); i < n; i++ {
+			set[fact.Prop(int32(rng.Intn(5)), int32(rng.Intn(5)))] = struct{}{}
+		}
+		props := make([]fact.Property, 0, len(set))
+		for p := range set {
+			props = append(props, p)
+		}
+		sort.Slice(props, func(i, j int) bool { return props[i] < props[j] })
+		r := rec{id: in.Intern(props), key: legacyPropKey(props), props: props}
+		for _, o := range seen {
+			if (o.id == r.id) != (o.key == r.key) {
+				t.Fatalf("ID equality diverges from propKey equality: %v vs %v (ids %d/%d)",
+					o.props, r.props, o.id, r.id)
+			}
+			if (o.key < r.key) != lessPropsRef(o.props, r.props) {
+				t.Fatalf("elementwise order diverges from propKey byte order: %v vs %v",
+					o.props, r.props)
+			}
+		}
+		seen = append(seen, r)
+	}
+}

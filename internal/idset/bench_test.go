@@ -1,0 +1,86 @@
+package idset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSets builds two overlapping sorted sets of n elements each.
+func benchSets(n int) (a, b []int32) {
+	rng := rand.New(rand.NewSource(11))
+	seen := make(map[int32]struct{}, 3*n)
+	draw := func(k int) []int32 {
+		out := make([]int32, 0, k)
+		for len(out) < k {
+			v := int32(rng.Intn(8 * n))
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+		return out
+	}
+	shared := draw(n / 2)
+	a = FromUnsorted(append(draw(n-n/2), shared...)).Values()
+	b = FromUnsorted(append(draw(n-n/2), shared...)).Values()
+	return a, b
+}
+
+// BenchmarkIdsetOps measures the merge kernels and membership probes on
+// 1k-element sets with ~50% overlap; the Append* variants reuse one
+// destination buffer, so steady state is allocation-free.
+func BenchmarkIdsetOps(bm *testing.B) {
+	a, b := benchSets(1000)
+	dst := make([]int32, 0, len(a)+len(b))
+	bm.Run("intersect", func(bm *testing.B) {
+		bm.ReportAllocs()
+		for i := 0; i < bm.N; i++ {
+			dst = AppendIntersect(dst[:0], a, b)
+		}
+	})
+	bm.Run("union", func(bm *testing.B) {
+		bm.ReportAllocs()
+		for i := 0; i < bm.N; i++ {
+			dst = AppendUnion(dst[:0], a, b)
+		}
+	})
+	bm.Run("diff", func(bm *testing.B) {
+		bm.ReportAllocs()
+		for i := 0; i < bm.N; i++ {
+			dst = AppendDiff(dst[:0], a, b)
+		}
+	})
+	bm.Run("subset", func(bm *testing.B) {
+		bm.ReportAllocs()
+		sub := a[:len(a)/4]
+		for i := 0; i < bm.N; i++ {
+			IsSubset(sub, a)
+		}
+	})
+	bm.Run("contains", func(bm *testing.B) {
+		bm.ReportAllocs()
+		for i := 0; i < bm.N; i++ {
+			ContainsSorted(a, b[i%len(b)])
+		}
+	})
+	bm.Run("fingerprint", func(bm *testing.B) {
+		bm.ReportAllocs()
+		for i := 0; i < bm.N; i++ {
+			Fingerprint64(a)
+		}
+	})
+}
+
+// BenchmarkIntern measures interning a hot (already-interned) set — the
+// hierarchy's getNode path after the first sight of a property set.
+func BenchmarkIntern(bm *testing.B) {
+	in := NewInterner[uint64]()
+	set := []uint64{1 << 32, 2 << 32, 3<<32 | 7, 9 << 40}
+	in.Intern(set)
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		in.Intern(set)
+	}
+}

@@ -1,0 +1,60 @@
+package idset
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzKernels decodes the fuzz input into two sorted int32 sets and
+// cross-checks every kernel against the map-based reference, plus the
+// algebraic identities that must hold for any pair of sets.
+func FuzzKernels(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 2}, []byte{0, 0, 0, 2})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, []byte{0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := sortedSet(decodeInt32s(rawA))
+		b := sortedSet(decodeInt32s(rawB))
+		ref := newRef(a, b)
+
+		inter := AppendIntersect(nil, a, b)
+		union := AppendUnion(nil, a, b)
+		diff := AppendDiff(nil, a, b)
+		if !eqSlices(sorted(inter), ref.intersect()) {
+			t.Fatalf("intersect(%v, %v) = %v, want %v", a, b, inter, ref.intersect())
+		}
+		if !eqSlices(sorted(union), ref.union()) {
+			t.Fatalf("union(%v, %v) = %v, want %v", a, b, union, ref.union())
+		}
+		if !eqSlices(sorted(diff), ref.diff()) {
+			t.Fatalf("diff(%v, %v) = %v, want %v", a, b, diff, ref.diff())
+		}
+		if got, want := IsSubset(a, b), ref.subset(); got != want {
+			t.Fatalf("subset(%v, %v) = %v, want %v", a, b, got, want)
+		}
+
+		// Identities: |a| + |b| = |a∪b| + |a∩b|; a\b ∪ a∩b = a;
+		// intersection ⊆ both inputs; union ⊇ both inputs.
+		if len(a)+len(b) != len(union)+len(inter) {
+			t.Fatalf("inclusion-exclusion violated: |a|=%d |b|=%d |∪|=%d |∩|=%d", len(a), len(b), len(union), len(inter))
+		}
+		if !eqSlices(AppendUnion(nil, diff, inter), a) {
+			t.Fatalf("(a\\b) ∪ (a∩b) != a for a=%v b=%v", a, b)
+		}
+		if !IsSubset(inter, a) || !IsSubset(inter, b) || !IsSubset(a, union) || !IsSubset(b, union) {
+			t.Fatalf("containment identities violated for a=%v b=%v", a, b)
+		}
+		if ContainsSorted(union, 7) != (ContainsSorted(a, 7) || ContainsSorted(b, 7)) {
+			t.Fatalf("contains disagrees with union membership")
+		}
+	})
+}
+
+func decodeInt32s(raw []byte) []int32 {
+	out := make([]int32, 0, len(raw)/4)
+	for len(raw) >= 4 {
+		out = append(out, int32(binary.BigEndian.Uint32(raw)))
+		raw = raw[4:]
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package idset
+
+// SetID is a dense identifier for an interned set: IDs are assigned
+// 0, 1, 2, … in first-intern order, so they index external arrays
+// directly and compare in O(1) — ID equality is set equality.
+type SetID int32
+
+// Interner deduplicates sorted sets into a shared append-only arena and
+// assigns each distinct set a dense SetID. Lookups are fingerprint-
+// bucketed with exact verification, so fingerprint collisions cost a
+// comparison, never a wrong ID. Not safe for concurrent use.
+type Interner[E Elem] struct {
+	byFP map[uint64][]SetID
+	// offs[id] .. offs[id+1] delimit set id in the arena.
+	offs  []uint32
+	arena []E
+}
+
+// NewInterner returns an empty interner.
+func NewInterner[E Elem]() *Interner[E] {
+	return &Interner[E]{
+		byFP: make(map[uint64][]SetID),
+		offs: []uint32{0},
+	}
+}
+
+// Intern returns the ID of set, interning a copy on first sight. set
+// must be sorted strictly ascending; it is not retained, so callers may
+// pass scratch buffers.
+func (in *Interner[E]) Intern(set []E) SetID {
+	fp := Fingerprint64(set)
+	for _, id := range in.byFP[fp] {
+		if Equal(in.get(id), set) {
+			return id
+		}
+	}
+	id := SetID(len(in.offs) - 1)
+	in.arena = append(in.arena, set...)
+	in.offs = append(in.offs, uint32(len(in.arena)))
+	in.byFP[fp] = append(in.byFP[fp], id)
+	return id
+}
+
+// Lookup returns the ID of set without interning it, or -1 when the set
+// has not been interned.
+func (in *Interner[E]) Lookup(set []E) SetID {
+	for _, id := range in.byFP[Fingerprint64(set)] {
+		if Equal(in.get(id), set) {
+			return id
+		}
+	}
+	return -1
+}
+
+// Get returns the interned set as a view into the arena, sorted
+// ascending. Callers must not mutate it. Views stay valid across later
+// Intern calls (arena growth copies, it never moves live data under a
+// returned view's backing array).
+func (in *Interner[E]) Get(id SetID) []E { return in.get(id) }
+
+func (in *Interner[E]) get(id SetID) []E {
+	return in.arena[in.offs[id]:in.offs[id+1]:in.offs[id+1]]
+}
+
+// Len returns the number of distinct sets interned.
+func (in *Interner[E]) Len() int { return len(in.offs) - 1 }

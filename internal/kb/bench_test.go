@@ -1,0 +1,83 @@
+package kb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchKB builds a KB with nSubjects subjects × factsPerSubject facts.
+func benchKB(nSubjects, factsPerSubject int) (*KB, []Triple) {
+	k := New(NewSpace())
+	triples := make([]Triple, 0, nSubjects*factsPerSubject)
+	for s := 0; s < nSubjects; s++ {
+		subj := k.space.Subjects.Put(fmt.Sprintf("subject-%d", s))
+		for f := 0; f < factsPerSubject; f++ {
+			t := Triple{
+				S: subj,
+				P: k.space.Predicates.Put(fmt.Sprintf("pred-%d", f%7)),
+				O: k.space.Objects.Put(fmt.Sprintf("value-%d-%d", s%97, f)),
+			}
+			triples = append(triples, t)
+		}
+	}
+	k.AddAll(triples)
+	return k, triples
+}
+
+// BenchmarkKBContains measures the membership hot path — the probe the
+// fact-table build issues once per extracted fact — on a 100k-triple
+// KB, alternating hits and misses. The hit path must not allocate.
+func BenchmarkKBContains(b *testing.B) {
+	k, triples := benchKB(10000, 10)
+	misses := make([]Triple, len(triples))
+	for i, t := range triples {
+		misses[i] = Triple{S: t.S, P: t.P, O: t.O + 1_000_000}
+	}
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !k.Contains(triples[i%len(triples)]) {
+				b.Fatal("expected hit")
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if k.Contains(misses[i%len(misses)]) {
+				b.Fatal("expected miss")
+			}
+		}
+	})
+	b.Run("frozen-hit", func(b *testing.B) {
+		f := k.Frozen()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !f.Contains(triples[i%len(triples)]) {
+				b.Fatal("expected hit")
+			}
+		}
+	})
+}
+
+// TestContainsNoAllocOnHit pins the acceptance criterion directly:
+// the membership probe allocates nothing on the hit path.
+func TestContainsNoAllocOnHit(t *testing.T) {
+	k, triples := benchKB(100, 5)
+	probe := triples[37]
+	if allocs := testing.AllocsPerRun(100, func() {
+		if !k.Contains(probe) {
+			t.Fatal("expected hit")
+		}
+	}); allocs != 0 {
+		t.Errorf("Contains hit path allocates %.1f objects/op, want 0", allocs)
+	}
+	f := k.Frozen()
+	if allocs := testing.AllocsPerRun(100, func() {
+		if !f.Contains(probe) {
+			t.Fatal("expected hit")
+		}
+	}); allocs != 0 {
+		t.Errorf("Frozen.Contains hit path allocates %.1f objects/op, want 0", allocs)
+	}
+}

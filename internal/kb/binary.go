@@ -1,11 +1,14 @@
 package kb
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"midas/internal/binio"
+	"midas/internal/obs"
 )
 
 // Binary format: "MKB1", then the three position dictionaries restricted
@@ -70,9 +73,20 @@ func (k *KB) WriteBinary(w io.Writer) error {
 // ReadBinary loads a binary KB stream into the receiver (interning into
 // its space), returning the number of facts added.
 func (k *KB) ReadBinary(r io.Reader) (int, error) {
+	return k.ReadBinaryContext(context.Background(), r)
+}
+
+// ReadBinaryContext is ReadBinary with span tracing: the load records a
+// "kb/load_binary" span as a child of ctx's span, or as a root span on
+// the default tracer when ctx carries none.
+func (k *KB) ReadBinaryContext(ctx context.Context, r io.Reader) (int, error) {
 	start := time.Now()
 	added := 0
-	defer func() { k.recordLoad("binary", added, time.Since(start)) }()
+	_, span := obs.StartSpanOrRoot(ctx, "kb/load_binary")
+	defer func() {
+		k.recordLoad("binary", added, time.Since(start))
+		span.Arg("added", strconv.Itoa(added)).End()
+	}()
 	br := binio.NewReader(r)
 	br.Magic(kbMagic)
 	readSection := func() []string {

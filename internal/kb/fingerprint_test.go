@@ -1,0 +1,49 @@
+package kb
+
+import "testing"
+
+// TestFingerprintCollisionFallback drives two distinct triples through
+// the membership index under the same (synthetic) fingerprint: both
+// must remain individually addressable, duplicates must still be
+// rejected, and absent triples sharing the fingerprint must not become
+// false positives.
+func TestFingerprintCollisionFallback(t *testing.T) {
+	k := New(NewSpace())
+	const fp = uint64(0xDEADBEEF)
+	t1 := Triple{S: 1, P: 2, O: 3}
+	t2 := Triple{S: 4, P: 5, O: 6}
+	t3 := Triple{S: 7, P: 8, O: 9}
+
+	if !k.insertMembership(fp, t1) {
+		t.Fatal("first insert reported duplicate")
+	}
+	if !k.insertMembership(fp, t2) {
+		t.Fatal("colliding insert of a distinct triple reported duplicate")
+	}
+	if k.insertMembership(fp, t1) || k.insertMembership(fp, t2) {
+		t.Fatal("re-insert not detected as duplicate")
+	}
+	for _, want := range []Triple{t1, t2} {
+		if !containsFP(k.facts, k.over, fp, want) {
+			t.Errorf("triple %v lost under colliding fingerprint", want)
+		}
+	}
+	if containsFP(k.facts, k.over, fp, t3) {
+		t.Error("false positive: absent triple matched by fingerprint alone")
+	}
+	if len(k.over[fp]) != 1 {
+		t.Errorf("overflow chain length = %d, want 1", len(k.over[fp]))
+	}
+}
+
+// TestFingerprintDeterministic pins the triple hash so the on-disk
+// independence of the binary format is not accidentally coupled to it.
+func TestFingerprintDeterministic(t *testing.T) {
+	a := Triple{S: 10, P: 20, O: 30}
+	if a.fingerprint() != (Triple{S: 10, P: 20, O: 30}).fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if a.fingerprint() == (Triple{S: 30, P: 20, O: 10}).fingerprint() {
+		t.Fatal("position-swapped triple hashed identically")
+	}
+}

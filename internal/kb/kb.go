@@ -8,6 +8,15 @@
 // triples, per-subject and per-predicate enumeration, set operations used
 // by the evaluation harness, and a line-oriented TSV persistence format.
 //
+// Membership is a flat 64-bit-fingerprint index: each triple hashes to
+// an FNV-1a fingerprint over its three ID words, and Contains is one
+// map probe plus a struct compare — no nested per-subject map, no
+// allocation on the hit path. Fingerprint collisions (two *different*
+// triples hashing alike, ~2^-64 per pair) fall back to a rarely-
+// populated overflow table, so answers stay exact. Per-subject
+// enumeration is served by a separate subject → (predicate, object)
+// posting index.
+//
 // Strings are interned through a shared *dict.Dict triple space so that
 // the KB, extracted fact corpora, and silver standards can compare facts
 // by ID without re-hashing strings.
@@ -15,9 +24,11 @@ package kb
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -40,6 +51,28 @@ func (t Triple) Less(u Triple) bool {
 		return t.P < u.P
 	}
 	return t.O < u.O
+}
+
+// FNV-1a 64-bit parameters (shared with internal/idset's set
+// fingerprints; restated here to keep kb's hot path free of generic
+// instantiation).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fingerprint hashes the triple's three 32-bit ID words with a
+// word-at-a-time FNV-1a variant: three xor-multiply rounds instead of
+// twelve byte rounds. Membership never trusts the fingerprint alone —
+// every probe verifies the full triple and falls back to the overflow
+// list — so the hash only has to be cheap and well-spread, not
+// byte-exact FNV.
+func (t Triple) fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	h = (h ^ uint64(uint32(t.S))) * fnvPrime64
+	h = (h ^ uint64(uint32(t.P))) * fnvPrime64
+	h = (h ^ uint64(uint32(t.O))) * fnvPrime64
+	return h
 }
 
 // Space is the shared interning space for the three RDF positions.
@@ -75,7 +108,7 @@ func (sp *Space) StringTriple(t Triple) (s, p, o string) {
 	return sp.Subjects.String(t.S), sp.Predicates.String(t.P), sp.Objects.String(t.O)
 }
 
-// po packs a predicate and object ID into one map key.
+// po packs the (predicate, object) pair of a subject's posting entry.
 type po struct {
 	p, o dict.ID
 }
@@ -86,9 +119,17 @@ type KB struct {
 	space *Space
 
 	mu sync.RWMutex
-	// bySubject maps a subject to the set of its (predicate, object)
-	// pairs. The inner set is the membership index.
-	bySubject map[dict.ID]map[po]struct{}
+	// facts is the membership index: triple fingerprint → the triple.
+	// Storing the triple (12 bytes) keeps the probe exact: a hit is
+	// confirmed by one struct compare instead of trusting the hash.
+	facts map[uint64]Triple
+	// over holds the additional triples of any colliding fingerprint;
+	// it stays empty in practice and is only scanned after a
+	// fingerprint hit with a mismatching triple.
+	over map[uint64][]Triple
+	// bySubject lists each subject's (predicate, object) pairs in
+	// insertion order (deduplicated by the membership index above).
+	bySubject map[dict.ID][]po
 	// byPredicate counts facts per predicate (used for stats and the
 	// Fig. 7-style dataset tables).
 	byPredicate map[dict.ID]int
@@ -105,7 +146,8 @@ func New(space *Space) *KB {
 	}
 	return &KB{
 		space:       space,
-		bySubject:   make(map[dict.ID]map[po]struct{}),
+		facts:       make(map[uint64]Triple),
+		bySubject:   make(map[dict.ID][]po),
 		byPredicate: make(map[dict.ID]int),
 	}
 }
@@ -137,18 +179,36 @@ func (k *KB) Add(t Triple) bool {
 }
 
 func (k *KB) addLocked(t Triple) bool {
-	set, ok := k.bySubject[t.S]
-	if !ok {
-		set = make(map[po]struct{}, 4)
-		k.bySubject[t.S] = set
-	}
-	key := po{t.P, t.O}
-	if _, dup := set[key]; dup {
+	if !k.insertMembership(t.fingerprint(), t) {
 		return false
 	}
-	set[key] = struct{}{}
+	k.bySubject[t.S] = append(k.bySubject[t.S], po{t.P, t.O})
 	k.byPredicate[t.P]++
 	k.size++
+	return true
+}
+
+// insertMembership records t under fingerprint fp, reporting whether t
+// was new. Colliding fingerprints (a different triple already under fp)
+// go to the overflow table.
+func (k *KB) insertMembership(fp uint64, t Triple) bool {
+	first, ok := k.facts[fp]
+	if !ok {
+		k.facts[fp] = t
+		return true
+	}
+	if first == t {
+		return false
+	}
+	for _, u := range k.over[fp] {
+		if u == t {
+			return false
+		}
+	}
+	if k.over == nil {
+		k.over = make(map[uint64][]Triple)
+	}
+	k.over[fp] = append(k.over[fp], t)
 	return true
 }
 
@@ -171,16 +231,35 @@ func (k *KB) AddAll(ts []Triple) int {
 	return n
 }
 
+// containsIn is the shared fingerprint probe of *KB and Frozen.
+func containsIn(facts map[uint64]Triple, over map[uint64][]Triple, t Triple) bool {
+	return containsFP(facts, over, t.fingerprint(), t)
+}
+
+// containsFP probes for t under an explicit fingerprint (split out so
+// tests can exercise the collision fallback, which real triples cannot
+// reach on demand).
+func containsFP(facts map[uint64]Triple, over map[uint64][]Triple, fp uint64, t Triple) bool {
+	first, ok := facts[fp]
+	if !ok {
+		return false
+	}
+	if first == t {
+		return true
+	}
+	for _, u := range over[fp] {
+		if u == t {
+			return true
+		}
+	}
+	return false
+}
+
 // Contains reports whether the interned triple is present.
 func (k *KB) Contains(t Triple) bool {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
-	set, ok := k.bySubject[t.S]
-	if !ok {
-		return false
-	}
-	_, ok = set[po{t.P, t.O}]
-	return ok
+	return containsIn(k.facts, k.over, t)
 }
 
 // ContainsStrings reports whether the string fact is present. Unknown
@@ -199,8 +278,7 @@ func (k *KB) ContainsStrings(s, p, o string) bool {
 func (k *KB) HasSubject(s dict.ID) bool {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
-	_, ok := k.bySubject[s]
-	return ok
+	return len(k.bySubject[s]) > 0
 }
 
 // SubjectFacts returns the (predicate, object) pairs recorded for s,
@@ -208,12 +286,12 @@ func (k *KB) HasSubject(s dict.ID) bool {
 func (k *KB) SubjectFacts(s dict.ID) []Triple {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
-	set, ok := k.bySubject[s]
-	if !ok {
+	pairs := k.bySubject[s]
+	if len(pairs) == 0 {
 		return nil
 	}
-	out := make([]Triple, 0, len(set))
-	for key := range set {
+	out := make([]Triple, 0, len(pairs))
+	for _, key := range pairs {
 		out = append(out, Triple{s, key.p, key.o})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
@@ -255,8 +333,8 @@ func (k *KB) Triples() []Triple {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
 	out := make([]Triple, 0, k.size)
-	for s, set := range k.bySubject {
-		for key := range set {
+	for s, pairs := range k.bySubject {
+		for _, key := range pairs {
 			out = append(out, Triple{s, key.p, key.o})
 		}
 	}
@@ -269,12 +347,17 @@ func (k *KB) Clone() *KB {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
 	c := New(k.space)
-	for s, set := range k.bySubject {
-		cs := make(map[po]struct{}, len(set))
-		for key := range set {
-			cs[key] = struct{}{}
+	for fp, t := range k.facts {
+		c.facts[fp] = t
+	}
+	if len(k.over) > 0 {
+		c.over = make(map[uint64][]Triple, len(k.over))
+		for fp, ts := range k.over {
+			c.over[fp] = append([]Triple(nil), ts...)
 		}
-		c.bySubject[s] = cs
+	}
+	for s, pairs := range k.bySubject {
+		c.bySubject[s] = append([]po(nil), pairs...)
 	}
 	for p, n := range k.byPredicate {
 		c.byPredicate[p] = n
@@ -290,30 +373,26 @@ type Membership interface {
 	Contains(Triple) bool
 }
 
-// Frozen is a lock-free read-only view of a KB, sharing its index maps.
-// It is only valid while the underlying KB receives no writes; the
-// multi-source framework freezes the KB once per run, since discovery
-// never mutates it, and sheds the read-lock contention that otherwise
-// serializes the worker pool.
+// Frozen is a lock-free read-only view of a KB, sharing its fingerprint
+// index. It is only valid while the underlying KB receives no writes;
+// the multi-source framework freezes the KB once per run, since
+// discovery never mutates it, and sheds the read-lock contention that
+// otherwise serializes the worker pool.
 type Frozen struct {
-	bySubject map[dict.ID]map[po]struct{}
+	facts map[uint64]Triple
+	over  map[uint64][]Triple
 }
 
 // Frozen returns the lock-free view.
 func (k *KB) Frozen() *Frozen {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
-	return &Frozen{bySubject: k.bySubject}
+	return &Frozen{facts: k.facts, over: k.over}
 }
 
 // Contains reports whether the triple is present.
 func (f *Frozen) Contains(t Triple) bool {
-	set, ok := f.bySubject[t.S]
-	if !ok {
-		return false
-	}
-	_, ok = set[po{t.P, t.O}]
-	return ok
+	return containsIn(f.facts, f.over, t)
 }
 
 // WriteTSV writes the KB as tab-separated (subject, predicate, object)
@@ -335,11 +414,23 @@ func (k *KB) WriteTSV(w io.Writer) error {
 // ReadTSV loads tab-separated facts into the KB, returning the number of
 // facts added (duplicates are ignored).
 func (k *KB) ReadTSV(r io.Reader) (int, error) {
+	return k.ReadTSVContext(context.Background(), r)
+}
+
+// ReadTSVContext is ReadTSV with span tracing: the load records a
+// "kb/load_tsv" span as a child of ctx's span, or as a root span on the
+// default tracer when ctx carries none (so -trace runs see bulk loads
+// even outside a pipeline span).
+func (k *KB) ReadTSVContext(ctx context.Context, r io.Reader) (int, error) {
 	start := time.Now()
+	_, span := obs.StartSpanOrRoot(ctx, "kb/load_tsv")
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	added, line := 0, 0
-	defer func() { k.recordLoad("tsv", added, time.Since(start)) }()
+	defer func() {
+		k.recordLoad("tsv", added, time.Since(start))
+		span.Arg("added", strconv.Itoa(added)).End()
+	}()
 	for sc.Scan() {
 		line++
 		text := sc.Text()

@@ -48,8 +48,8 @@ func (k *KB) Match(pat Pattern) []Triple {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
 	var out []Triple
-	scan := func(s dict.ID, set map[po]struct{}) {
-		for key := range set {
+	scan := func(s dict.ID, pairs []po) {
+		for _, key := range pairs {
 			t := Triple{S: s, P: key.p, O: key.o}
 			if pat.matches(t) {
 				out = append(out, t)
@@ -57,12 +57,10 @@ func (k *KB) Match(pat Pattern) []Triple {
 		}
 	}
 	if !pat.WildS {
-		if set, ok := k.bySubject[pat.S]; ok {
-			scan(pat.S, set)
-		}
+		scan(pat.S, k.bySubject[pat.S])
 	} else {
-		for s, set := range k.bySubject {
-			scan(s, set)
+		for s, pairs := range k.bySubject {
+			scan(s, pairs)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
@@ -82,21 +80,19 @@ func (k *KB) Count(pat Pattern) int {
 		return k.byPredicate[pat.P]
 	}
 	n := 0
-	count := func(s dict.ID, set map[po]struct{}) {
-		for key := range set {
+	count := func(s dict.ID, pairs []po) {
+		for _, key := range pairs {
 			if pat.matches(Triple{S: s, P: key.p, O: key.o}) {
 				n++
 			}
 		}
 	}
 	if !pat.WildS {
-		if set, ok := k.bySubject[pat.S]; ok {
-			count(pat.S, set)
-		}
+		count(pat.S, k.bySubject[pat.S])
 		return n
 	}
-	for s, set := range k.bySubject {
-		count(s, set)
+	for s, pairs := range k.bySubject {
+		count(s, pairs)
 	}
 	return n
 }
@@ -108,9 +104,12 @@ func (k *KB) SubjectsWith(p, o dict.ID) []dict.ID {
 	defer k.mu.RUnlock()
 	key := po{p, o}
 	var out []dict.ID
-	for s, set := range k.bySubject {
-		if _, ok := set[key]; ok {
-			out = append(out, s)
+	for s, pairs := range k.bySubject {
+		for _, pair := range pairs {
+			if pair == key {
+				out = append(out, s)
+				break
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -122,12 +121,8 @@ func (k *KB) SubjectsWith(p, o dict.ID) []dict.ID {
 func (k *KB) ObjectsOf(s, p dict.ID) []dict.ID {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
-	set, ok := k.bySubject[s]
-	if !ok {
-		return nil
-	}
 	var out []dict.ID
-	for key := range set {
+	for _, key := range k.bySubject[s] {
 		if key.p == p {
 			out = append(out, key.o)
 		}

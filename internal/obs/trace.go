@@ -26,8 +26,12 @@ import (
 type Tracer struct {
 	epoch  time.Time
 	nextID atomic.Int64
-	mu     sync.Mutex
-	events []spanEvent
+	// sampleN keeps 1 of every sampleN root spans (≤1 keeps all);
+	// rootSeen counts root-span starts for the modulus.
+	sampleN  atomic.Int64
+	rootSeen atomic.Int64
+	mu       sync.Mutex
+	events   []spanEvent
 }
 
 // spanEvent is one completed span. Times are offsets from the tracer's
@@ -108,6 +112,14 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 	if p := SpanFromContext(ctx); p != nil && p.t == t {
 		parent = p.id
 	}
+	if parent == 0 {
+		if n := t.sampleN.Load(); n > 1 && (t.rootSeen.Add(1)-1)%n != 0 {
+			// Sampled out: no span enters the context, so the root's
+			// would-be children (which parent through ctx) are dropped
+			// with it and the trace stays internally consistent.
+			return ctx, nil
+		}
+	}
 	s := &Span{
 		t:      t,
 		id:     t.nextID.Add(1),
@@ -128,6 +140,29 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		return ctx, nil
 	}
 	return p.t.StartSpan(ctx, name)
+}
+
+// StartSpanOrRoot starts a child of the current span of ctx, or — when
+// ctx carries none — a root span on the default tracer. Bulk operations
+// outside the pipeline (KB loads, evaluation scoring) use it so a
+// -trace run records them whether or not a pipeline span is active; it
+// stays free when tracing is disabled.
+func StartSpanOrRoot(ctx context.Context, name string) (context.Context, *Span) {
+	if p := SpanFromContext(ctx); p != nil {
+		return p.t.StartSpan(ctx, name)
+	}
+	return DefaultTracer().StartSpan(ctx, name)
+}
+
+// SetRootSampling keeps 1 of every n root spans (and, transitively,
+// only their descendants), bounding trace size on long runs such as
+// `midas-bench -exp all`; n ≤ 1 keeps every span. Safe to call
+// concurrently with tracing.
+func (t *Tracer) SetRootSampling(n int) {
+	if t == nil {
+		return
+	}
+	t.sampleN.Store(int64(n))
 }
 
 // Arg attaches a key/value annotation, shown in the Perfetto span

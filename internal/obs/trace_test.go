@@ -160,3 +160,60 @@ func TestTracerWriteFile(t *testing.T) {
 		t.Error("empty trace output")
 	}
 }
+
+// TestRootSampling: with SetRootSampling(n), only every nth root span
+// is recorded, and the children of a sampled-out root are dropped with
+// it (the context carries no span, so they never start).
+func TestRootSampling(t *testing.T) {
+	tr := NewTracer()
+	tr.SetRootSampling(3)
+	for i := 0; i < 9; i++ {
+		ctx, root := tr.StartSpan(context.Background(), "root")
+		_, child := StartSpan(ctx, "child")
+		child.End()
+		root.End()
+	}
+	// 3 sampled roots, each with its child.
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6 (3 roots + 3 children)", tr.Len())
+	}
+	// n <= 1 keeps everything; nil tracer is a no-op.
+	tr2 := NewTracer()
+	tr2.SetRootSampling(1)
+	for i := 0; i < 4; i++ {
+		_, s := tr2.StartSpan(context.Background(), "root")
+		s.End()
+	}
+	if tr2.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 with sampling 1", tr2.Len())
+	}
+	var nilTr *Tracer
+	nilTr.SetRootSampling(5)
+}
+
+// TestStartSpanOrRoot: child of the ctx span when one exists, root on
+// the default tracer otherwise.
+func TestStartSpanOrRoot(t *testing.T) {
+	old := DefaultTracer()
+	defer SetDefaultTracer(old)
+
+	tr := NewTracer()
+	SetDefaultTracer(tr)
+	_, s := StartSpanOrRoot(context.Background(), "load")
+	s.End()
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 root span on the default tracer", tr.Len())
+	}
+
+	ctxTr := NewTracer()
+	ctx, root := ctxTr.StartSpan(context.Background(), "parent")
+	_, child := StartSpanOrRoot(ctx, "load")
+	child.End()
+	root.End()
+	if ctxTr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 on the ctx tracer", ctxTr.Len())
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("default tracer Len = %d, want 1 (untouched by child path)", tr.Len())
+	}
+}

@@ -113,7 +113,7 @@ func TestExpansionEnablesBroaderSlices(t *testing.T) {
 	res = core.Discover("resorts.example.com", c.Space, triples(expanded), nil, core.Options{Cost: cost})
 	foundNode := false
 	for _, n := range res.Hierarchy.Nodes() {
-		if len(n.Entities) == 14 && n.Canonical && n.Valid {
+		if n.Entities.Len() == 14 && n.Canonical && n.Valid {
 			foundNode = true
 		}
 	}
@@ -126,7 +126,7 @@ func TestExpansionEnablesBroaderSlices(t *testing.T) {
 	// entities — either way the expansion made the content reachable).
 	covered := make(map[string]bool)
 	for _, s := range res.Slices {
-		for _, e := range s.Entities {
+		for _, e := range s.Entities.Values() {
 			covered[c.Space.Subjects.String(e)] = true
 		}
 	}
@@ -135,7 +135,7 @@ func TestExpansionEnablesBroaderSlices(t *testing.T) {
 	}
 	profitRes := core.Discover("resorts.example.com", c.Space, triples(expanded), nil,
 		core.Options{Cost: cost, ProfitOrderTraversal: true})
-	if len(profitRes.Slices) != 1 || len(profitRes.Slices[0].Entities) != 14 {
+	if len(profitRes.Slices) != 1 || profitRes.Slices[0].Entities.Len() != 14 {
 		t.Errorf("profit-order traversal should report the single broad slice; got %d slices", len(profitRes.Slices))
 	} else if got := profitRes.Slices[0].Description(c.Space); got != "be a = sports_facility" {
 		t.Errorf("broad slice description = %q", got)

@@ -30,6 +30,7 @@ import (
 
 	"midas/internal/dict"
 	"midas/internal/fact"
+	"midas/internal/idset"
 	"midas/internal/kb"
 )
 
@@ -72,8 +73,8 @@ type Slice struct {
 	Source string
 	// Props is the canonical property set C, sorted.
 	Props []fact.Property
-	// Entities is Π as subject IDs, sorted.
-	Entities []dict.ID
+	// Entities is Π as a sorted set of subject IDs.
+	Entities idset.Set
 	// Facts is |Π*|, NewFacts is |Π* \ E|.
 	Facts    int
 	NewFacts int
@@ -99,10 +100,16 @@ func (s *Slice) Description(space *kb.Space) string {
 	return strings.Join(parts, " AND ")
 }
 
-// HasEntity reports whether subject is in Π (binary search).
+// HasEntity reports whether subject is in Π.
 func (s *Slice) HasEntity(subject dict.ID) bool {
-	i := sort.Search(len(s.Entities), func(i int) bool { return s.Entities[i] >= subject })
-	return i < len(s.Entities) && s.Entities[i] == subject
+	return s.Entities.Contains(subject)
+}
+
+// EntityJaccard computes the Jaccard similarity of two slices' entity
+// sets with allocation-free kernels — a cheap upper-level screen before
+// the fact-level Jaccard of the evaluation rule.
+func EntityJaccard(a, b *Slice) float64 {
+	return idset.Jaccard(a.Entities, b.Entities)
 }
 
 // FactSet materializes Π* from the slice's entities and the fact table it

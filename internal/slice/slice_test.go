@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"midas/internal/fact"
+	"midas/internal/idset"
 	"midas/internal/kb"
 	"midas/internal/slice"
 )
@@ -155,7 +156,7 @@ func TestSliceDescriptionAndFactSet(t *testing.T) {
 		Props: []fact.Property{
 			fact.Prop(sp.Predicates.Lookup("category"), sp.Objects.Lookup("rocket_family")),
 		},
-		Entities: []int32{sp.Subjects.Lookup("Atlas"), sp.Subjects.Lookup("Castor-4")},
+		Entities: idset.FromUnsorted([]int32{sp.Subjects.Lookup("Atlas"), sp.Subjects.Lookup("Castor-4")}),
 	}
 	if got := s.Description(sp); got != "category = rocket_family" {
 		t.Errorf("description = %q", got)

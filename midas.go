@@ -346,8 +346,8 @@ func publish(s *slice.Slice, space *kb.Space) Slice {
 			Value:     space.Objects.String(p.Value()),
 		}
 	}
-	ents := make([]string, len(s.Entities))
-	for i, e := range s.Entities {
+	ents := make([]string, s.Entities.Len())
+	for i, e := range s.Entities.Values() {
 		ents[i] = space.Subjects.String(e)
 	}
 	return Slice{
