@@ -23,7 +23,9 @@
 // JSON of every pipeline span (load in Perfetto); -trace-sample N keeps
 // only every Nth root span (with its children), bounding the trace on
 // -exp all runs. -pprof serves net/http/pprof alone, kept for
-// compatibility (-listen includes it).
+// compatibility (-listen includes it). -hier-workers pins the
+// within-source lattice-build worker count process-wide (results are
+// bit-identical for every value; only wall time changes).
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"time"
 
 	"midas/internal/experiments"
+	"midas/internal/hierarchy"
 	"midas/internal/obs"
 )
 
@@ -48,8 +51,12 @@ func main() {
 		listen      = flag.String("listen", "", "serve live telemetry (/metrics, /debug/vars, /debug/pprof) on this address (e.g. localhost:9090)")
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON of the run's spans to this file (load in Perfetto)")
 		traceSample = flag.Int("trace-sample", 1, "with -trace, record every Nth root span (1 = all)")
+		hierWorkers = flag.Int("hier-workers", 0, "within-source lattice-build workers (0 = GOMAXPROCS, 1 = sequential; output is identical)")
 	)
 	flag.Parse()
+	if *hierWorkers != 0 {
+		hierarchy.SetDefaultWorkers(*hierWorkers)
+	}
 	if *pprofAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {

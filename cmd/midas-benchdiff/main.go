@@ -15,6 +15,16 @@
 //     relative (default 20%). A drop means the hierarchy builder is
 //     materializing lattice nodes it used to eliminate — the quantity
 //     behind the paper's Section V pruning tables.
+//   - per-level pruning: the same ratio check applied to each lattice
+//     level from the hierarchy/level/* counter vectors, so a regression
+//     confined to one level cannot hide inside a healthy aggregate.
+//     Levels whose baseline generated fewer than -min-level-nodes nodes
+//     are skipped as noise.
+//   - per-depth round time: each URL-hierarchy depth's round timer
+//     (framework/depth timer vector) gets the wall-time check, with the
+//     same -max-wall-regress limit and -min-seconds noise floor, so a
+//     slowdown confined to one round (e.g. the domain-level merge)
+//     cannot hide inside a stable total.
 //
 // Usage:
 //
@@ -30,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"midas/internal/obs"
 )
@@ -41,6 +52,7 @@ func main() {
 		maxWall      = flag.Float64("max-wall-regress", 0.20, "max relative framework/run wall-time regression")
 		maxPruneDrop = flag.Float64("max-prune-drop", 0.20, "max relative pruning-ratio drop")
 		minSeconds   = flag.Float64("min-seconds", 0.05, "skip the wall-time check below this baseline (noise floor)")
+		minLevelGen  = flag.Int64("min-level-nodes", 200, "skip per-level pruning checks below this baseline node count (noise floor)")
 		allowMissing = flag.Bool("allow-missing", false, "exit 0 when the old snapshot does not exist")
 	)
 	flag.Parse()
@@ -66,6 +78,7 @@ func main() {
 		MaxWallRegress: *maxWall,
 		MaxPruneDrop:   *maxPruneDrop,
 		MinSeconds:     *minSeconds,
+		MinLevelNodes:  *minLevelGen,
 	})
 	for _, line := range report.Lines {
 		fmt.Println(line)
@@ -88,8 +101,11 @@ type Thresholds struct {
 	// pruning ratio.
 	MaxPruneDrop float64
 	// MinSeconds is the wall-time noise floor: baselines below it skip
-	// the wall check.
+	// the wall check (total and per-depth alike).
 	MinSeconds float64
+	// MinLevelNodes is the per-level noise floor: lattice levels whose
+	// baseline generated fewer nodes skip the per-level pruning check.
+	MinLevelNodes int64
 }
 
 // Report is the outcome of a comparison: human-readable lines plus the
@@ -139,7 +155,131 @@ func Compare(oldSnap, newSnap obs.Snapshot, th Thresholds) Report {
 			rep.Regressions = append(rep.Regressions, line)
 		}
 	}
+
+	comparePerLevel(&rep, oldSnap, newSnap, th)
+	comparePerDepth(&rep, oldSnap, newSnap, th)
 	return rep
+}
+
+// comparePerLevel applies the pruning-ratio check to each lattice level
+// from the hierarchy/level/* counter vectors (label "level"): a
+// regression confined to one level must not hide inside a healthy
+// aggregate. Levels below the baseline node-count noise floor, or
+// absent from either snapshot, are skipped.
+func comparePerLevel(rep *Report, oldSnap, newSnap obs.Snapshot, th Thresholds) {
+	oldGen := counterVecValues(oldSnap, "hierarchy/level/nodes_generated", "level")
+	if len(oldGen) == 0 {
+		rep.Lines = append(rep.Lines, "per-level pruning: no baseline level vectors, skipping")
+		return
+	}
+	newGen := counterVecValues(newSnap, "hierarchy/level/nodes_generated", "level")
+	oldPruned := sumVecValues(
+		counterVecValues(oldSnap, "hierarchy/level/pruned_canonicity", "level"),
+		counterVecValues(oldSnap, "hierarchy/level/pruned_profit_bound", "level"))
+	newPruned := sumVecValues(
+		counterVecValues(newSnap, "hierarchy/level/pruned_canonicity", "level"),
+		counterVecValues(newSnap, "hierarchy/level/pruned_profit_bound", "level"))
+	for _, level := range sortedKeys(oldGen) {
+		og := oldGen[level]
+		ng, inNew := newGen[level]
+		switch {
+		case og < th.MinLevelNodes:
+			continue // baseline too small to resolve a ratio change
+		case !inNew || ng == 0:
+			line := fmt.Sprintf("per-level pruning: level %s vanished from current snapshot (%d baseline nodes)", level, og)
+			rep.Lines = append(rep.Lines, line)
+			continue
+		}
+		oldRatio := float64(oldPruned[level]) / float64(og)
+		newRatio := float64(newPruned[level]) / float64(ng)
+		if oldRatio <= 0 {
+			continue // nothing was pruned at this level before; no ratio to defend
+		}
+		drop := 1 - newRatio/oldRatio
+		line := fmt.Sprintf("per-level pruning: level %s ratio %.4f → %.4f (drop %.1f%%, limit %.0f%%)",
+			level, oldRatio, newRatio, drop*100, th.MaxPruneDrop*100)
+		rep.Lines = append(rep.Lines, line)
+		if drop > th.MaxPruneDrop {
+			rep.Regressions = append(rep.Regressions, line)
+		}
+	}
+}
+
+// comparePerDepth applies the wall-time check to each URL-hierarchy
+// depth's round timer (framework/depth timer vector, label "depth"),
+// with the same regression limit and noise floor as the total.
+func comparePerDepth(rep *Report, oldSnap, newSnap obs.Snapshot, th Thresholds) {
+	oldSec := timerVecSeconds(oldSnap, "framework/depth", "depth")
+	if len(oldSec) == 0 {
+		rep.Lines = append(rep.Lines, "per-depth wall time: no baseline depth timers, skipping")
+		return
+	}
+	newSec := timerVecSeconds(newSnap, "framework/depth", "depth")
+	for _, depth := range sortedKeys(oldSec) {
+		os := oldSec[depth]
+		ns, inNew := newSec[depth]
+		if os < th.MinSeconds {
+			continue
+		}
+		if !inNew {
+			rep.Lines = append(rep.Lines, fmt.Sprintf(
+				"per-depth wall time: depth %s vanished from current snapshot (%.3fs baseline)", depth, os))
+			continue
+		}
+		rel := ns/os - 1
+		line := fmt.Sprintf("per-depth wall time: depth %s %.3fs → %.3fs (%+.1f%%, limit +%.0f%%)",
+			depth, os, ns, rel*100, th.MaxWallRegress*100)
+		rep.Lines = append(rep.Lines, line)
+		if rel > th.MaxWallRegress {
+			rep.Regressions = append(rep.Regressions, line)
+		}
+	}
+}
+
+// counterVecValues flattens one counter vector into labelValue → count,
+// for vectors with a single label name.
+func counterVecValues(s obs.Snapshot, name, label string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, series := range s.CounterVecs[name].Series {
+		if v, ok := series.Labels[label]; ok {
+			out[v] += series.Value
+		}
+	}
+	return out
+}
+
+// timerVecSeconds flattens one timer vector into labelValue → total
+// seconds.
+func timerVecSeconds(s obs.Snapshot, name, label string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, series := range s.TimerVecs[name].Series {
+		if v, ok := series.Labels[label]; ok {
+			out[v] += series.TotalSeconds
+		}
+	}
+	return out
+}
+
+func sumVecValues(a, b map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(a)+len(b))
+	for k, v := range a {
+		out[k] += v
+	}
+	for k, v := range b {
+		out[k] += v
+	}
+	return out
+}
+
+// sortedKeys orders label values lexically; the fixed-width level/depth
+// labels ("02", "10") make that numeric order too.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // pruneRatio computes the fraction of generated lattice nodes that the

@@ -20,7 +20,7 @@ func snap(runSeconds float64, generated, prunedCanon, prunedProfit int64) obs.Sn
 	}
 }
 
-var defaultTh = Thresholds{MaxWallRegress: 0.20, MaxPruneDrop: 0.20, MinSeconds: 0.05}
+var defaultTh = Thresholds{MaxWallRegress: 0.20, MaxPruneDrop: 0.20, MinSeconds: 0.05, MinLevelNodes: 200}
 
 func TestCompareWithinThresholds(t *testing.T) {
 	rep := Compare(snap(1.0, 1000, 300, 200), snap(1.1, 1000, 310, 190), defaultTh)
@@ -68,6 +68,125 @@ func TestCompareMissingBaselineCounters(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("regressions = %v, want missing-counters failure", rep.Regressions)
+	}
+}
+
+// vecSnap extends a base snapshot with one per-level counter-vector
+// triple and a per-depth timer vector.
+func vecSnap(base obs.Snapshot, gen, canon, profit map[string]int64, depthSec map[string]float64) obs.Snapshot {
+	cvec := func(m map[string]int64) obs.CounterVecSnapshot {
+		s := obs.CounterVecSnapshot{LabelNames: []string{"level"}}
+		for _, k := range sortedKeys(m) {
+			s.Series = append(s.Series, obs.LabeledCounter{Labels: map[string]string{"level": k}, Value: m[k]})
+		}
+		return s
+	}
+	base.CounterVecs = map[string]obs.CounterVecSnapshot{
+		"hierarchy/level/nodes_generated":     cvec(gen),
+		"hierarchy/level/pruned_canonicity":   cvec(canon),
+		"hierarchy/level/pruned_profit_bound": cvec(profit),
+	}
+	tvec := obs.TimerVecSnapshot{LabelNames: []string{"depth"}}
+	for _, k := range sortedKeys(depthSec) {
+		tvec.Series = append(tvec.Series, obs.LabeledTimer{
+			Labels:        map[string]string{"depth": k},
+			TimerSnapshot: obs.TimerSnapshot{Count: 1, TotalSeconds: depthSec[k]},
+		})
+	}
+	base.TimerVecs = map[string]obs.TimerVecSnapshot{"framework/depth": tvec}
+	return base
+}
+
+func regressionsMatching(rep Report, substr string) int {
+	n := 0
+	for _, r := range rep.Regressions {
+		if strings.Contains(r, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestComparePerLevelPruningDrop(t *testing.T) {
+	oldSnap := vecSnap(snap(1.0, 1000, 300, 200),
+		map[string]int64{"01": 600, "02": 400},
+		map[string]int64{"01": 180, "02": 200},
+		map[string]int64{"01": 120, "02": 120},
+		nil)
+	// Aggregate ratio holds at 0.5 but level 02 collapses from 0.8 to
+	// 0.4 while level 01 doubles — only the per-level check can see it.
+	newSnap := vecSnap(snap(1.0, 1000, 300, 200),
+		map[string]int64{"01": 600, "02": 400},
+		map[string]int64{"01": 220, "02": 100},
+		map[string]int64{"01": 120, "02": 60},
+		nil)
+	rep := Compare(oldSnap, newSnap, defaultTh)
+	if regressionsMatching(rep, "per-level pruning: level 02") != 1 {
+		t.Errorf("regressions = %v, want exactly one for level 02", rep.Regressions)
+	}
+	if regressionsMatching(rep, "level 01") != 0 {
+		t.Errorf("regressions = %v, level 01 improved and must not regress", rep.Regressions)
+	}
+}
+
+func TestComparePerLevelNoiseFloor(t *testing.T) {
+	// 100 baseline nodes is below the 200-node floor: even a total
+	// pruning collapse at that level is noise, not a regression.
+	oldSnap := vecSnap(snap(1.0, 1000, 300, 200),
+		map[string]int64{"04": 100}, map[string]int64{"04": 60}, map[string]int64{"04": 20}, nil)
+	newSnap := vecSnap(snap(1.0, 1000, 300, 200),
+		map[string]int64{"04": 100}, map[string]int64{"04": 0}, map[string]int64{"04": 0}, nil)
+	rep := Compare(oldSnap, newSnap, defaultTh)
+	if regressionsMatching(rep, "per-level") != 0 {
+		t.Errorf("regressions = %v, want none below the per-level noise floor", rep.Regressions)
+	}
+}
+
+func TestComparePerDepthWallRegression(t *testing.T) {
+	oldSnap := vecSnap(snap(2.0, 1000, 300, 200), nil, nil, nil,
+		map[string]float64{"01": 1.0, "02": 0.8, "03": 0.02})
+	// Depth 02 slows 50%; depth 03 triples but sits below the noise
+	// floor; depth 01 is within tolerance.
+	newSnap := vecSnap(snap(2.1, 1000, 300, 200), nil, nil, nil,
+		map[string]float64{"01": 1.1, "02": 1.2, "03": 0.06})
+	rep := Compare(oldSnap, newSnap, defaultTh)
+	if regressionsMatching(rep, "per-depth wall time: depth 02") != 1 {
+		t.Errorf("regressions = %v, want exactly one for depth 02", rep.Regressions)
+	}
+	if got := regressionsMatching(rep, "per-depth"); got != 1 {
+		t.Errorf("regressions = %v, want exactly one per-depth regression total", rep.Regressions)
+	}
+}
+
+// TestCompareFixtures runs the whole gate over the two synthetic
+// BENCH_stats fixtures: aggregate wall and pruning drift stay inside
+// tolerance (the pruning drop lands at 19.6%, just under the 20%
+// limit), while level 02's pruning collapse and depth 02's slowdown
+// are flagged — and level 04 / depth 03 stay quiet under their noise
+// floors.
+func TestCompareFixtures(t *testing.T) {
+	oldSnap, err := loadSnapshot("testdata/old.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSnap, err := loadSnapshot("testdata/new.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := defaultTh
+	th.MinLevelNodes = 200
+	rep := Compare(oldSnap, newSnap, th)
+	if len(rep.Regressions) != 2 {
+		t.Fatalf("regressions = %v, want exactly 2", rep.Regressions)
+	}
+	if regressionsMatching(rep, "per-level pruning: level 02") != 1 ||
+		regressionsMatching(rep, "per-depth wall time: depth 02") != 1 {
+		t.Errorf("regressions = %v, want level 02 pruning + depth 02 wall", rep.Regressions)
+	}
+	for _, banned := range []string{"level 04", "depth 03", "wall time: framework/run", "pruning ratio:"} {
+		if regressionsMatching(rep, banned) != 0 {
+			t.Errorf("regressions = %v, %q must stay within tolerance", rep.Regressions, banned)
+		}
 	}
 }
 

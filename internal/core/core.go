@@ -33,6 +33,14 @@ type Options struct {
 	// generation; zero means the hierarchy package defaults.
 	MaxPropsPerEntity int
 	MaxInitCombos     int
+	// Workers bounds within-source lattice parallelism (see
+	// hierarchy.Options); 0 means the hierarchy package default. Any
+	// value produces bit-identical results.
+	Workers int
+	// WorkerPool optionally shares a worker-token budget with other
+	// concurrent discoveries; the framework passes its source-level pool
+	// here so both levels of parallelism draw on one budget.
+	WorkerPool *hierarchy.Pool
 	// Ablation switches (see DESIGN.md §4).
 	DisableCanonicalPrune bool
 	DisableProfitPrune    bool
@@ -105,6 +113,7 @@ func DiscoverSeededContext(ctx context.Context, table *fact.Table, seeds []hiera
 		MaxInitCombos:         opts.MaxInitCombos,
 		DisableCanonicalPrune: opts.DisableCanonicalPrune,
 		DisableProfitPrune:    opts.DisableProfitPrune,
+		Options:               hierarchy.Options{Workers: opts.Workers, Pool: opts.WorkerPool},
 		Obs:                   opts.Obs,
 	}
 	h := b.Build(seeds)

@@ -87,7 +87,11 @@ func (o Options) workers() int {
 // shard span. Custom Detectors keep the public two-argument signature.
 type detectFunc func(ctx context.Context, table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice
 
-func (o Options) detector() detectFunc {
+// detector builds the detection entry point. pool is the run's shared
+// worker budget: the default MIDASalg detector hands it to the lattice
+// builder (core.Options.WorkerPool), so within-source parallelism only
+// fans out over tokens the source-level dispatch isn't using.
+func (o Options) detector(pool *hierarchy.Pool) detectFunc {
 	if o.Detect != nil {
 		return func(_ context.Context, table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice {
 			return o.Detect(table, seeds)
@@ -99,6 +103,12 @@ func (o Options) detector() detectFunc {
 	}
 	if copts.Obs == nil {
 		copts.Obs = o.Obs
+	}
+	if copts.WorkerPool == nil {
+		copts.WorkerPool = pool
+		if copts.Workers == 0 {
+			copts.Workers = o.workers()
+		}
 	}
 	return func(ctx context.Context, table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice {
 		return core.DiscoverSeededContext(ctx, table, seeds, copts).Slices
@@ -175,7 +185,12 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 	reg := opts.Obs.OrDefault()
 	runStart := time.Now()
 	ctx, runSpan := opts.Trace.OrDefault().StartSpan(ctx, "framework/run")
-	detect := opts.detector()
+	// One token budget for the whole run: each in-flight source shard
+	// holds one token, and the default detector's lattice build grabs
+	// spare tokens for within-source parallelism (hierarchy.Options.Pool)
+	// — total concurrency never exceeds opts.Workers.
+	pool := hierarchy.NewPool(opts.workers())
+	detect := opts.detector(pool)
 	cost := opts.cost()
 	// Discovery never mutates the KB: freeze it once so the worker pool
 	// probes membership lock-free instead of contending on its RWMutex.
@@ -264,13 +279,12 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 		var wg sync.WaitGroup
 		var busyNs atomic.Int64
 		shardTimer := reg.Timer("framework/shard")
-		sem := make(chan struct{}, opts.workers())
 		for i, src := range batch {
 			wg.Add(1)
 			go func(i int, src string) {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
+				pool.Acquire()
+				defer pool.Release()
 				shardStart := time.Now()
 				srcCtx, srcSpan := obs.StartSpan(roundCtx, src)
 				results[i] = processSource(srcCtx, src, d, pending[src], corpus.Space, member, detect, cost, reg)

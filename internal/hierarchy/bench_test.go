@@ -1,24 +1,82 @@
 package hierarchy_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"midas/internal/datagen"
 	"midas/internal/hierarchy"
 	"midas/internal/slice"
 )
 
 // BenchmarkHierarchyBuild measures a full lattice construction — step 1
-// of MIDASalg — over a deterministic synthetic table large enough for
-// the sweep's union/subset kernels and node keying to dominate.
+// of MIDASalg. The small case is the historical single-threaded
+// baseline (union/subset kernels and node keying dominate); the large
+// case is the biggest source of the NELL-like datagen corpus — the
+// oversized single page that motivates within-source parallelism — run
+// across a worker sweep. Output is bit-identical across the sweep (see
+// TestParallelBuildEquivalence); only wall time may differ.
 func BenchmarkHierarchyBuild(b *testing.B) {
-	rng := rand.New(rand.NewSource(42))
-	table := randomTable(rng, 400, 8, 3, 0.6, 0.3)
 	cost := slice.DefaultCostModel()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		bld := &hierarchy.Builder{Table: table, Cost: cost}
-		bld.Build(nil)
+	rng := rand.New(rand.NewSource(42))
+	small := randomTable(rng, 400, 8, 3, 0.6, 0.3)
+	b.Run("small", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bld := &hierarchy.Builder{Table: small, Cost: cost, Options: hierarchy.Options{Workers: 1}}
+			bld.Build(nil)
+		}
+	})
+
+	large := worldTables(datagen.KnowledgeVaultSim(13), 1)[0]
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("large/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bld := &hierarchy.Builder{Table: large, Cost: cost, Options: hierarchy.Options{Workers: w}}
+				bld.Build(nil)
+			}
+		})
 	}
+}
+
+// TestHasChildSublinear pins the HasChild replacement: the old
+// O(children) pointer scan would slow down ~128× going from 64 to 8192
+// children; the sorted-ID binary search must stay far below that. The
+// 24× ceiling leaves room for cache effects and CI noise while still
+// ruling out a linear scan.
+func TestHasChildSublinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	build := func(children int) (*hierarchy.Node, *hierarchy.Node) {
+		p := hierarchy.NewNodeForTest(1 << 20)
+		for i := 0; i < children; i++ {
+			hierarchy.LinkForTest(p, hierarchy.NewNodeForTest(int32(i)))
+		}
+		// A probe that is not a child forces the full search on every
+		// call — the worst case for the linear scan.
+		return p, hierarchy.NewNodeForTest(int32(children + 1))
+	}
+	var sink bool
+	probeNs := func(children int) float64 {
+		p, probe := build(children)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink = p.HasChild(probe)
+			}
+		})
+		return float64(res.NsPerOp())
+	}
+	base := probeNs(64)
+	wide := probeNs(8192)
+	if base <= 0 {
+		base = 1
+	}
+	if ratio := wide / base; ratio > 24 {
+		t.Fatalf("HasChild slowed %.1fx from 64 to 8192 children (%.1fns -> %.1fns); want sublinear (<24x)",
+			ratio, base, wide)
+	}
+	_ = sink
 }

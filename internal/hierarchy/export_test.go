@@ -1,0 +1,16 @@
+package hierarchy
+
+import "midas/internal/idset"
+
+// NewNodeForTest returns a bare node with the given interned-set ID, for
+// link-structure tests that bypass a full build.
+func NewNodeForTest(id int32) *Node { return &Node{set: idset.SetID(id), Valid: true} }
+
+// LinkForTest links c under p through the builder's internal helper,
+// keeping the child-ID mirror consistent.
+func LinkForTest(p, c *Node) {
+	if !p.HasChild(c) {
+		addChild(p, c)
+		c.Parents = append(c.Parents, p)
+	}
+}

@@ -17,12 +17,18 @@
 //     (low-profit) when f({S}) is negative or below the profit achievable
 //     by its subtree.
 //
-// The traversal of the trimmed hierarchy (step 2) lives in package core.
+// Within one source the sweep is parallel: each level's parent
+// generation, entity-set finalization, and profit scoring shard across
+// the worker budget of Options (see parallel.go), with output
+// guaranteed bit-identical to the sequential build. The traversal of
+// the trimmed hierarchy (step 2) lives in package core.
 package hierarchy
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"time"
 
 	"midas/internal/fact"
 	"midas/internal/idset"
@@ -69,6 +75,11 @@ type Node struct {
 	// set is the interned ID of Props in the builder's interner; it keys
 	// the node within its lattice level.
 	set idset.SetID
+	// childIDs mirrors Children as a sorted slice of the children's
+	// interned property-set IDs. Node ↔ ID is one-to-one within a
+	// build, so ID membership is child membership; the builder keeps
+	// the mirror in sync through addChild/delChild.
+	childIDs []idset.SetID
 	// pending accumulates entity indexes before finalization.
 	pending []int32
 }
@@ -76,14 +87,31 @@ type Node struct {
 // Level returns the number of properties defining the node.
 func (n *Node) Level() int { return len(n.Props) }
 
-// HasChild reports whether c is a direct child of n.
+// HasChild reports whether c is a direct child of n. Property-set IDs
+// identify nodes uniquely within a build, so the check is a binary
+// search over the sorted child-ID mirror rather than an O(children)
+// pointer scan — the canonicity sweep calls this on the huge fan-in
+// nodes near the root (see TestHasChildSublinear).
 func (n *Node) HasChild(c *Node) bool {
-	for _, x := range n.Children {
-		if x == c {
-			return true
-		}
+	_, ok := slices.BinarySearch(n.childIDs, c.set)
+	return ok
+}
+
+// addChild links c under p, keeping the sorted child-ID mirror in sync.
+// Callers guard with !p.HasChild(c), so the mirror never holds
+// duplicates.
+func addChild(p, c *Node) {
+	p.Children = append(p.Children, c)
+	i, _ := slices.BinarySearch(p.childIDs, c.set)
+	p.childIDs = slices.Insert(p.childIDs, i, c.set)
+}
+
+// delChild unlinks c from p's children and the ID mirror.
+func delChild(p, c *Node) {
+	p.Children = deleteNode(p.Children, c)
+	if i, ok := slices.BinarySearch(p.childIDs, c.set); ok {
+		p.childIDs = slices.Delete(p.childIDs, i, i+1)
 	}
-	return false
 }
 
 // Hierarchy is the trimmed slice lattice of one web source.
@@ -135,6 +163,11 @@ type Builder struct {
 	DisableCanonicalPrune bool
 	DisableProfitPrune    bool
 
+	// Options bounds Build's within-source parallelism (see parallel.go).
+	// The zero value parallelizes up to GOMAXPROCS with a private
+	// budget; output is identical for every setting.
+	Options Options
+
 	// Obs receives construction metrics (nodes generated and pruned per
 	// lattice level, mirroring the paper's Proposition 12 effectiveness
 	// tables); nil falls back to the process-wide obs.Default().
@@ -146,7 +179,8 @@ type Builder struct {
 	// props interns node property sets; it is distinct from the table's
 	// interner because lattice nodes carry subsets no row has.
 	props *idset.Interner[fact.Property]
-	// union scratch buffers, reused across finalize and setProfit calls.
+	// union scratch buffers for worker 0, reused across finalize and
+	// setProfit calls; extra workers carry their own pair.
 	unionA, unionB []int32
 }
 
@@ -172,16 +206,17 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 	}
 	b.prepare()
 
+	reg := b.Obs.OrDefault()
 	h := &Hierarchy{}
 	// levels[l] maps an interned property-set ID to its node.
 	levels := make([]map[idset.SetID]*Node, 1, 8)
 	// Per-level effort tallies, reported to Obs when the build finishes.
 	var createdByLevel, removedByLevel, invalidByLevel []int64
-	bump := func(tally *[]int64, l int) {
+	bump := func(tally *[]int64, l int, by int64) {
 		for len(*tally) <= l {
 			*tally = append(*tally, 0)
 		}
-		(*tally)[l]++
+		(*tally)[l] += by
 	}
 
 	getLevel := func(l int) map[idset.SetID]*Node {
@@ -190,19 +225,22 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 		}
 		return levels[l]
 	}
-	getNode := func(props []fact.Property) *Node {
-		id := b.props.Intern(props)
+	nodeByID := func(id idset.SetID) *Node {
+		// The node keeps the interned arena view of its property set,
+		// not any caller's (possibly scratch) slice.
+		props := b.props.Get(id)
 		m := getLevel(len(props))
 		n, ok := m[id]
 		if !ok {
 			h.Stats.NodesCreated++
-			bump(&createdByLevel, len(props))
-			// The node keeps the interned arena view, not the caller's
-			// (possibly scratch) slice.
-			n = &Node{Props: b.props.Get(id), set: id, Valid: true}
+			bump(&createdByLevel, len(props), 1)
+			n = &Node{Props: props, set: id, Valid: true}
 			m[id] = n
 		}
 		return n
+	}
+	getNode := func(props []fact.Property) *Node {
+		return nodeByID(b.props.Intern(props))
 	}
 	defer func() { b.record(&h.Stats, createdByLevel, removedByLevel, invalidByLevel) }()
 
@@ -225,77 +263,51 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 		return h
 	}
 
+	levelTimer := reg.TimerVec("hierarchy/level/build", "level")
+	workersGauge := reg.Gauge("hierarchy/level_workers")
+
 	// Finalize the deepest level's entity sets.
-	for _, n := range levels[maxLevel] {
-		b.finalize(n)
-	}
+	b.finalizeLevel(collectNodes(levels[maxLevel]))
 
 	// Bottom-up sweep: levels from finest (most properties) to coarsest.
 	for l := maxLevel; l >= 1; l-- {
+		levelStart := time.Now()
+		workers := 1
 		cur := sortedNodes(levels[l])
 
-		// (1) Construct parents from every node at level l.
-		//
-		// A property held by a single entity can never occur in a
-		// multi-entity canonical slice, so every subset mixing unique
-		// and shared properties is doomed: it has exactly one child
-		// chain and would be built only to be removed as non-canonical,
-		// with its children re-linked to the shared-property ancestors.
-		// Nodes carrying unique properties therefore link directly to
-		// the node over their shared-property core (possibly several
-		// levels up), which is exactly the structure the construct-
-		// then-remove sequence converges to — without materializing the
-		// 2^k mixed subsets of isolated entities.
+		// (1) Construct parents from every node at level l, sharded
+		// across the worker budget, then finalize the entity sets the
+		// new pendings landed on.
 		if l >= 2 {
-			for _, n := range cur {
-				core := b.sharedCore(n.Props)
-				if len(core) < len(n.Props) {
-					if len(core) > 0 {
-						p := getNode(core)
-						if !p.HasChild(n) {
-							p.Children = append(p.Children, n)
-							n.Parents = append(n.Parents, p)
-						}
-						p.pending = append(p.pending, n.Entities.Values()...)
-					}
-					continue
-				}
-				for i := range n.Props {
-					pp := dropProp(n.Props, i)
-					p := getNode(pp)
-					if !p.HasChild(n) {
-						p.Children = append(p.Children, n)
-						n.Parents = append(n.Parents, p)
-					}
-					p.pending = append(p.pending, n.Entities.Values()...)
-				}
-			}
-			for _, p := range levels[l-1] {
-				b.finalize(p)
-			}
+			workers = max(workers, b.generateParents(cur, nodeByID))
+			workers = max(workers, b.finalizeLevel(collectNodes(levels[l-1])))
 		}
 
-		// (2) Prune non-canonical slices at level l.
+		// (2) Prune non-canonical slices at level l. Sequential: remove
+		// re-links across levels, and its outcome depends on the
+		// deterministic sorted order of cur.
 		for _, n := range cur {
 			n.Canonical = b.isCanonical(n)
 			if !n.Canonical && !b.DisableCanonicalPrune {
 				b.remove(n)
 				h.Stats.NodesRemoved++
-				bump(&removedByLevel, l)
+				bump(&removedByLevel, l, 1)
 				delete(levels[l], n.set)
 			}
 		}
 
 		// (3) Evaluate profit and the lower bound; mark low-profit
-		// slices invalid.
-		for _, n := range sortedNodes(levels[l]) {
-			b.score(n)
-			if !b.DisableProfitPrune && (n.Profit < 0 || n.Profit < n.FLB) {
-				n.Valid = false
-				h.Stats.NodesInvalid++
-				bump(&invalidByLevel, l)
-			}
+		// slices invalid. Children are deeper and immutable by now, so
+		// scoring shards across workers.
+		invalid, scoreWorkers := b.scoreLevel(sortedNodes(levels[l]))
+		workers = max(workers, scoreWorkers)
+		if invalid > 0 {
+			h.Stats.NodesInvalid += int(invalid)
+			bump(&invalidByLevel, l, invalid)
 		}
+
+		levelTimer.With(levelLabel(l)).Observe(time.Since(levelStart))
+		workersGauge.Set(float64(workers))
 	}
 
 	h.MaxLevel = maxLevel
@@ -304,6 +316,181 @@ func (b *Builder) Build(extra []Seed) *Hierarchy {
 		h.Levels[l] = sortedNodes(levels[l])
 	}
 	return h
+}
+
+// genOp records one parent link operation discovered by a worker: the
+// worker-local interned ID of the parent property set and the child
+// node. Replaying ops in recorded order during the merge reproduces the
+// sequential build's exact link order (Children and Parents slices
+// included), because chunks are contiguous and replayed in index order.
+type genOp struct {
+	id    idset.SetID
+	child *Node
+}
+
+// genLocal is one worker's private parent-generation scratch: a private
+// interner for the parent property sets it discovers, the link ops in
+// discovery order, and the pending entity rows grouped per local set.
+type genLocal struct {
+	in      *idset.Interner[fact.Property]
+	ops     []genOp
+	pending [][]int32
+}
+
+// generateParents runs step (1) of the sweep for one level: every node
+// contributes either the node over its shared-property core or its
+// drop-one-property subsets as parents (see emitParents). With one
+// worker it links directly into the shared maps; with several, workers
+// record into private scratch and a single-threaded merge rebases each
+// private interner onto the shared one (idset.Interner.Merge) and
+// replays the ops in order. Returns the worker count used.
+func (b *Builder) generateParents(cur []*Node, nodeByID func(idset.SetID) *Node) int {
+	link := func(p, c *Node) {
+		if !p.HasChild(c) {
+			addChild(p, c)
+			c.Parents = append(c.Parents, p)
+		}
+	}
+	ws := b.acquireWorkers(len(cur), genMinChunk)
+	if ws.n == 1 {
+		var scratch []fact.Property
+		ws.run(len(cur), func(_, lo, hi int) {
+			b.emitParents(cur, lo, hi, &scratch, func(props []fact.Property, n *Node) {
+				p := getNodeByProps(b, nodeByID, props)
+				link(p, n)
+				p.pending = append(p.pending, n.Entities.Values()...)
+			})
+		})
+		return 1
+	}
+
+	locals := make([]genLocal, ws.n)
+	ws.run(len(cur), func(w, lo, hi int) {
+		g := &locals[w]
+		g.in = idset.NewInterner[fact.Property]()
+		var scratch []fact.Property
+		b.emitParents(cur, lo, hi, &scratch, func(props []fact.Property, n *Node) {
+			id := g.in.Intern(props)
+			if int(id) == len(g.pending) {
+				g.pending = append(g.pending, nil)
+			}
+			g.ops = append(g.ops, genOp{id: id, child: n})
+			g.pending[id] = append(g.pending[id], n.Entities.Values()...)
+		})
+	})
+
+	// Deterministic merge, single-threaded: worker order × op order is
+	// the sequential order.
+	for w := range locals {
+		g := &locals[w]
+		if g.in == nil || g.in.Len() == 0 {
+			continue
+		}
+		remap := b.props.Merge(g.in)
+		nodes := make([]*Node, g.in.Len())
+		for _, op := range g.ops {
+			p := nodes[op.id]
+			if p == nil {
+				p = nodeByID(remap[op.id])
+				nodes[op.id] = p
+			}
+			link(p, op.child)
+		}
+		for id, pend := range g.pending {
+			if len(pend) > 0 {
+				nodes[id].pending = append(nodes[id].pending, pend...)
+			}
+		}
+	}
+	return ws.n
+}
+
+// getNodeByProps fetches/creates the node for props through the shared
+// interner (sequential path of generateParents).
+func getNodeByProps(b *Builder, nodeByID func(idset.SetID) *Node, props []fact.Property) *Node {
+	return nodeByID(b.props.Intern(props))
+}
+
+// emitParents enumerates the parent candidates of cur[lo:hi] in
+// deterministic order. scratch backs the drop-one property sets and is
+// reused across nodes — interners copy sets on first sight, so it never
+// escapes.
+//
+// A property held by a single entity can never occur in a multi-entity
+// canonical slice, so every subset mixing unique and shared properties
+// is doomed: it has exactly one child chain and would be built only to
+// be removed as non-canonical, with its children re-linked to the
+// shared-property ancestors. Nodes carrying unique properties therefore
+// link directly to the node over their shared-property core (possibly
+// several levels up), which is exactly the structure the construct-
+// then-remove sequence converges to — without materializing the 2^k
+// mixed subsets of isolated entities.
+func (b *Builder) emitParents(cur []*Node, lo, hi int, scratch *[]fact.Property, emit func([]fact.Property, *Node)) {
+	for _, n := range cur[lo:hi] {
+		core := b.sharedCore(n.Props)
+		if len(core) < len(n.Props) {
+			if len(core) > 0 {
+				emit(core, n)
+			}
+			continue
+		}
+		for i := range n.Props {
+			s := append((*scratch)[:0], n.Props[:i]...)
+			s = append(s, n.Props[i+1:]...)
+			*scratch = s
+			emit(s, n)
+		}
+	}
+}
+
+// finalizeLevel folds pending entities for every listed node, sharding
+// across the worker budget when the level is large. Each node's result
+// depends only on its own pending set, so the outcome is independent of
+// the sharding. Returns the worker count used.
+func (b *Builder) finalizeLevel(nodes []*Node) int {
+	ws := b.acquireWorkers(len(nodes), finalizeMinChunk)
+	ws.run(len(nodes), func(w, lo, hi int) {
+		var scratch []int32
+		if w == 0 {
+			scratch = b.unionA
+		}
+		for _, n := range nodes[lo:hi] {
+			scratch = b.finalizeInto(n, scratch)
+		}
+		if w == 0 {
+			b.unionA = scratch
+		}
+	})
+	return ws.n
+}
+
+// scoreLevel scores every node and applies the low-profit marking,
+// sharded across the worker budget; per-node scoring reads only deeper
+// (already immutable) nodes. Returns the number of nodes marked
+// invalid and the worker count used.
+func (b *Builder) scoreLevel(nodes []*Node) (invalid int64, workers int) {
+	ws := b.acquireWorkers(len(nodes), scoreMinChunk)
+	counts := make([]int64, ws.n)
+	ws.run(len(nodes), func(w, lo, hi int) {
+		var sc unionScratch
+		if w == 0 {
+			sc = unionScratch{a: b.unionA, b: b.unionB}
+		}
+		for _, n := range nodes[lo:hi] {
+			b.score(n, &sc)
+			if !b.DisableProfitPrune && (n.Profit < 0 || n.Profit < n.FLB) {
+				n.Valid = false
+				counts[w]++
+			}
+		}
+		if w == 0 {
+			b.unionA, b.unionB = sc.a, sc.b
+		}
+	})
+	for _, c := range counts {
+		invalid += c
+	}
+	return invalid, ws.n
 }
 
 // record publishes one build's effort tallies to the observability
@@ -327,7 +514,7 @@ func (b *Builder) record(st *Stats, created, removed, invalid []int64) {
 		vec := reg.CounterVec(name, "level")
 		for l, n := range tally {
 			if n > 0 {
-				vec.With(fmt.Sprintf("%02d", l)).Add(n)
+				vec.With(levelLabel(l)).Add(n)
 			}
 		}
 	}
@@ -335,6 +522,10 @@ func (b *Builder) record(st *Stats, created, removed, invalid []int64) {
 	perLevel("hierarchy/level/pruned_canonicity", removed)
 	perLevel("hierarchy/level/pruned_profit_bound", invalid)
 }
+
+// levelLabel renders a lattice level as a fixed-width label value so
+// lexical series order matches numeric level order.
+func levelLabel(l int) string { return fmt.Sprintf("%02d", l) }
 
 // Seed is an externally supplied initial slice (from a child web source).
 type Seed struct {
@@ -443,13 +634,15 @@ func combosByPredicate(props []fact.Property, max int) ([][]fact.Property, bool)
 	return combos, capped
 }
 
-// finalize folds a node's pending entities into its entity set (sort,
-// dedup, union with the existing set) and refreshes its fact counts.
-// Safe to call repeatedly. The union runs through a reused scratch
-// buffer; the node's set is always backed by a fresh exact-size slice.
-func (b *Builder) finalize(n *Node) {
+// finalizeInto folds a node's pending entities into its entity set
+// (sort, dedup, union with the existing set) and refreshes its fact
+// counts. Safe to call repeatedly; callers on different nodes may run
+// concurrently as long as each carries its own scratch. The union runs
+// through the scratch buffer (returned, possibly grown, for reuse); the
+// node's set is always backed by a fresh exact-size slice.
+func (b *Builder) finalizeInto(n *Node, scratch []int32) []int32 {
 	if len(n.pending) == 0 {
-		return
+		return scratch
 	}
 	p := n.pending
 	sort.Slice(p, func(i, j int) bool { return p[i] < p[j] })
@@ -465,8 +658,8 @@ func (b *Builder) finalize(n *Node) {
 	if n.Entities.Empty() {
 		merged = dedup
 	} else {
-		b.unionA = idset.AppendUnion(b.unionA[:0], n.Entities.Values(), dedup)
-		merged = b.unionA
+		scratch = idset.AppendUnion(scratch[:0], n.Entities.Values(), dedup)
+		merged = scratch
 	}
 	ents := make([]int32, len(merged))
 	copy(ents, merged)
@@ -477,6 +670,7 @@ func (b *Builder) finalize(n *Node) {
 		n.Facts += int(b.entFacts[e])
 		n.NewFacts += int(b.entNew[e])
 	}
+	return scratch
 }
 
 // sharedCore returns the subset of props held by at least two entities
@@ -525,7 +719,7 @@ func (b *Builder) isCanonical(n *Node) bool {
 func (b *Builder) remove(n *Node) {
 	n.removed = true
 	for _, p := range n.Parents {
-		p.Children = deleteNode(p.Children, n)
+		delChild(p, n)
 	}
 	for _, c := range n.Children {
 		c.Parents = deleteNode(c.Parents, n)
@@ -535,7 +729,7 @@ func (b *Builder) remove(n *Node) {
 			if p.HasChild(c) || descendantViaOther(p, c) {
 				continue
 			}
-			p.Children = append(p.Children, c)
+			addChild(p, c)
 			c.Parents = append(c.Parents, p)
 		}
 	}
@@ -552,8 +746,14 @@ func descendantViaOther(p, c *Node) bool {
 	return false
 }
 
+// unionScratch is one worker's ping-pong buffer pair for entity-set
+// unions in setProfit.
+type unionScratch struct {
+	a, b []int32
+}
+
 // score computes Profit, FLB, and SLB for a canonical node.
-func (b *Builder) score(n *Node) {
+func (b *Builder) score(n *Node, sc *unionScratch) {
 	n.Profit = b.Cost.SliceProfit(n.NewFacts, n.Facts, b.Table.TotalFacts)
 
 	// Collect the lower-bound sets of children with positive bounds.
@@ -576,7 +776,7 @@ func (b *Builder) score(n *Node) {
 	}
 	fUnion := 0.0
 	if len(lb) > 0 {
-		fUnion = b.setProfit(lb)
+		fUnion = b.setProfit(lb, sc)
 	}
 
 	n.FLB = 0
@@ -592,13 +792,13 @@ func (b *Builder) score(n *Node) {
 }
 
 // setProfit computes f over a set of (possibly entity-overlapping) nodes
-// of this source. The entity union is accumulated in two ping-pong
-// scratch buffers instead of a per-call map.
-func (b *Builder) setProfit(nodes []*Node) float64 {
+// of this source. The entity union is accumulated in the worker's two
+// ping-pong scratch buffers instead of a per-call map.
+func (b *Builder) setProfit(nodes []*Node, sc *unionScratch) float64 {
 	if len(nodes) == 1 {
 		return nodes[0].Profit
 	}
-	acc, spare := b.unionA[:0], b.unionB[:0]
+	acc, spare := sc.a[:0], sc.b[:0]
 	for _, n := range nodes {
 		spare = idset.AppendUnion(spare[:0], acc, n.Entities.Values())
 		acc, spare = spare, acc
@@ -608,18 +808,12 @@ func (b *Builder) setProfit(nodes []*Node) float64 {
 		facts += int(b.entFacts[e])
 		newFacts += int(b.entNew[e])
 	}
-	b.unionA, b.unionB = acc, spare
+	sc.a, sc.b = acc, spare
 	return b.Cost.SetProfit(len(nodes), facts, newFacts, []int{b.Table.TotalFacts})
 }
 
 // EntityStats exposes the per-entity fact counters for the traversal.
 func (b *Builder) EntityStats() (facts, newFacts []int32) { return b.entFacts, b.entNew }
-
-func dropProp(props []fact.Property, i int) []fact.Property {
-	out := make([]fact.Property, 0, len(props)-1)
-	out = append(out, props[:i]...)
-	return append(out, props[i+1:]...)
-}
 
 func deleteNode(list []*Node, n *Node) []*Node {
 	out := list[:0]
@@ -631,16 +825,23 @@ func deleteNode(list []*Node, n *Node) []*Node {
 	return out
 }
 
+// collectNodes lists a level's nodes in map order — used where only the
+// node set matters (finalization), not the order.
+func collectNodes(m map[idset.SetID]*Node) []*Node {
+	out := make([]*Node, 0, len(m))
+	for _, n := range m {
+		out = append(out, n)
+	}
+	return out
+}
+
 // sortedNodes orders a level's nodes by their property sets. All nodes
 // of one level have equally many properties, so elementwise comparison
 // of the packed uint64 properties reproduces the ordering of the
 // big-endian byte keys the levels were once keyed by — node iteration
 // order is unchanged and the build stays deterministic.
 func sortedNodes(m map[idset.SetID]*Node) []*Node {
-	out := make([]*Node, 0, len(m))
-	for _, n := range m {
-		out = append(out, n)
-	}
+	out := collectNodes(m)
 	sort.Slice(out, func(i, j int) bool { return lessProps(out[i].Props, out[j].Props) })
 	return out
 }

@@ -64,3 +64,22 @@ func (in *Interner[E]) get(id SetID) []E {
 
 // Len returns the number of distinct sets interned.
 func (in *Interner[E]) Len() int { return len(in.offs) - 1 }
+
+// Merge interns every set of src into in, in src's ID order, and
+// returns the rebase table: remap[i] is in's SetID for src's SetID i.
+// Sets in already holds keep their existing ID, so merging is
+// idempotent and order-stable. src is not modified.
+//
+// This is the bridge for deterministic parallel construction: workers
+// intern into private Interners without synchronization, and a
+// single-threaded merge rebases each worker's dense local IDs onto the
+// shared interner. Because local IDs are assigned in first-intern
+// order, replaying a worker's operations through remap reproduces the
+// exact sequential interning order.
+func (in *Interner[E]) Merge(src *Interner[E]) []SetID {
+	remap := make([]SetID, src.Len())
+	for id := range remap {
+		remap[id] = in.Intern(src.get(SetID(id)))
+	}
+	return remap
+}

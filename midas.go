@@ -191,8 +191,10 @@ type Result struct {
 type Options struct {
 	// Cost is the profit model (zero value = DefaultCostModel).
 	Cost CostModel
-	// Workers bounds the parallel framework's worker pool
-	// (0 = GOMAXPROCS).
+	// Workers bounds the run's worker budget (0 = GOMAXPROCS). The
+	// budget is shared between source-level parallelism (concurrent
+	// shards) and lattice-level parallelism within each source's
+	// hierarchy build; results are identical for every setting.
 	Workers int
 	// MinConfidence drops extracted facts at or below this confidence
 	// before discovery (the paper uses 0.7; 0 keeps everything).
@@ -278,6 +280,7 @@ func DiscoverContext(ctx context.Context, corpus *Corpus, existing *KB, opts *Op
 		Trace:   o.Trace.tracer(),
 		Core: core.Options{
 			Cost:              o.Cost,
+			Workers:           o.Workers,
 			MaxPropsPerEntity: o.MaxPropsPerEntity,
 			MaxInitCombos:     o.MaxInitCombos,
 			Obs:               o.Metrics.registry(),
@@ -327,6 +330,7 @@ func DiscoverSource(source string, facts []Fact, existing *KB, opts *Options) *R
 	}
 	res := core.Discover(source, space, triples, store, core.Options{
 		Cost:              o.Cost,
+		Workers:           o.Workers,
 		MaxPropsPerEntity: o.MaxPropsPerEntity,
 		MaxInitCombos:     o.MaxInitCombos,
 		Obs:               o.Metrics.registry(),
