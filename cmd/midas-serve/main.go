@@ -1,0 +1,104 @@
+// Command midas-serve runs the MIDAS discovery engine as a long-lived
+// HTTP service: named sessions, KB and fact ingestion, asynchronous
+// discovery jobs with result caching, and slice absorption, with the
+// live-telemetry endpoints on the same listener.
+//
+// Usage:
+//
+//	midas-serve [-listen :8080] [-max-discoveries N]
+//	      [-request-timeout 30s] [-job-timeout 0]
+//	      [-drain-timeout 30s] [-stats final-stats.json]
+//
+// API (JSON; see README.md "Serving" for the full table):
+//
+//	POST   /api/sessions                  create a session
+//	POST   /api/sessions/{s}/kb           load KB (TSV, ?format=binary|ntriples)
+//	POST   /api/sessions/{s}/facts        add facts (JSON array or TSV)
+//	POST   /api/sessions/{s}/discover     start a discovery job (?wait=true)
+//	GET    /api/jobs/{id}                 poll a job
+//	GET    /api/jobs/{id}/result          fetch the discovered slices
+//	POST   /api/sessions/{s}/absorb       absorb result slices into the KB
+//	GET    /api/sessions/{s}/progress     KB size and corpus coverage
+//
+// On SIGTERM/SIGINT the service stops accepting connections, drains
+// running discovery jobs (canceling them if -drain-timeout expires;
+// canceled jobs finish with partial results), writes the final metrics
+// snapshot to -stats, and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"midas/internal/obs"
+	"midas/internal/serve"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", ":8080", "address to serve the API and telemetry on")
+		maxDisc      = flag.Int("max-discoveries", 0, "max concurrent discovery jobs before shedding with 429 (0 = GOMAXPROCS)")
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (sync discoveries return partial results at it; -1s disables)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "async discovery job budget (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
+		statsPath    = flag.String("stats", "", "write a final JSON metrics snapshot to this file on shutdown")
+	)
+	flag.Parse()
+
+	reg := obs.Default()
+	srv := serve.New(serve.Options{
+		MaxInFlight:    *maxDisc,
+		RequestTimeout: *reqTimeout,
+		JobTimeout:     *jobTimeout,
+		Registry:       reg,
+	})
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "midas-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "midas-serve: serving on http://%s/ (API under /api, telemetry at /metrics)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "midas-serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Drain: stop accepting, let running jobs finish (cancel at the
+	// deadline — the pipeline hands back partial results), then flush
+	// the final snapshot.
+	fmt.Fprintln(os.Stderr, "midas-serve: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- httpSrv.Shutdown(drainCtx) }()
+	inFlight := srv.Drain(drainCtx)
+	if err := <-shutdownErr; err != nil {
+		httpSrv.Close()
+	}
+	srv.Close()
+	if *statsPath != "" {
+		if err := reg.WriteFile(*statsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "midas-serve: writing final stats:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "midas-serve: drained cleanly (%d jobs were in flight)\n", inFlight)
+}

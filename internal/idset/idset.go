@@ -175,11 +175,22 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
+// FingerprintSeed is the initial FNV-1a state for AppendFingerprint64
+// chains; Fingerprint64(s) == AppendFingerprint64(FingerprintSeed, s).
+const FingerprintSeed = uint64(fnvOffset64)
+
 // Fingerprint64 hashes a sorted slice with FNV-1a over each element's
 // eight little-endian bytes. Equal sets produce equal fingerprints;
 // distinct sets collide with probability ~2^-64 per pair.
 func Fingerprint64[E Elem](s []E) uint64 {
-	h := uint64(fnvOffset64)
+	return AppendFingerprint64(FingerprintSeed, s)
+}
+
+// AppendFingerprint64 extends an FNV-1a fingerprint state with the
+// elements of s, enabling incremental fingerprints over append-only
+// data: hashing a slice in chunks produces the same value as hashing it
+// whole. Start chains from FingerprintSeed.
+func AppendFingerprint64[E Elem](h uint64, s []E) uint64 {
 	for _, e := range s {
 		w := uint64(e)
 		for b := 0; b < 8; b++ {

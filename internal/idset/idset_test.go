@@ -231,6 +231,23 @@ func TestFingerprintDistinguishesSets(t *testing.T) {
 	}
 }
 
+// TestAppendFingerprintIncremental: chunked hashing equals whole-slice
+// hashing for every split point, so append-only callers can keep a
+// running state instead of rehashing from scratch.
+func TestAppendFingerprintIncremental(t *testing.T) {
+	s := []uint64{7, 0, 1<<64 - 1, 42, 42, 9000}
+	whole := Fingerprint64(s)
+	for cut := 0; cut <= len(s); cut++ {
+		h := AppendFingerprint64(FingerprintSeed, s[:cut])
+		if got := AppendFingerprint64(h, s[cut:]); got != whole {
+			t.Fatalf("split at %d: %#x != %#x", cut, got, whole)
+		}
+	}
+	if AppendFingerprint64(whole, []uint64{1}) == whole {
+		t.Error("appending must change the state")
+	}
+}
+
 func TestInterner(t *testing.T) {
 	in := NewInterner[uint64]()
 	a := in.Intern([]uint64{1, 5, 9})

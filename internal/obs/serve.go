@@ -20,6 +20,24 @@ import (
 // run, instead of waiting for the end-of-run -stats snapshot.
 func NewServeMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
+	Mount(mux, r)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "midas live telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Mount registers the telemetry endpoints (/metrics, /debug/vars,
+// /debug/pprof) on an existing mux, so a binary serving its own API —
+// midas-serve — exposes telemetry on the same listener instead of
+// wiring a second copy of the handlers. The root path is left to the
+// caller; NewServeMux adds a plain-text index for the standalone case.
+func Mount(mux *http.ServeMux, r *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", OpenMetricsContentType)
 		if err := r.WriteOpenMetrics(w); err != nil {
@@ -52,15 +70,6 @@ func NewServeMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
-		if req.URL.Path != "/" {
-			http.NotFound(w, req)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "midas live telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
-	})
-	return mux
 }
 
 // ListenAndServe starts serving the registry's telemetry mux on addr in

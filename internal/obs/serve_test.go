@@ -178,3 +178,45 @@ func get(t *testing.T, url, wantContentType string) string {
 	}
 	return string(body)
 }
+
+// TestMountOnExistingMux: a binary with its own API mux mounts the
+// telemetry endpoints next to its handlers (the midas-serve wiring);
+// the caller keeps ownership of the root path.
+func TestMountOnExistingMux(t *testing.T) {
+	reg := obs.New()
+	reg.Counter("mounted/hits").Inc()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/ping", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	})
+	obs.Mount(mux, reg)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/api/ping"); code != 200 || body != "pong" {
+		t.Fatalf("/api/ping = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "midas_mounted_hits_total 1") {
+		t.Fatalf("/metrics = %d, missing mounted counter:\n%s", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "\"midas\"") {
+		t.Fatalf("/debug/vars = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	// No index was mounted: the root stays the caller's (404 here).
+	if code, _ := get("/"); code != 404 {
+		t.Fatalf("/ = %d, want 404 from the caller's mux", code)
+	}
+}

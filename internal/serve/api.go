@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"midas"
+)
+
+// routes mounts the JSON API. Every handler runs behind withMetrics,
+// which applies the server's request deadline to the request context
+// (client disconnects already propagate through it) and records the
+// per-endpoint counter and timer.
+func (s *Server) routes(mux *http.ServeMux) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.withMetrics(pattern, h))
+	}
+	handle("GET /healthz", s.handleHealth)
+	handle("POST /api/sessions", s.handleCreateSession)
+	handle("GET /api/sessions", s.handleListSessions)
+	handle("GET /api/sessions/{name}", s.handleGetSession)
+	handle("DELETE /api/sessions/{name}", s.handleDeleteSession)
+	handle("POST /api/sessions/{name}/kb", s.handleLoadKB)
+	handle("POST /api/sessions/{name}/facts", s.handleAddFacts)
+	handle("POST /api/sessions/{name}/discover", s.handleDiscover)
+	handle("POST /api/sessions/{name}/absorb", s.handleAbsorb)
+	handle("GET /api/sessions/{name}/progress", s.handleProgress)
+	handle("GET /api/jobs", s.handleListJobs)
+	handle("GET /api/jobs/{id}", s.handleGetJob)
+	handle("GET /api/jobs/{id}/result", s.handleJobResult)
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) withMetrics(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	requests := s.reg.CounterVec("serve/requests", "endpoint", "code")
+	timer := s.reg.TimerVec("serve/request", "endpoint")
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.opts.RequestTimeout > 0 {
+			ctx, cancel := withTimeout(r.Context(), s.opts.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		stop := timer.With(pattern).Start()
+		h(sw, r)
+		stop()
+		requests.With(pattern, strconv.Itoa(sw.code)).Inc()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// sessionOrErr resolves {name}, writing the 404 itself when absent.
+func (s *Server) sessionOrErr(w http.ResponseWriter, r *http.Request) *session {
+	name := r.PathValue("name")
+	sn := s.session(name)
+	if sn == nil {
+		writeErr(w, http.StatusNotFound, "no session %q", name)
+	}
+	return sn
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+}
+
+// apiOptions is the JSON shape of midas.Options accepted at session
+// creation (the subset that is serializable; metrics and tracing stay
+// process-wide).
+type apiOptions struct {
+	Workers            int      `json:"workers"`
+	MinConfidence      float64  `json:"min_confidence"`
+	Fuse               bool     `json:"fuse"`
+	MaxSlices          int      `json:"max_slices"`
+	NumericBucketWidth float64  `json:"numeric_bucket_width"`
+	MaxPropsPerEntity  int      `json:"max_props_per_entity"`
+	MaxInitCombos      int      `json:"max_init_combos"`
+	Cost               *apiCost `json:"cost"`
+}
+
+type apiCost struct {
+	Fp float64 `json:"fp"`
+	Fc float64 `json:"fc"`
+	Fd float64 `json:"fd"`
+	Fv float64 `json:"fv"`
+}
+
+func (o *apiOptions) toOptions() *midas.Options {
+	if o == nil {
+		return nil
+	}
+	opts := &midas.Options{
+		Workers:            o.Workers,
+		MinConfidence:      o.MinConfidence,
+		Fuse:               o.Fuse,
+		MaxSlices:          o.MaxSlices,
+		NumericBucketWidth: o.NumericBucketWidth,
+		MaxPropsPerEntity:  o.MaxPropsPerEntity,
+		MaxInitCombos:      o.MaxInitCombos,
+	}
+	if o.Cost != nil {
+		opts.Cost = midas.CostModel{Fp: o.Cost.Fp, Fc: o.Cost.Fc, Fd: o.Cost.Fd, Fv: o.Cost.Fv}
+	}
+	return opts
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name    string      `json:"name"`
+		Options *apiOptions `json:"options"`
+	}
+	if err := decodeJSONBody(r, &req, true); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sn, err := s.createSession(req.Name, req.Options.toOptions())
+	switch {
+	case errors.Is(err, errExists):
+		writeErr(w, http.StatusConflict, "session %q already exists", req.Name)
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusCreated, map[string]string{"session": sn.name})
+	}
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.sessions))
+	for name := range s.sessions {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	list := make([]map[string]any, 0, len(names))
+	for _, name := range names {
+		if sn := s.session(name); sn != nil {
+			list = append(list, sessionInfo(sn))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": list})
+}
+
+func sessionInfo(sn *session) map[string]any {
+	return map[string]any{
+		"session":      sn.name,
+		"corpus_facts": sn.sess.CorpusSize(),
+		"kb_facts":     sn.sess.KB().Size(),
+	}
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	if sn := s.sessionOrErr(w, r); sn != nil {
+		writeJSON(w, http.StatusOK, sessionInfo(sn))
+	}
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if !s.deleteSession(r.PathValue("name")) {
+		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleLoadKB(w http.ResponseWriter, r *http.Request) {
+	sn := s.sessionOrErr(w, r)
+	if sn == nil {
+		return
+	}
+	var (
+		added int
+		err   error
+	)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "tsv":
+		added, err = sn.sess.KB().LoadTSV(r.Body)
+	case "binary":
+		added, err = sn.sess.KB().LoadBinary(r.Body)
+	case "ntriples":
+		added, err = sn.sess.KB().LoadNTriples(r.Body)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown KB format %q", format)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "loading KB: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"added": added})
+}
+
+type apiFact struct {
+	Subject    string  `json:"subject"`
+	Predicate  string  `json:"predicate"`
+	Object     string  `json:"object"`
+	Confidence float64 `json:"confidence"`
+	URL        string  `json:"url"`
+}
+
+// handleAddFacts accepts extraction output either as a JSON array of
+// facts or, for any non-JSON content type, as TSV lines in the
+// midas-datagen facts.tsv layout: subject, predicate, object
+// [, confidence [, url]].
+func (s *Server) handleAddFacts(w http.ResponseWriter, r *http.Request) {
+	sn := s.sessionOrErr(w, r)
+	if sn == nil {
+		return
+	}
+	var facts []midas.Fact
+	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+		var in []apiFact
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad facts JSON: %v", err)
+			return
+		}
+		for _, f := range in {
+			if f.Confidence == 0 {
+				f.Confidence = 1
+			}
+			facts = append(facts, midas.Fact{
+				Subject: f.Subject, Predicate: f.Predicate, Object: f.Object,
+				Confidence: f.Confidence, URL: f.URL,
+			})
+		}
+	} else {
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		line := 0
+		for sc.Scan() {
+			line++
+			text := sc.Text()
+			if text == "" {
+				continue
+			}
+			cols := strings.Split(text, "\t")
+			if len(cols) < 3 {
+				writeErr(w, http.StatusBadRequest, "facts line %d: %d columns, want ≥ 3", line, len(cols))
+				return
+			}
+			f := midas.Fact{Subject: cols[0], Predicate: cols[1], Object: cols[2], Confidence: 1}
+			if len(cols) > 3 && cols[3] != "" {
+				conf, err := strconv.ParseFloat(cols[3], 64)
+				if err != nil {
+					writeErr(w, http.StatusBadRequest, "facts line %d: bad confidence %q", line, cols[3])
+					return
+				}
+				f.Confidence = conf
+			}
+			if len(cols) > 4 {
+				f.URL = cols[4]
+			}
+			facts = append(facts, f)
+		}
+		if err := sc.Err(); err != nil {
+			writeErr(w, http.StatusBadRequest, "reading facts: %v", err)
+			return
+		}
+	}
+	sn.sess.AddFacts(facts...)
+	writeJSON(w, http.StatusOK, map[string]int{"added": len(facts)})
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	sn := s.sessionOrErr(w, r)
+	if sn == nil {
+		return
+	}
+	q := r.URL.Query()
+	wait := q.Get("wait") == "true" || q.Get("wait") == "1"
+	var timeout time.Duration
+	if t := q.Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad timeout %q", t)
+			return
+		}
+		timeout = d
+	}
+	j, err := s.startDiscover(r.Context(), sn, wait, timeout)
+	switch {
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case errors.Is(err, errSaturated):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "discovery capacity saturated, retry later")
+		return
+	}
+	j.mu.Lock()
+	status := j.status
+	j.mu.Unlock()
+	code := http.StatusAccepted
+	if status != StateRunning {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, jobInfo(j))
+}
+
+func jobInfo(j *job) map[string]any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := map[string]any{
+		"job":     j.id,
+		"session": j.session,
+		"status":  j.status,
+		"cached":  j.cached,
+	}
+	if j.err != nil {
+		info["error"] = j.err.Error()
+	}
+	if j.result != nil {
+		info["slices"] = len(j.result.Slices)
+	}
+	end := j.finished
+	if j.status == StateRunning {
+		end = time.Now()
+	}
+	info["elapsed_seconds"] = end.Sub(j.started).Seconds()
+	return info
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.RUnlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].started.Before(jobs[k].started) })
+	list := make([]map[string]any, len(jobs))
+	for i, j := range jobs {
+		list[i] = jobInfo(j)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
+}
+
+func (s *Server) jobOrErr(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	j := s.job(id)
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+	}
+	return j
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	if j := s.jobOrErr(w, r); j != nil {
+		writeJSON(w, http.StatusOK, jobInfo(j))
+	}
+}
+
+type apiProperty struct {
+	Predicate string `json:"predicate"`
+	Value     string `json:"value"`
+}
+
+type apiSlice struct {
+	Source      string        `json:"source"`
+	Description string        `json:"description"`
+	Properties  []apiProperty `json:"properties"`
+	Entities    []string      `json:"entities"`
+	Facts       int           `json:"facts"`
+	NewFacts    int           `json:"new_facts"`
+	Profit      float64       `json:"profit"`
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j := s.jobOrErr(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	status, cached, res, jerr := j.status, j.cached, j.result, j.err
+	j.mu.Unlock()
+	switch {
+	case status == StateRunning:
+		writeErr(w, http.StatusConflict, "job %s is still running", j.id)
+		return
+	case res == nil:
+		writeErr(w, http.StatusInternalServerError, "job %s failed: %v", j.id, jerr)
+		return
+	}
+	slices := make([]apiSlice, len(res.Slices))
+	for i, sl := range res.Slices {
+		props := make([]apiProperty, len(sl.Properties))
+		for k, p := range sl.Properties {
+			props[k] = apiProperty{Predicate: p.Predicate, Value: p.Value}
+		}
+		slices[i] = apiSlice{
+			Source: sl.Source, Description: sl.Description, Properties: props,
+			Entities: sl.Entities, Facts: sl.Facts, NewFacts: sl.NewFacts, Profit: sl.Profit,
+		}
+	}
+	out := map[string]any{
+		"job":               j.id,
+		"session":           j.session,
+		"status":            status,
+		"cached":            cached,
+		"rounds":            res.Rounds,
+		"sources_processed": res.SourcesProcessed,
+		"slices":            slices,
+	}
+	if jerr != nil {
+		out["error"] = jerr.Error()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleAbsorb absorbs slices of a finished job's result into the
+// session KB: the listed indexes, or every slice when none are given.
+func (s *Server) handleAbsorb(w http.ResponseWriter, r *http.Request) {
+	sn := s.sessionOrErr(w, r)
+	if sn == nil {
+		return
+	}
+	var req struct {
+		Job    string `json:"job"`
+		Slices []int  `json:"slices"`
+	}
+	if err := decodeJSONBody(r, &req, false); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j := s.job(req.Job)
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no job %q", req.Job)
+		return
+	}
+	j.mu.Lock()
+	res, status, jobSession := j.result, j.status, j.session
+	j.mu.Unlock()
+	if jobSession != sn.name {
+		writeErr(w, http.StatusBadRequest, "job %s belongs to session %q", req.Job, jobSession)
+		return
+	}
+	if status == StateRunning || res == nil {
+		writeErr(w, http.StatusConflict, "job %s has no result to absorb (status %s)", req.Job, status)
+		return
+	}
+	idx := req.Slices
+	if len(idx) == 0 {
+		idx = make([]int, len(res.Slices))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	added, absorbed := 0, 0
+	for _, i := range idx {
+		if i < 0 || i >= len(res.Slices) {
+			writeErr(w, http.StatusBadRequest, "slice index %d out of range [0,%d)", i, len(res.Slices))
+			return
+		}
+		added += sn.sess.Absorb(res.Slices[i])
+		absorbed++
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"absorbed": absorbed, "added": added})
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	sn := s.sessionOrErr(w, r)
+	if sn == nil {
+		return
+	}
+	kbFacts, covered := sn.sess.Progress()
+	writeJSON(w, http.StatusOK, map[string]any{"kb_facts": kbFacts, "coverage": covered})
+}
+
+// decodeJSONBody decodes a JSON request body into v. An empty body is
+// allowed when optional is true (e.g. POST /api/sessions with defaults).
+func decodeJSONBody(r *http.Request, v any, optional bool) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		if optional && errors.Is(err, io.EOF) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

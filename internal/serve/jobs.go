@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"midas"
+)
+
+// Job states. A deadline or disconnect mid-discovery yields
+// StatePartial — the pipeline hands back the slices finalized so far —
+// so a bounded request degrades instead of hanging or vanishing.
+const (
+	StateRunning = "running"
+	StateDone    = "done"
+	StatePartial = "partial"
+	StateError   = "error"
+)
+
+var (
+	errExists    = errors.New("session already exists")
+	errSaturated = errors.New("discovery capacity saturated")
+	errDraining  = errors.New("server is draining")
+)
+
+// job is one discovery run, sync or async. Poll via GET /api/jobs/{id};
+// the result stays fetchable after completion.
+type job struct {
+	id      string
+	session string
+
+	mu       sync.Mutex
+	status   string
+	result   *midas.Result
+	err      error
+	cached   bool
+	started  time.Time
+	finished time.Time
+}
+
+func (j *job) finish(res *midas.Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.status = StateDone
+	case res != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)):
+		j.status = StatePartial
+	default:
+		j.status = StateError
+	}
+}
+
+// newJob registers a job for the session. Callers hold no server locks.
+func (s *Server) newJob(sessionName string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextJob++
+	j := &job{
+		id:      fmt.Sprintf("j%d", s.nextJob),
+		session: sessionName,
+		status:  StateRunning,
+		started: time.Now(),
+	}
+	s.jobs[j.id] = j
+	return j
+}
+
+func (s *Server) job(id string) *job {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.jobs[id]
+}
+
+// acquire claims one discovery slot, or reports saturation/draining.
+func (s *Server) acquire() error {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	if draining {
+		return errDraining
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+		s.reg.Counter("serve/shed").Inc()
+		return errSaturated
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+func (s *Server) trackRunning() (untrack func()) {
+	adjust := func(d int64) {
+		s.mu.Lock()
+		s.running += d
+		s.reg.Gauge("serve/jobs/running").Set(float64(s.running))
+		s.mu.Unlock()
+	}
+	adjust(1)
+	return func() { adjust(-1) }
+}
+
+// execute runs one discovery under ctx, stores a completed result in
+// the session cache if the corpus is still at fp, and finalizes the
+// job. Only complete results are cacheable, and only if no facts
+// arrived and no absorption happened while the discovery ran (the
+// session's lock excludes mutators during a discovery, so the gap is
+// just between the fingerprint reads).
+func (s *Server) execute(ctx context.Context, sn *session, j *job, fp uint64) {
+	defer s.trackRunning()()
+	res, err := s.discover(ctx, sn.sess)
+	if err == nil && sn.sess.Fingerprint() == fp {
+		sn.storeCache(fp, res)
+	}
+	j.finish(res, err)
+	s.reg.Counter("serve/jobs/finished").Inc()
+}
+
+// startDiscover answers a discover request: cache hit → an immediately
+// completed job; otherwise claim a slot and run, either synchronously
+// under the request context (wait=true) or as a background job bounded
+// by JobTimeout. timeout, when positive, tightens the discovery
+// deadline in both modes.
+func (s *Server) startDiscover(ctx context.Context, sn *session, wait bool, timeout time.Duration) (*job, error) {
+	fp := sn.sess.Fingerprint()
+	if res := sn.cached(fp); res != nil {
+		s.reg.Counter("serve/cache/hit").Inc()
+		j := s.newJob(sn.name)
+		j.cached = true
+		j.finish(res, nil)
+		return j, nil
+	}
+	s.reg.Counter("serve/cache/miss").Inc()
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	j := s.newJob(sn.name)
+	if wait {
+		defer s.release()
+		runCtx, cancel := withTimeout(ctx, timeout)
+		defer cancel()
+		s.execute(runCtx, sn, j, fp)
+		return j, nil
+	}
+	if timeout <= 0 {
+		timeout = s.opts.JobTimeout
+	}
+	jobCtx, cancel := withTimeout(s.baseCtx, timeout)
+	s.jobsWG.Add(1)
+	go func() {
+		defer s.jobsWG.Done()
+		defer cancel()
+		defer s.release()
+		s.execute(jobCtx, sn, j, fp)
+	}()
+	return j, nil
+}
+
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return context.WithCancel(ctx)
+}

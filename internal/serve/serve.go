@@ -1,0 +1,214 @@
+// Package serve implements the midas-serve HTTP service: long-lived,
+// named discovery sessions over the public midas API, exposed as a JSON
+// surface hardened for real traffic. Discoveries run as asynchronous
+// jobs behind a bounded in-flight semaphore (saturation sheds with 429),
+// request deadlines and client disconnects propagate into the pipeline
+// via context, repeated discoveries on an unchanged corpus are answered
+// from a result cache keyed by the session's FNV-1a fingerprint, and
+// shutdown drains running jobs before the final metrics snapshot is
+// flushed. Telemetry (/metrics, /debug/vars, /debug/pprof) is mounted on
+// the same listener via obs.Mount.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"regexp"
+	"runtime"
+	"sync"
+	"time"
+
+	"midas"
+	"midas/internal/obs"
+)
+
+// Options configures a Server. The zero value serves with the defaults
+// noted per field.
+type Options struct {
+	// MaxInFlight bounds concurrently running discovery jobs (sync and
+	// async alike); requests beyond it are shed with 429. Default:
+	// GOMAXPROCS.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline applied to every API
+	// handler (synchronous discoveries inherit it through the request
+	// context). Default: 30s; negative disables.
+	RequestTimeout time.Duration
+	// JobTimeout bounds each asynchronous discovery job. Default:
+	// unlimited.
+	JobTimeout time.Duration
+	// Registry receives the service metrics (serve/* series) and is the
+	// registry whose telemetry endpoints are mounted on the API mux.
+	// Default: the process-wide obs registry.
+	Registry *obs.Registry
+}
+
+// Server is the discovery service: a registry of named sessions and
+// their discovery jobs. Create with New, mount Handler on an
+// http.Server, and call Drain then Close on shutdown.
+type Server struct {
+	opts Options
+	reg  *obs.Registry
+	sem  chan struct{}
+
+	mu       sync.RWMutex
+	sessions map[string]*session
+	jobs     map[string]*job
+	nextSess int
+	nextJob  int
+	draining bool
+
+	jobsWG  sync.WaitGroup
+	running int64 // guarded by mu
+
+	baseCtx    context.Context // canceled to hard-stop all jobs
+	cancelJobs context.CancelFunc
+
+	// discover is the job body; tests substitute it to model slow or
+	// blocking discoveries without large corpora.
+	discover func(ctx context.Context, sess *midas.Session) (*midas.Result, error)
+}
+
+// session is one named midas.Session plus its single-entry result
+// cache. The corpus is append-only and the KB only grows, so an old
+// fingerprint never recurs and one entry is all a cache needs.
+type session struct {
+	name string
+	sess *midas.Session
+
+	cmu      sync.Mutex
+	cacheFP  uint64
+	cacheRes *midas.Result
+}
+
+func (sn *session) cached(fp uint64) *midas.Result {
+	sn.cmu.Lock()
+	defer sn.cmu.Unlock()
+	if sn.cacheRes != nil && sn.cacheFP == fp {
+		return sn.cacheRes
+	}
+	return nil
+}
+
+func (sn *session) storeCache(fp uint64, res *midas.Result) {
+	sn.cmu.Lock()
+	sn.cacheFP, sn.cacheRes = fp, res
+	sn.cmu.Unlock()
+}
+
+// New returns a Server ready to serve Handler().
+func New(opts Options) *Server {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		reg:        opts.Registry.OrDefault(),
+		sem:        make(chan struct{}, opts.MaxInFlight),
+		sessions:   make(map[string]*session),
+		jobs:       make(map[string]*job),
+		baseCtx:    ctx,
+		cancelJobs: cancel,
+	}
+	s.discover = func(ctx context.Context, sess *midas.Session) (*midas.Result, error) {
+		return sess.DiscoverContext(ctx)
+	}
+	return s
+}
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+func (s *Server) createSession(name string, opts *midas.Options) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if name == "" {
+		for {
+			s.nextSess++
+			name = fmt.Sprintf("s%d", s.nextSess)
+			if _, ok := s.sessions[name]; !ok {
+				break
+			}
+		}
+	} else if !nameRE.MatchString(name) {
+		return nil, fmt.Errorf("invalid session name %q", name)
+	}
+	if _, ok := s.sessions[name]; ok {
+		return nil, errExists
+	}
+	sn := &session{name: name, sess: midas.NewSession(nil, opts)}
+	s.sessions[name] = sn
+	s.reg.Gauge("serve/sessions").Set(float64(len(s.sessions)))
+	return sn, nil
+}
+
+func (s *Server) session(name string) *session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sessions[name]
+}
+
+func (s *Server) deleteSession(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[name]; !ok {
+		return false
+	}
+	delete(s.sessions, name)
+	s.reg.Gauge("serve/sessions").Set(float64(len(s.sessions)))
+	return true
+}
+
+// Drain puts the server in draining mode — discovery requests are
+// refused with 503 — and waits for in-flight jobs to finish. If ctx
+// expires first, the jobs' contexts are canceled (the pipeline returns
+// partial results at the next hierarchy-level boundary) and Drain waits
+// for them to wind down. It returns the number of jobs that were still
+// running when draining began.
+func (s *Server) Drain(ctx context.Context) int {
+	s.mu.Lock()
+	s.draining = true
+	inFlight := int(s.running)
+	s.mu.Unlock()
+	s.reg.Gauge("serve/draining").Set(1)
+
+	done := make(chan struct{})
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancelJobs()
+		<-done
+	}
+	return inFlight
+}
+
+// Close releases the server's job contexts. Safe after Drain.
+func (s *Server) Close() { s.cancelJobs() }
+
+// Metrics returns the registry the server reports into.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Handler returns the service mux: the JSON API under /api, a health
+// probe at /healthz, and the shared telemetry endpoints (obs.Mount) on
+// the same listener.
+func (s *Server) Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	s.routes(mux)
+	obs.Mount(mux, s.reg)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "midas-serve\n\n/api/sessions\n/api/jobs\n/healthz\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}

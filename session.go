@@ -1,9 +1,13 @@
 package midas
 
 import (
+	"context"
+	"math"
 	"sort"
 	"strings"
+	"sync"
 
+	"midas/internal/idset"
 	"midas/internal/obs"
 	"midas/internal/source"
 )
@@ -26,8 +30,15 @@ import (
 //		}
 //	}
 //
-// Session is not safe for concurrent use.
+// Session is safe for concurrent use: an RWMutex guards the core, with
+// Discover/DiscoverContext running as readers (so independent
+// discoveries overlap) and the mutators (AddFacts, Absorb) plus the
+// methods that lazily rebuild indexes (Progress) serializing as
+// writers. Mutating the KB returned by KB() directly, concurrently with
+// a discovery, is not synchronized — route KB growth through Absorb or
+// quiesce discoveries first.
 type Session struct {
+	mu     sync.RWMutex
 	kb     *KB
 	corpus *Corpus
 	opts   Options
@@ -36,6 +47,12 @@ type Session struct {
 	// AddFacts.
 	bySubject map[string][]sessionFact
 	dirty     bool
+
+	// factFP is the running FNV-1a fingerprint over the first fpFacts
+	// corpus facts; Fingerprint extends it incrementally as the
+	// append-only corpus grows.
+	factFP  uint64
+	fpFacts int
 }
 
 type sessionFact struct {
@@ -53,11 +70,13 @@ func NewSession(existing *KB, opts *Options) *Session {
 		kb:     existing,
 		corpus: NewCorpus(existing),
 		opts:   opts.orDefault(),
+		factFP: idset.FingerprintSeed,
 	}
 }
 
 // KB returns the session's knowledge base (it grows as slices are
-// absorbed).
+// absorbed). Mutating it while discoveries are in flight is not
+// synchronized; see the Session doc comment.
 func (s *Session) KB() *KB { return s.kb }
 
 // metrics returns the registry session counters report into: the one
@@ -70,26 +89,66 @@ func (s *Session) metrics() *obs.Registry {
 }
 
 // CorpusSize returns the number of extraction facts loaded.
-func (s *Session) CorpusSize() int { return s.corpus.Len() }
+func (s *Session) CorpusSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.corpus.Len()
+}
 
 // AddFacts appends extraction output to the session corpus.
 func (s *Session) AddFacts(facts ...Fact) {
+	s.mu.Lock()
 	for _, f := range facts {
 		s.corpus.Add(f)
 	}
 	s.dirty = s.dirty || len(facts) > 0
+	s.mu.Unlock()
 	s.metrics().Counter("session/facts_added").Add(int64(len(facts)))
+}
+
+// Fingerprint identifies the discovery-relevant state of the session: a
+// 64-bit FNV-1a hash over the fact table (interned triples, source
+// URLs, confidences) folded with the KB's fact count. Two calls return
+// the same value iff no facts were added and the KB did not grow in
+// between, so Discover results can be cached keyed by it (see
+// internal/serve). The corpus hash is maintained incrementally — on an
+// unchanged session this is O(1).
+func (s *Session) Fingerprint() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	facts := s.corpus.c.Facts
+	for _, e := range facts[s.fpFacts:] {
+		s.factFP = idset.AppendFingerprint64(s.factFP, []uint64{
+			uint64(uint32(e.Triple.S))<<32 | uint64(uint32(e.Triple.P)),
+			uint64(uint32(e.Triple.O))<<32 | uint64(uint32(e.URL)),
+			uint64(math.Float32bits(e.Conf)),
+		})
+	}
+	s.fpFacts = len(facts)
+	return idset.AppendFingerprint64(s.factFP, []uint64{uint64(s.kb.Size())})
 }
 
 // Discover runs the full pipeline over the current corpus against the
 // current KB.
 func (s *Session) Discover() *Result {
+	res, _ := s.DiscoverContext(context.Background())
+	return res
+}
+
+// DiscoverContext is Discover with cancellation: request deadlines and
+// client disconnects propagate into the pipeline, which returns the
+// slices finalized so far together with the context's error. Multiple
+// discoveries may run concurrently (they hold the session's read lock);
+// AddFacts and Absorb wait for in-flight discoveries to finish.
+func (s *Session) DiscoverContext(ctx context.Context) (*Result, error) {
 	reg := s.metrics()
 	defer reg.Timer("session/discover").Start()()
-	res := Discover(s.corpus, s.kb, &s.opts)
+	s.mu.RLock()
+	res, err := DiscoverContext(ctx, s.corpus, s.kb, &s.opts)
+	s.mu.RUnlock()
 	reg.Counter("session/discoveries").Inc()
 	reg.Gauge("session/last_slices").Set(float64(len(res.Slices)))
-	return res
+	return res, err
 }
 
 // Absorb simulates extracting a recommended slice: every corpus fact of
@@ -99,6 +158,8 @@ func (s *Session) Discover() *Result {
 func (s *Session) Absorb(sl Slice) int {
 	reg := s.metrics()
 	defer reg.Timer("session/absorb").Start()()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.reindex()
 	members := make(map[string]bool, len(sl.Entities))
 	for _, e := range sl.Entities {
@@ -124,6 +185,8 @@ func (s *Session) Absorb(sl Slice) int {
 // Progress reports the augmentation state: KB size and how much of the
 // corpus the KB now covers (deduplicated fact-level coverage).
 func (s *Session) Progress() (kbFacts int, corpusCovered float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.reindex()
 	type key struct{ s, p, o string }
 	seen := make(map[key]bool)

@@ -1,8 +1,10 @@
 package midas_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"midas"
@@ -172,5 +174,93 @@ func TestSessionMetrics(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("OpenMetrics exposition missing %q", want)
 		}
+	}
+}
+
+// TestSessionFingerprint: stable on an unchanged session, moves on
+// AddFacts and on Absorb (the KB grew), and is insensitive to the
+// order-independent parts of the call pattern (Discover, Progress).
+func TestSessionFingerprint(t *testing.T) {
+	sess := midas.NewSession(nil, nil)
+	sess.AddFacts(sessionCorpusFacts()...)
+	fp := sess.Fingerprint()
+	if sess.Fingerprint() != fp {
+		t.Fatal("fingerprint changed with no mutation")
+	}
+	res := sess.Discover()
+	sess.Progress()
+	if sess.Fingerprint() != fp {
+		t.Error("Discover/Progress must not move the fingerprint")
+	}
+	sess.AddFacts(midas.Fact{
+		Subject: "late entity", Predicate: "kind", Object: "type0",
+		Confidence: 0.9, URL: "http://site0.example.com/wiki/late.htm",
+	})
+	fpAdd := sess.Fingerprint()
+	if fpAdd == fp {
+		t.Error("AddFacts must move the fingerprint")
+	}
+	if len(res.Slices) == 0 {
+		t.Fatal("no slices")
+	}
+	if sess.Absorb(res.Slices[0]) == 0 {
+		t.Fatal("absorb added nothing")
+	}
+	if sess.Fingerprint() == fpAdd {
+		t.Error("Absorb that grows the KB must move the fingerprint")
+	}
+
+	// A second session built the same way reproduces the fingerprint.
+	again := midas.NewSession(nil, nil)
+	again.AddFacts(sessionCorpusFacts()...)
+	if again.Fingerprint() != fp {
+		t.Error("identical sessions must share a fingerprint")
+	}
+}
+
+// TestSessionConcurrent: ≥8 goroutines hammer one session with the full
+// method surface; run under -race this proves the RWMutex guard. The
+// assertions are deliberately weak — the point is the interleaving.
+func TestSessionConcurrent(t *testing.T) {
+	sess := midas.NewSession(nil, nil)
+	sess.AddFacts(sessionCorpusFacts()...)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				switch c % 4 {
+				case 0:
+					res, err := sess.DiscoverContext(context.Background())
+					if err != nil {
+						t.Errorf("discover: %v", err)
+					}
+					for _, sl := range res.Slices {
+						sess.Absorb(sl)
+					}
+				case 1:
+					sess.AddFacts(midas.Fact{
+						Subject:   fmt.Sprintf("c%d entity %d", c, i),
+						Predicate: "kind", Object: "concurrent",
+						Confidence: 0.9,
+						URL:        fmt.Sprintf("http://conc.example.com/c%d/e%d.htm", c, i),
+					})
+					sess.Fingerprint()
+				case 2:
+					sess.Discover()
+					sess.CorpusSize()
+				default:
+					sess.Progress()
+					sess.Fingerprint()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if kb, _ := sess.Progress(); kb == 0 {
+		t.Error("nothing absorbed across the run")
 	}
 }
