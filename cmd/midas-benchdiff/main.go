@@ -25,10 +25,19 @@
 //     same -max-wall-regress limit and -min-seconds noise floor, so a
 //     slowdown confined to one round (e.g. the domain-level merge)
 //     cannot hide inside a stable total.
+//   - request p99 (optional, for serving-path snapshots such as the
+//     final -stats dump of midas-serve): per-endpoint p99 latency
+//     estimated from the serve/request_seconds histogram vector must
+//     not regress by more than -max-p99-regress. Endpoints present only
+//     in the serve/request timer vector fall back to the timer's
+//     recorded max as a conservative p99 bound. Disabled at the default
+//     -max-p99-regress 0; baselines below -min-p99-seconds are skipped
+//     as noise.
 //
 // Usage:
 //
 //	midas-benchdiff -old previous/BENCH_stats.json -new BENCH_stats.json
+//	midas-benchdiff -old prev/SERVE_stats.json -new SERVE_stats.json -max-p99-regress 0.5
 //
 // Exits 0 when within thresholds, 1 on a regression, 2 on usage or
 // unreadable input. -allow-missing exits 0 when the old snapshot does
@@ -39,6 +48,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
@@ -53,9 +63,16 @@ func main() {
 		maxPruneDrop = flag.Float64("max-prune-drop", 0.20, "max relative pruning-ratio drop")
 		minSeconds   = flag.Float64("min-seconds", 0.05, "skip the wall-time check below this baseline (noise floor)")
 		minLevelGen  = flag.Int64("min-level-nodes", 200, "skip per-level pruning checks below this baseline node count (noise floor)")
+		maxP99       = flag.Float64("max-p99-regress", 0, "max relative per-endpoint request-p99 regression (0 = check disabled)")
+		minP99       = flag.Float64("min-p99-seconds", 0.005, "skip the p99 check below this baseline (noise floor)")
 		allowMissing = flag.Bool("allow-missing", false, "exit 0 when the old snapshot does not exist")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug|info|warn|error|off")
+		logFormat    = flag.String("log-format", "logfmt", "log encoding: logfmt|json")
 	)
 	flag.Parse()
+	if err := obs.InstallDefaultLogger(os.Stderr, *logLevel, *logFormat); err != nil {
+		fatal(err)
+	}
 	if *oldPath == "" || *newPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -79,6 +96,8 @@ func main() {
 		MaxPruneDrop:   *maxPruneDrop,
 		MinSeconds:     *minSeconds,
 		MinLevelNodes:  *minLevelGen,
+		MaxP99Regress:  *maxP99,
+		MinP99Seconds:  *minP99,
 	})
 	for _, line := range report.Lines {
 		fmt.Println(line)
@@ -106,6 +125,13 @@ type Thresholds struct {
 	// MinLevelNodes is the per-level noise floor: lattice levels whose
 	// baseline generated fewer nodes skip the per-level pruning check.
 	MinLevelNodes int64
+	// MaxP99Regress is the max relative increase of an endpoint's
+	// estimated request p99 (0 disables the check — bench snapshots
+	// carry no serving-path histograms).
+	MaxP99Regress float64
+	// MinP99Seconds is the p99 noise floor: endpoints whose baseline
+	// p99 is below it skip the check.
+	MinP99Seconds float64
 }
 
 // Report is the outcome of a comparison: human-readable lines plus the
@@ -158,7 +184,102 @@ func Compare(oldSnap, newSnap obs.Snapshot, th Thresholds) Report {
 
 	comparePerLevel(&rep, oldSnap, newSnap, th)
 	comparePerDepth(&rep, oldSnap, newSnap, th)
+	compareP99(&rep, oldSnap, newSnap, th)
 	return rep
+}
+
+// compareP99 applies the latency check to each endpoint of the
+// serving-path request instrumentation: p99 estimated from the
+// serve/request_seconds histogram vector, falling back to the
+// serve/request timer vector's recorded max (a conservative upper
+// bound on p99) for endpoints the histogram is missing. Disabled
+// unless the limit is positive — bench snapshots have no serving-path
+// traffic — and endpoints below the baseline noise floor are skipped.
+func compareP99(rep *Report, oldSnap, newSnap obs.Snapshot, th Thresholds) {
+	if th.MaxP99Regress <= 0 {
+		return
+	}
+	oldP99 := endpointP99s(oldSnap)
+	if len(oldP99) == 0 {
+		rep.Lines = append(rep.Lines, "p99 latency: no baseline request histograms or timers, skipping")
+		return
+	}
+	newP99 := endpointP99s(newSnap)
+	for _, ep := range sortedKeys(oldP99) {
+		op := oldP99[ep]
+		np, inNew := newP99[ep]
+		if op < th.MinP99Seconds {
+			continue // baseline too fast to resolve a relative change
+		}
+		if !inNew {
+			rep.Lines = append(rep.Lines, fmt.Sprintf(
+				"p99 latency: endpoint %s vanished from current snapshot (%.4fs baseline)", ep, op))
+			continue
+		}
+		rel := np/op - 1
+		line := fmt.Sprintf("p99 latency: %s %.4fs → %.4fs (%+.1f%%, limit +%.0f%%)",
+			ep, op, np, rel*100, th.MaxP99Regress*100)
+		rep.Lines = append(rep.Lines, line)
+		if rel > th.MaxP99Regress {
+			rep.Regressions = append(rep.Regressions, line)
+		}
+	}
+}
+
+// endpointP99s maps endpoint → estimated p99 seconds, preferring the
+// request-latency histogram and falling back to the request timer's
+// max for endpoints only the timer saw.
+func endpointP99s(s obs.Snapshot) map[string]float64 {
+	out := make(map[string]float64)
+	for _, series := range s.HistogramVecs["serve/request_seconds"].Series {
+		ep, ok := series.Labels["endpoint"]
+		if !ok {
+			continue
+		}
+		if p, ok := histQuantile(series.HistogramSnapshot, 0.99); ok {
+			out[ep] = p
+		}
+	}
+	for _, series := range s.TimerVecs["serve/request"].Series {
+		ep, ok := series.Labels["endpoint"]
+		if !ok || series.Count == 0 {
+			continue
+		}
+		if _, have := out[ep]; !have {
+			out[ep] = series.MaxSeconds
+		}
+	}
+	return out
+}
+
+// histQuantile estimates quantile q from a bucketed snapshot: linear
+// interpolation inside the bucket holding the q-th observation, with
+// the recorded Min/Max clamping the first and overflow buckets (the
+// snapshot omits empty buckets, so a bucket's lower edge is the
+// previous retained bound). Reports false when nothing was observed.
+func histQuantile(h obs.HistogramSnapshot, q float64) (float64, bool) {
+	if h.Count == 0 {
+		return 0, false
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	lo := h.Min
+	for _, b := range h.Buckets {
+		if cum+b.Count >= rank {
+			ub := float64(b.UpperBound)
+			if math.IsInf(ub, 1) {
+				return h.Max, true
+			}
+			v := lo + (ub-lo)*float64(rank-cum)/float64(b.Count)
+			return math.Min(math.Max(v, h.Min), h.Max), true
+		}
+		cum += b.Count
+		lo = float64(b.UpperBound)
+	}
+	return h.Max, true
 }
 
 // comparePerLevel applies the pruning-ratio check to each lattice level

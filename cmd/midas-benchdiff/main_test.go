@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -196,5 +197,107 @@ func TestPruneRatio(t *testing.T) {
 	}
 	if _, ok := pruneRatio(obs.Snapshot{}); ok {
 		t.Error("pruneRatio on empty snapshot should report not-ok")
+	}
+}
+
+// latSnap extends a base snapshot with request-latency series: hist
+// maps endpoint → histogram, timerMax maps endpoint → the request
+// timer's recorded max (the fallback source for endpoints without a
+// histogram).
+func latSnap(base obs.Snapshot, hist map[string]obs.HistogramSnapshot, timerMax map[string]float64) obs.Snapshot {
+	hv := obs.HistogramVecSnapshot{LabelNames: []string{"endpoint"}}
+	for _, ep := range sortedKeys(hist) {
+		hv.Series = append(hv.Series, obs.LabeledHistogram{
+			Labels:            map[string]string{"endpoint": ep},
+			HistogramSnapshot: hist[ep],
+		})
+	}
+	base.HistogramVecs = map[string]obs.HistogramVecSnapshot{"serve/request_seconds": hv}
+	tv := obs.TimerVecSnapshot{LabelNames: []string{"endpoint"}}
+	for _, ep := range sortedKeys(timerMax) {
+		tv.Series = append(tv.Series, obs.LabeledTimer{
+			Labels:        map[string]string{"endpoint": ep},
+			TimerSnapshot: obs.TimerSnapshot{Count: 10, TotalSeconds: 1, MaxSeconds: timerMax[ep]},
+		})
+	}
+	if base.TimerVecs == nil {
+		base.TimerVecs = map[string]obs.TimerVecSnapshot{}
+	}
+	base.TimerVecs["serve/request"] = tv
+	return base
+}
+
+// hist builds a snapshot whose p99 lands 90% of the way into the
+// second bucket: with buckets (lo, 90 obs) and (hi, 10 obs) the 99th
+// of 100 observations interpolates to lo + 0.9*(hi-lo).
+func hist(lo, hi float64) obs.HistogramSnapshot {
+	return obs.HistogramSnapshot{
+		Count: 100, Sum: 50, Min: lo / 2, Max: hi,
+		Buckets: []obs.Bucket{
+			{UpperBound: obs.JSONFloat(lo), Count: 90},
+			{UpperBound: obs.JSONFloat(hi), Count: 10},
+		},
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	if _, ok := histQuantile(obs.HistogramSnapshot{}, 0.99); ok {
+		t.Error("empty histogram should report not-ok")
+	}
+	// 99th of 100: 9 observations into the 10-count (0.05, 0.1] bucket.
+	if p, ok := histQuantile(hist(0.05, 0.1), 0.99); !ok || p < 0.094 || p > 0.096 {
+		t.Errorf("p99 = %v/%v, want ≈0.095", p, ok)
+	}
+	// Median falls inside the first bucket, whose lower edge is Min.
+	if p, ok := histQuantile(hist(0.05, 0.1), 0.50); !ok || p <= 0.025 || p >= 0.05 {
+		t.Errorf("p50 = %v/%v, want inside (Min, 0.05)", p, ok)
+	}
+	// An overflow bucket answers with the recorded max, not infinity.
+	h := obs.HistogramSnapshot{
+		Count: 100, Max: 2.5,
+		Buckets: []obs.Bucket{
+			{UpperBound: obs.JSONFloat(0.1), Count: 50},
+			{UpperBound: obs.JSONFloat(inf()), Count: 50},
+		},
+	}
+	if p, ok := histQuantile(h, 0.99); !ok || p != 2.5 {
+		t.Errorf("overflow p99 = %v/%v, want Max 2.5", p, ok)
+	}
+}
+
+func inf() float64 { return math.Inf(1) }
+
+func TestCompareP99DisabledByDefault(t *testing.T) {
+	oldSnap := latSnap(snap(1.0, 1000, 300, 200), map[string]obs.HistogramSnapshot{"GET /api/jobs": hist(0.01, 0.02)}, nil)
+	newSnap := latSnap(snap(1.0, 1000, 300, 200), map[string]obs.HistogramSnapshot{"GET /api/jobs": hist(1, 2)}, nil)
+	rep := Compare(oldSnap, newSnap, defaultTh) // MaxP99Regress zero
+	if regressionsMatching(rep, "p99") != 0 {
+		t.Errorf("regressions = %v, p99 check must stay disabled at limit 0", rep.Regressions)
+	}
+}
+
+func TestCompareP99Regression(t *testing.T) {
+	th := defaultTh
+	th.MaxP99Regress = 0.5
+	th.MinP99Seconds = 0.005
+	oldSnap := latSnap(snap(1.0, 1000, 300, 200), map[string]obs.HistogramSnapshot{
+		"POST /api/sessions/{name}/discover": hist(0.05, 0.1),    // regresses 10×
+		"GET /api/jobs":                      hist(0.05, 0.1),    // stays put
+		"GET /healthz":                       hist(0.001, 0.002), // below noise floor
+	}, map[string]float64{"POST /api/sessions": 0.1}) // timer-only endpoint
+	newSnap := latSnap(snap(1.0, 1000, 300, 200), map[string]obs.HistogramSnapshot{
+		"POST /api/sessions/{name}/discover": hist(0.5, 1.0),
+		"GET /api/jobs":                      hist(0.05, 0.1),
+		"GET /healthz":                       hist(0.5, 1.0),
+	}, map[string]float64{"POST /api/sessions": 0.3}) // tripled: timer fallback must catch it
+	rep := Compare(oldSnap, newSnap, th)
+	if regressionsMatching(rep, "p99 latency: POST /api/sessions/{name}/discover") != 1 {
+		t.Errorf("regressions = %v, want the discover endpoint flagged", rep.Regressions)
+	}
+	if regressionsMatching(rep, "p99 latency: POST /api/sessions ") != 1 {
+		t.Errorf("regressions = %v, want the timer-fallback endpoint flagged", rep.Regressions)
+	}
+	if got := regressionsMatching(rep, "p99"); got != 2 {
+		t.Errorf("regressions = %v, want exactly two p99 regressions", rep.Regressions)
 	}
 }

@@ -7,7 +7,9 @@
 //
 //	midas-serve [-listen :8080] [-max-discoveries N]
 //	      [-request-timeout 30s] [-job-timeout 0]
-//	      [-drain-timeout 30s] [-stats final-stats.json]
+//	      [-drain-grace 0s] [-drain-timeout 30s]
+//	      [-log-level info] [-log-format logfmt]
+//	      [-stats final-stats.json]
 //
 // API (JSON; see README.md "Serving" for the full table):
 //
@@ -20,10 +22,16 @@
 //	POST   /api/sessions/{s}/absorb       absorb result slices into the KB
 //	GET    /api/sessions/{s}/progress     KB size and corpus coverage
 //
-// On SIGTERM/SIGINT the service stops accepting connections, drains
+// On SIGTERM/SIGINT the service first flips /readyz to 503 and keeps
+// serving for -drain-grace (so load balancers observe the readiness
+// drop and stop routing before the listener closes), then drains
 // running discovery jobs (canceling them if -drain-timeout expires;
 // canceled jobs finish with partial results), writes the final metrics
-// snapshot to -stats, and exits 0.
+// snapshot to -stats — runtime gauges included — and exits 0.
+//
+// Structured logs (access lines, job lifecycle) go to stderr; set
+// -log-format json to pipe them through jq, -log-level debug to also
+// log probe traffic, -log-level off to silence.
 package main
 
 import (
@@ -47,12 +55,20 @@ func main() {
 		maxDisc      = flag.Int("max-discoveries", 0, "max concurrent discovery jobs before shedding with 429 (0 = GOMAXPROCS)")
 		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (sync discoveries return partial results at it; -1s disables)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "async discovery job budget (0 = unlimited)")
+		drainGrace   = flag.Duration("drain-grace", 0, "keep serving this long after readiness drops, so routers observe /readyz 503 before the listener closes")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
 		statsPath    = flag.String("stats", "", "write a final JSON metrics snapshot to this file on shutdown")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug|info|warn|error|off")
+		logFormat    = flag.String("log-format", "logfmt", "log encoding: logfmt|json")
 	)
 	flag.Parse()
+	if err := obs.InstallDefaultLogger(os.Stderr, *logLevel, *logFormat); err != nil {
+		fmt.Fprintln(os.Stderr, "midas-serve:", err)
+		os.Exit(1)
+	}
 
 	reg := obs.Default()
+	rc := obs.NewRuntimeCollector(reg, 10*time.Second)
 	srv := serve.New(serve.Options{
 		MaxInFlight:    *maxDisc,
 		RequestTimeout: *reqTimeout,
@@ -66,6 +82,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "midas-serve:", err)
 		os.Exit(1)
 	}
+	srv.SetReady(true)
 	fmt.Fprintf(os.Stderr, "midas-serve: serving on http://%s/ (API under /api, telemetry at /metrics)\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -81,19 +98,25 @@ func main() {
 	}
 	stop()
 
-	// Drain: stop accepting, let running jobs finish (cancel at the
-	// deadline — the pipeline hands back partial results), then flush
-	// the final snapshot.
+	// Shutdown sequence: readiness drops first and the listener keeps
+	// serving for the grace window — routers see /readyz 503 (and
+	// /healthz still 200) and stop sending traffic. Then drain running
+	// jobs with the listener still open (so probes and job polls keep
+	// answering mid-drain), close the listener, and flush the final
+	// snapshot with a last runtime-gauge sample.
 	fmt.Fprintln(os.Stderr, "midas-serve: draining...")
+	srv.SetReady(false)
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	shutdownErr := make(chan error, 1)
-	go func() { shutdownErr <- httpSrv.Shutdown(drainCtx) }()
 	inFlight := srv.Drain(drainCtx)
-	if err := <-shutdownErr; err != nil {
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		httpSrv.Close()
 	}
 	srv.Close()
+	rc.Stop()
 	if *statsPath != "" {
 		if err := reg.WriteFile(*statsPath); err != nil {
 			fmt.Fprintln(os.Stderr, "midas-serve: writing final stats:", err)

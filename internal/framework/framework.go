@@ -184,7 +184,16 @@ func Run(corpus *fact.Corpus, existing *kb.KB, opts Options) *Output {
 func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts Options) (*Output, error) {
 	reg := opts.Obs.OrDefault()
 	runStart := time.Now()
-	ctx, runSpan := opts.Trace.OrDefault().StartSpan(ctx, "framework/run")
+	// With an explicit tracer, root the run on it (the batch -trace
+	// path). Otherwise parent to whatever span the context carries —
+	// midas-serve's per-request span, making the request the ancestor of
+	// every round — falling back to a root on the default tracer.
+	var runSpan *obs.Span
+	if opts.Trace != nil {
+		ctx, runSpan = opts.Trace.StartSpan(ctx, "framework/run")
+	} else {
+		ctx, runSpan = obs.StartSpanOrRoot(ctx, "framework/run")
+	}
 	// One token budget for the whole run: each in-flight source shard
 	// holds one token, and the default detector's lattice build grabs
 	// spare tokens for within-source parallelism (hierarchy.Options.Pool)

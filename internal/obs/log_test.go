@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock pins a logger's timestamps so encoded records are exact.
+func fixedClock(l *Logger) *Logger {
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	l.now = func() time.Time { return at }
+	return l
+}
+
+func TestLoggerLogfmtEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedClock(NewLogger(&buf, LevelDebug, FormatLogfmt))
+	l.Info(nil, "session created", "session", "alpha", "facts", 42, "coverage", 0.625,
+		"dur", 150*time.Millisecond, "quoted", "two words", "empty", "", "ok", true)
+	got := buf.String()
+	want := `ts=2026-08-08T12:00:00Z level=info msg="session created" session=alpha facts=42 coverage=0.625 dur=150ms quoted="two words" empty="" ok=true` + "\n"
+	if got != want {
+		t.Errorf("logfmt record:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerJSONEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedClock(NewLogger(&buf, LevelDebug, FormatJSON))
+	l.Error(nil, `escape "this"`, "err", errors.New("boom\nline2"), "n", int64(7))
+	line := buf.String()
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, line)
+	}
+	if rec["level"] != "error" || rec["msg"] != `escape "this"` || rec["err"] != "boom\nline2" || rec["n"] != float64(7) {
+		t.Errorf("decoded record = %v", rec)
+	}
+	// Deterministic field order: ts first, then level, msg.
+	if !strings.HasPrefix(line, `{"ts":"2026-08-08T12:00:00Z","level":"error","msg":`) {
+		t.Errorf("field order: %s", line)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn, FormatLogfmt)
+	l.Debug(nil, "nope")
+	l.Info(nil, "nope")
+	l.Warn(nil, "yes")
+	l.Error(nil, "yes")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("records written = %d, want 2:\n%s", got, buf.String())
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled disagrees with level filtering")
+	}
+	buf.Reset()
+	off := NewLogger(&buf, LevelOff, FormatLogfmt)
+	off.Error(nil, "nope")
+	if buf.Len() != 0 {
+		t.Errorf("LevelOff still wrote: %s", buf.String())
+	}
+}
+
+func TestLoggerNilSafety(t *testing.T) {
+	var l *Logger
+	l.Info(context.Background(), "into the void", "k", "v")
+	l.With("k", "v").Error(nil, "still nothing")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+	if l.OrDefault() != nil {
+		t.Error("OrDefault with no default installed should stay nil")
+	}
+}
+
+func TestLoggerDefaultInstall(t *testing.T) {
+	var buf bytes.Buffer
+	SetDefaultLogger(NewLogger(&buf, LevelInfo, FormatLogfmt))
+	defer SetDefaultLogger(nil)
+	var l *Logger
+	l.OrDefault().Info(nil, "via default")
+	if !strings.Contains(buf.String(), "msg="+`"via default"`) {
+		t.Errorf("default logger did not receive the record: %q", buf.String())
+	}
+}
+
+func TestLoggerWithAndContextFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixedClock(NewLogger(&buf, LevelDebug, FormatLogfmt)).With("component", "serve")
+	ctx := ContextWithLogFields(context.Background(), "request", "000007", "session", "alpha")
+	ctx = ContextWithLogFields(ctx, "job", 3)
+	l.Info(ctx, "job started", "cached", false)
+	want := `ts=2026-08-08T12:00:00Z level=info msg="job started" request=000007 session=alpha job=3 component=serve cached=false` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("record:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerSpanCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, FormatJSON)
+	tr := NewTracer()
+	ctx, root := tr.StartSpan(context.Background(), "request")
+	ctx, child := tr.StartSpan(ctx, "framework/run")
+	l.Info(ctx, "round done")
+	child.End()
+	root.End()
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace"] != formatSpanID(root.ID()) {
+		t.Errorf("trace field = %v, want root id %s", rec["trace"], formatSpanID(root.ID()))
+	}
+	if rec["span"] != formatSpanID(child.ID()) {
+		t.Errorf("span field = %v, want current span id %s", rec["span"], formatSpanID(child.ID()))
+	}
+}
+
+func TestLoggerBadKeyPairs(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, FormatLogfmt)
+	l.Info(nil, "odd", "key-without-value")
+	if !strings.Contains(buf.String(), "!BADKEY=key-without-value") {
+		t.Errorf("trailing odd value not surfaced: %q", buf.String())
+	}
+	buf.Reset()
+	l.Info(nil, "nonstring", 42, "v")
+	if !strings.Contains(buf.String(), "!BADKEY(42)=v") {
+		t.Errorf("non-string key not surfaced: %q", buf.String())
+	}
+}
+
+func TestParseLevelAndFormat(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "off": LevelOff, "none": LevelOff,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel should reject unknown levels")
+	}
+	if f, err := ParseFormat("json"); err != nil || f != FormatJSON {
+		t.Errorf("ParseFormat(json) = %v, %v", f, err)
+	}
+	if f, err := ParseFormat(""); err != nil || f != FormatLogfmt {
+		t.Errorf("ParseFormat(empty) = %v, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat should reject unknown formats")
+	}
+	if _, err := NewLoggerFromFlags(&bytes.Buffer{}, "info", "json"); err != nil {
+		t.Errorf("NewLoggerFromFlags: %v", err)
+	}
+	if _, err := NewLoggerFromFlags(&bytes.Buffer{}, "nope", "json"); err == nil {
+		t.Error("NewLoggerFromFlags should propagate level errors")
+	}
+}
+
+// TestLoggerConcurrent hammers one logger from many goroutines; under
+// -race this proves writes are serialized, and every line must stay
+// intact (no interleaving) and valid JSON.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelDebug, FormatJSON)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Info(nil, "tick", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 8*50 {
+		t.Fatalf("line count = %d, want %d", len(lines), 8*50)
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved or corrupt record: %q", line)
+		}
+	}
+}

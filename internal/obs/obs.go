@@ -150,6 +150,11 @@ func seconds(ns int64) float64 { return float64(ns) / 1e9 }
 // entity counts, and profits alike.
 var DefaultBuckets = []float64{0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 100000, 1000000}
 
+// DefaultLatencyBuckets are upper bounds in seconds for request-latency
+// histograms: sub-millisecond cache hits through multi-second discovery
+// jobs.
+var DefaultLatencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
 // Histogram counts observations into fixed upper-bound buckets and
 // tracks count/sum/min/max. Observations above the last bound land in an
 // implicit +Inf overflow bucket.
@@ -189,7 +194,7 @@ func (h *Histogram) ObserveN(v float64, n int64) {
 // Bucket is one histogram bucket: the count of observations ≤ the upper
 // bound. The overflow bucket has UpperBound = +Inf, serialized as "inf".
 type Bucket struct {
-	UpperBound jsonFloat `json:"le"`
+	UpperBound JSONFloat `json:"le"`
 	Count      int64     `json:"count"`
 }
 
@@ -220,16 +225,16 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		if i < len(h.bounds) {
 			ub = h.bounds[i]
 		}
-		s.Buckets = append(s.Buckets, Bucket{UpperBound: jsonFloat(ub), Count: n})
+		s.Buckets = append(s.Buckets, Bucket{UpperBound: JSONFloat(ub), Count: n})
 	}
 	return s
 }
 
-// jsonFloat is a float64 whose JSON form supports ±Inf (as "inf" /
+// JSONFloat is a float64 whose JSON form supports ±Inf (as "inf" /
 // "-inf" strings), needed for the overflow bucket bound.
-type jsonFloat float64
+type JSONFloat float64
 
-func (f jsonFloat) MarshalJSON() ([]byte, error) {
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
 	if math.IsInf(float64(f), 1) {
 		return []byte(`"inf"`), nil
 	}
@@ -239,20 +244,20 @@ func (f jsonFloat) MarshalJSON() ([]byte, error) {
 	return json.Marshal(float64(f))
 }
 
-func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
 	switch string(b) {
 	case `"inf"`:
-		*f = jsonFloat(math.Inf(1))
+		*f = JSONFloat(math.Inf(1))
 		return nil
 	case `"-inf"`:
-		*f = jsonFloat(math.Inf(-1))
+		*f = JSONFloat(math.Inf(-1))
 		return nil
 	}
 	var v float64
 	if err := json.Unmarshal(b, &v); err != nil {
 		return err
 	}
-	*f = jsonFloat(v)
+	*f = JSONFloat(v)
 	return nil
 }
 
@@ -261,24 +266,28 @@ func (f *jsonFloat) UnmarshalJSON(b []byte) error {
 // create and are cheap enough to call on warm paths (one RLock + map
 // probe); store the returned handle when a path is truly hot.
 type Registry struct {
-	mu          sync.RWMutex
-	counters    map[string]*Counter
-	gauges      map[string]*Gauge
-	timers      map[string]*Timer
-	histograms  map[string]*Histogram
-	counterVecs map[string]*CounterVec
-	timerVecs   map[string]*TimerVec
+	mu            sync.RWMutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	timers        map[string]*Timer
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	timerVecs     map[string]*TimerVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters:    make(map[string]*Counter),
-		gauges:      make(map[string]*Gauge),
-		timers:      make(map[string]*Timer),
-		histograms:  make(map[string]*Histogram),
-		counterVecs: make(map[string]*CounterVec),
-		timerVecs:   make(map[string]*TimerVec),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		timers:        make(map[string]*Timer),
+		histograms:    make(map[string]*Histogram),
+		counterVecs:   make(map[string]*CounterVec),
+		timerVecs:     make(map[string]*TimerVec),
+		gaugeVecs:     make(map[string]*GaugeVec),
+		histogramVecs: make(map[string]*HistogramVec),
 	}
 }
 
@@ -411,6 +420,62 @@ func (r *Registry) TimerVec(name string, labels ...string) *TimerVec {
 	return v
 }
 
+// GaugeVec returns the named gauge vector with the given label names,
+// creating it if needed. Same contract as CounterVec.
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v, ok := r.gaugeVecs[name]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok = r.gaugeVecs[name]; !ok {
+		v = &GaugeVec{
+			name:   name,
+			labels: append([]string(nil), labels...),
+			series: make(map[string]*Gauge),
+		}
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named histogram vector with the given bucket
+// upper bounds (nil/empty = DefaultBuckets; must be sorted ascending)
+// and label names. Bounds and labels are fixed at first creation, like
+// Histogram bounds and CounterVec labels.
+func (r *Registry) HistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v, ok := r.histogramVecs[name]
+	r.mu.RUnlock()
+	if ok {
+		return v
+	}
+	if len(bounds) == 0 {
+		bounds = DefaultBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok = r.histogramVecs[name]; !ok {
+		v = &HistogramVec{
+			name:   name,
+			labels: append([]string(nil), labels...),
+			bounds: append([]float64(nil), bounds...),
+			series: make(map[string]*Histogram),
+		}
+		r.histogramVecs[name] = v
+	}
+	return v
+}
+
 // Histogram returns the named histogram, creating it with the given
 // bucket upper bounds (DefaultBuckets when none; bounds must be sorted
 // ascending). Bounds are fixed at first creation.
@@ -449,6 +514,8 @@ func (r *Registry) Reset() {
 	r.histograms = make(map[string]*Histogram)
 	r.counterVecs = make(map[string]*CounterVec)
 	r.timerVecs = make(map[string]*TimerVec)
+	r.gaugeVecs = make(map[string]*GaugeVec)
+	r.histogramVecs = make(map[string]*HistogramVec)
 	r.mu.Unlock()
 }
 
@@ -456,12 +523,14 @@ func (r *Registry) Reset() {
 // marshal with sorted keys, so the JSON form is deterministic for a
 // given metric state.
 type Snapshot struct {
-	Counters    map[string]int64              `json:"counters,omitempty"`
-	Gauges      map[string]float64            `json:"gauges,omitempty"`
-	Timers      map[string]TimerSnapshot      `json:"timers,omitempty"`
-	Histograms  map[string]HistogramSnapshot  `json:"histograms,omitempty"`
-	CounterVecs map[string]CounterVecSnapshot `json:"counter_vecs,omitempty"`
-	TimerVecs   map[string]TimerVecSnapshot   `json:"timer_vecs,omitempty"`
+	Counters      map[string]int64                `json:"counters,omitempty"`
+	Gauges        map[string]float64              `json:"gauges,omitempty"`
+	Timers        map[string]TimerSnapshot        `json:"timers,omitempty"`
+	Histograms    map[string]HistogramSnapshot    `json:"histograms,omitempty"`
+	CounterVecs   map[string]CounterVecSnapshot   `json:"counter_vecs,omitempty"`
+	TimerVecs     map[string]TimerVecSnapshot     `json:"timer_vecs,omitempty"`
+	GaugeVecs     map[string]GaugeVecSnapshot     `json:"gauge_vecs,omitempty"`
+	HistogramVecs map[string]HistogramVecSnapshot `json:"histogram_vecs,omitempty"`
 }
 
 // Snapshot copies the current metric values. Individual metrics are read
@@ -509,6 +578,18 @@ func (r *Registry) Snapshot() Snapshot {
 		s.TimerVecs = make(map[string]TimerVecSnapshot, len(r.timerVecs))
 		for name, v := range r.timerVecs {
 			s.TimerVecs[name] = v.snapshot()
+		}
+	}
+	if len(r.gaugeVecs) > 0 {
+		s.GaugeVecs = make(map[string]GaugeVecSnapshot, len(r.gaugeVecs))
+		for name, v := range r.gaugeVecs {
+			s.GaugeVecs[name] = v.snapshot()
+		}
+	}
+	if len(r.histogramVecs) > 0 {
+		s.HistogramVecs = make(map[string]HistogramVecSnapshot, len(r.histogramVecs))
+		for name, v := range r.histogramVecs {
+			s.HistogramVecs[name] = v.snapshot()
 		}
 	}
 	return s

@@ -65,6 +65,14 @@ func writeOpenMetrics(w io.Writer, s Snapshot) error {
 		fmt.Fprintf(bw, "# TYPE %s gauge\n", fam)
 		fmt.Fprintf(bw, "%s %s\n", fam, formatFloat(s.Gauges[name]))
 	}
+	for _, name := range sortedKeys(s.GaugeVecs) {
+		vs := s.GaugeVecs[name]
+		fam := sanitizeName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", fam)
+		for _, series := range vs.Series {
+			fmt.Fprintf(bw, "%s%s %s\n", fam, renderLabels(vs.LabelNames, series.Labels), formatFloat(series.Value))
+		}
+	}
 	for _, name := range sortedKeys(s.Timers) {
 		writeTimer(bw, sanitizeName(name)+"_seconds", "", s.Timers[name])
 	}
@@ -94,9 +102,38 @@ func writeOpenMetrics(w io.Writer, s Snapshot) error {
 		fmt.Fprintf(bw, "%s_count %d\n", fam, hs.Count)
 		fmt.Fprintf(bw, "%s_sum %s\n", fam, formatFloat(hs.Sum))
 	}
+	for _, name := range sortedKeys(s.HistogramVecs) {
+		vs := s.HistogramVecs[name]
+		fam := sanitizeName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", fam)
+		for _, series := range vs.Series {
+			labels := renderLabels(vs.LabelNames, series.Labels)
+			cum := int64(0)
+			for _, b := range series.Buckets {
+				cum += b.Count
+				if math.IsInf(float64(b.UpperBound), 1) {
+					continue
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", fam,
+					mergeLE(labels, formatFloat(float64(b.UpperBound))), cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", fam, mergeLE(labels, "+Inf"), series.Count)
+			fmt.Fprintf(bw, "%s_count%s %d\n", fam, labels, series.Count)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", fam, labels, formatFloat(series.Sum))
+		}
+	}
 
 	fmt.Fprint(bw, "# EOF\n")
 	return bw.Flush()
+}
+
+// mergeLE appends the histogram bucket boundary label to an already
+// rendered label set, e.g. {route="/x"} + 0.5 → {route="/x",le="0.5"}.
+func mergeLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
 }
 
 func writeTimer(w io.Writer, fam, labels string, ts TimerSnapshot) {

@@ -41,6 +41,16 @@ func goldenRegistry() *Registry {
 	tv.With("00").Observe(40 * time.Millisecond)
 	tv.With("00").Observe(60 * time.Millisecond)
 	tv.With("01").Observe(10 * time.Millisecond)
+
+	gv := r.GaugeVec("serve/sessions_facts", "session")
+	gv.With("alpha").Set(321)
+	gv.With("beta").Set(12.5)
+
+	hv := r.HistogramVec("serve/request_seconds", []float64{0.01, 0.1, 1}, "route")
+	hv.With("/api/discover").Observe(0.05)
+	hv.With("/api/discover").Observe(0.7)
+	hv.With("/api/discover").Observe(3)
+	hv.With("/healthz").Observe(0.002)
 	return r
 }
 
@@ -117,6 +127,17 @@ func TestWriteOpenMetricsFormat(t *testing.T) {
 		`midas_slice_profit_bucket{le="10"} 3`,
 		`midas_slice_profit_bucket{le="+Inf"} 4`,
 		"midas_slice_profit_count 4",
+		// labeled gauge series
+		`midas_serve_sessions_facts{session="alpha"} 321`,
+		`midas_serve_sessions_facts{session="beta"} 12.5`,
+		// labeled histogram series: cumulative buckets with the le label
+		// appended after the series labels, mandatory +Inf, count and sum
+		`midas_serve_request_seconds_bucket{route="/api/discover",le="0.1"} 1`,
+		`midas_serve_request_seconds_bucket{route="/api/discover",le="1"} 2`,
+		`midas_serve_request_seconds_bucket{route="/api/discover",le="+Inf"} 3`,
+		`midas_serve_request_seconds_count{route="/api/discover"} 3`,
+		`midas_serve_request_seconds_sum{route="/api/discover"} 3.75`,
+		`midas_serve_request_seconds_bucket{route="/healthz",le="0.01"} 1`,
 	} {
 		if !strings.Contains(out, want+"\n") {
 			t.Errorf("exposition missing line %q\ngot:\n%s", want, out)

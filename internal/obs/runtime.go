@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RuntimeCollector periodically samples Go runtime health — heap, GC,
+// goroutine count — into gauges and counters on a Registry, so a
+// long-running midas-serve exposes memory pressure next to its domain
+// metrics on /metrics and in -stats snapshots.
+//
+// Exported series (registry names; /metrics names get the midas_ prefix
+// and '_' separators):
+//
+//	runtime/heap_bytes             gauge   live heap (MemStats.HeapAlloc)
+//	runtime/heap_objects           gauge   live objects
+//	runtime/sys_bytes              gauge   total from the OS
+//	runtime/goroutines             gauge   runtime.NumGoroutine
+//	runtime/gc_runs                gauge   completed GC cycles
+//	runtime/gc_pause_total_seconds gauge   cumulative stop-the-world pause
+//	runtime/next_gc_bytes          gauge   heap goal for the next cycle
+type RuntimeCollector struct {
+	reg      *Registry
+	interval time.Duration
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	stopped bool
+}
+
+// NewRuntimeCollector starts a collector sampling into reg every
+// interval (minimum 100ms; <=0 defaults to 10s). Returns nil on a nil
+// registry; Stop on a nil collector no-ops.
+func NewRuntimeCollector(reg *Registry, interval time.Duration) *RuntimeCollector {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	c := &RuntimeCollector{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	c.Collect()
+	go c.run()
+	return c
+}
+
+func (c *RuntimeCollector) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.Collect()
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Collect samples the runtime once, immediately. Safe to call
+// concurrently with the ticker; no-ops on a nil collector.
+func (c *RuntimeCollector) Collect() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.reg.Gauge("runtime/heap_bytes").Set(float64(ms.HeapAlloc))
+	c.reg.Gauge("runtime/heap_objects").Set(float64(ms.HeapObjects))
+	c.reg.Gauge("runtime/sys_bytes").Set(float64(ms.Sys))
+	c.reg.Gauge("runtime/goroutines").Set(float64(runtime.NumGoroutine()))
+	c.reg.Gauge("runtime/gc_runs").Set(float64(ms.NumGC))
+	c.reg.Gauge("runtime/gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	c.reg.Gauge("runtime/next_gc_bytes").Set(float64(ms.NextGC))
+}
+
+// Stop halts the ticker after one final collection, so a snapshot taken
+// right after Stop reflects the process's end state. Idempotent.
+func (c *RuntimeCollector) Stop() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if !c.stopped {
+		c.stopped = true
+		close(c.stop)
+	}
+	c.mu.Unlock()
+	<-c.done
+	c.Collect()
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func runtimeGC() { runtime.GC() }
+
+func TestRuntimeCollector(t *testing.T) {
+	r := New()
+	c := NewRuntimeCollector(r, time.Hour) // first sample is immediate
+	s := r.Snapshot()
+	for _, name := range []string{
+		"runtime/heap_bytes", "runtime/heap_objects", "runtime/sys_bytes",
+		"runtime/goroutines", "runtime/gc_pause_total_seconds", "runtime/next_gc_bytes",
+	} {
+		if _, ok := s.Gauges[name]; !ok {
+			t.Errorf("snapshot missing gauge %q", name)
+		}
+	}
+	if s.Gauges["runtime/heap_bytes"] <= 0 || s.Gauges["runtime/goroutines"] <= 0 {
+		t.Errorf("heap=%v goroutines=%v, want > 0",
+			s.Gauges["runtime/heap_bytes"], s.Gauges["runtime/goroutines"])
+	}
+
+	// Stop performs a final collection and is idempotent.
+	r.Reset()
+	c.Stop()
+	c.Stop()
+	if got := r.Snapshot().Gauges["runtime/goroutines"]; got <= 0 {
+		t.Errorf("post-Stop snapshot missing final collection: goroutines=%v", got)
+	}
+}
+
+func TestRuntimeCollectorNil(t *testing.T) {
+	if c := NewRuntimeCollector(nil, time.Second); c != nil {
+		t.Fatal("nil registry should yield a nil collector")
+	}
+	var c *RuntimeCollector
+	c.Collect()
+	c.Stop()
+}
+
+func TestRuntimeCollectorTicks(t *testing.T) {
+	r := New()
+	c := NewRuntimeCollector(r, 100*time.Millisecond)
+	defer c.Stop()
+	base := r.Snapshot().Gauges["runtime/gc_runs"]
+	deadline := time.After(5 * time.Second)
+	for {
+		// Any tick rewrites the gauges; force GC so gc_runs must move.
+		runtimeGC()
+		select {
+		case <-deadline:
+			t.Fatal("ticker never re-collected (gc_runs gauge never advanced)")
+		case <-time.After(120 * time.Millisecond):
+		}
+		if r.Snapshot().Gauges["runtime/gc_runs"] > base {
+			return
+		}
+	}
+}

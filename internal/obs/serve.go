@@ -65,6 +65,16 @@ func Mount(mux *http.ServeMux, r *Registry) {
 		r.WriteJSON(w)
 		fmt.Fprint(w, "}\n")
 	})
+	// Register the index under both the bare path and the trailing-slash
+	// subtree. With only "/debug/pprof/" registered, a bare
+	// "/debug/pprof" request falls through to the mux's "/" handler (or
+	// 404s behind midas-serve's API mux, which has no "/"), and the
+	// index's relative profile links ("goroutine?debug=1") resolve
+	// against /debug/ instead of /debug/pprof/. Redirecting bare → slash
+	// keeps those links working.
+	mux.HandleFunc("/debug/pprof", func(w http.ResponseWriter, req *http.Request) {
+		http.Redirect(w, req, "/debug/pprof/", http.StatusMovedPermanently)
+	})
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)

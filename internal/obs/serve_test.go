@@ -220,3 +220,42 @@ func TestMountOnExistingMux(t *testing.T) {
 		t.Fatalf("/ = %d, want 404 from the caller's mux", code)
 	}
 }
+
+// TestPprofBarePathRedirect: the bare /debug/pprof path (no trailing
+// slash) must redirect into the slash-terminated subtree so the index's
+// relative profile links resolve under /debug/pprof/ — including behind
+// an API mux with no "/" fallback, like midas-serve's.
+func TestPprofBarePathRedirect(t *testing.T) {
+	apiMux := http.NewServeMux() // no "/" handler, like midas-serve
+	obs.Mount(apiMux, obs.New())
+	srv := httptest.NewServer(apiMux)
+	defer srv.Close()
+
+	noRedirect := &http.Client{
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	resp, err := noRedirect.Get(srv.URL + "/debug/pprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMovedPermanently {
+		t.Fatalf("GET /debug/pprof = %d, want %d", resp.StatusCode, http.StatusMovedPermanently)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/debug/pprof/" {
+		t.Fatalf("redirect location = %q, want /debug/pprof/", loc)
+	}
+
+	// A default client lands on the index, and the index's relative
+	// links ("goroutine?debug=1") resolve to working profiles.
+	body := get(t, srv.URL+"/debug/pprof", "")
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("index after redirect missing profile links:\n%s", body)
+	}
+	prof := get(t, srv.URL+"/debug/pprof/goroutine?debug=1", "")
+	if !strings.Contains(prof, "goroutine profile:") {
+		t.Errorf("goroutine profile link broken:\n%.200s", prof)
+	}
+}

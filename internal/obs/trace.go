@@ -30,8 +30,12 @@ type Tracer struct {
 	// rootSeen counts root-span starts for the modulus.
 	sampleN  atomic.Int64
 	rootSeen atomic.Int64
-	mu       sync.Mutex
-	events   []spanEvent
+	// retain bounds len(events); ≤0 keeps everything (batch runs that
+	// export one trace at exit). Long-lived servers set it so untaken
+	// traces age out instead of growing without bound.
+	retain atomic.Int64
+	mu     sync.Mutex
+	events []spanEvent
 }
 
 // spanEvent is one completed span. Times are offsets from the tracer's
@@ -40,6 +44,7 @@ type Tracer struct {
 type spanEvent struct {
 	id     int64
 	parent int64 // 0 = root
+	trace  int64 // id of the root span of this span's tree
 	name   string
 	start  time.Duration
 	dur    time.Duration
@@ -79,9 +84,29 @@ type Span struct {
 	t      *Tracer
 	id     int64
 	parent int64
+	trace  int64
 	name   string
 	start  time.Duration
 	args   map[string]string
+}
+
+// ID returns the span's identifier, unique within its tracer (0 on a
+// nil span).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID identifies the span tree: every descendant of one root span
+// shares the root's ID here (0 on a nil span). The serving path logs it
+// on every line and keys TakeTrace with it.
+func (s *Span) TraceID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace
 }
 
 type spanKey struct{}
@@ -108,9 +133,9 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 	if t == nil {
 		return ctx, nil
 	}
-	var parent int64
+	var parent, trace int64
 	if p := SpanFromContext(ctx); p != nil && p.t == t {
-		parent = p.id
+		parent, trace = p.id, p.trace
 	}
 	if parent == 0 {
 		if n := t.sampleN.Load(); n > 1 && (t.rootSeen.Add(1)-1)%n != 0 {
@@ -124,8 +149,12 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 		t:      t,
 		id:     t.nextID.Add(1),
 		parent: parent,
+		trace:  trace,
 		name:   name,
 		start:  time.Since(t.epoch),
+	}
+	if s.trace == 0 {
+		s.trace = s.id
 	}
 	return ContextWithSpan(ctx, s), s
 }
@@ -187,14 +216,77 @@ func (s *Span) End() {
 	ev := spanEvent{
 		id:     s.id,
 		parent: s.parent,
+		trace:  s.trace,
 		name:   s.name,
 		start:  s.start,
 		dur:    time.Since(s.t.epoch) - s.start,
 		args:   s.args,
 	}
+	max := int(s.t.retain.Load())
 	s.t.mu.Lock()
 	s.t.events = append(s.t.events, ev)
+	if max > 0 && len(s.t.events) > max {
+		// Age out the oldest completed spans; their traces become
+		// partial, which profile consumers tolerate.
+		drop := len(s.t.events) - max
+		s.t.events = append(s.t.events[:0], s.t.events[drop:]...)
+	}
 	s.t.mu.Unlock()
+}
+
+// SetRetention bounds the number of completed spans the tracer retains;
+// once exceeded, the oldest are discarded. Long-lived servers (which
+// trace every request but only fold discovery traces into profiles) set
+// it so abandoned traces age out. n ≤ 0 retains everything — the batch
+// default, where the whole trace is exported at exit. Safe to call
+// concurrently with tracing.
+func (t *Tracer) SetRetention(n int) {
+	if t == nil {
+		return
+	}
+	t.retain.Store(int64(n))
+}
+
+// SpanRecord is one completed span as handed to trace consumers:
+// identifiers, interval (offsets from the tracer's epoch), and
+// annotations.
+type SpanRecord struct {
+	ID       int64
+	Parent   int64 // 0 = root
+	Trace    int64
+	Name     string
+	Start    time.Duration
+	Duration time.Duration
+	Args     map[string]string
+}
+
+// TakeTrace removes and returns every completed span of the given trace
+// (the ID shared by a root span and all its descendants), in completion
+// order. Taking a trace is how the serving path folds a finished job's
+// spans into its profile while keeping the tracer's memory bounded:
+// once taken, the spans no longer appear in Chrome-trace exports. An
+// unknown or already-taken trace returns nil. Spans still in flight are
+// not included — callers take a trace only after its root has ended.
+func (t *Tracer) TakeTrace(traceID int64) []SpanRecord {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanRecord
+	kept := t.events[:0]
+	for _, ev := range t.events {
+		if ev.trace != traceID {
+			kept = append(kept, ev)
+			continue
+		}
+		out = append(out, SpanRecord{
+			ID: ev.id, Parent: ev.parent, Trace: ev.trace, Name: ev.name,
+			Start: ev.start, Duration: ev.dur, Args: ev.args,
+		})
+	}
+	t.events = kept
+	return out
 }
 
 // Len returns the number of completed spans.

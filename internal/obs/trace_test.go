@@ -217,3 +217,82 @@ func TestStartSpanOrRoot(t *testing.T) {
 		t.Fatalf("default tracer Len = %d, want 1 (untouched by child path)", tr.Len())
 	}
 }
+
+// TestTraceIDs: every descendant of one root shares the root's ID as
+// its trace ID, and separate roots get separate traces.
+func TestTraceIDs(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.StartSpan(context.Background(), "request")
+	cctx, child := tr.StartSpan(ctx, "framework/run")
+	_, grand := tr.StartSpan(cctx, "detect")
+	if root.TraceID() != root.ID() {
+		t.Errorf("root trace = %d, want its own id %d", root.TraceID(), root.ID())
+	}
+	if child.TraceID() != root.ID() || grand.TraceID() != root.ID() {
+		t.Errorf("descendants trace = %d/%d, want %d", child.TraceID(), grand.TraceID(), root.ID())
+	}
+	_, other := tr.StartSpan(context.Background(), "request")
+	if other.TraceID() == root.TraceID() {
+		t.Error("independent roots share a trace ID")
+	}
+	var nilSpan *Span
+	if nilSpan.ID() != 0 || nilSpan.TraceID() != 0 {
+		t.Error("nil span should have zero IDs")
+	}
+}
+
+func TestTakeTrace(t *testing.T) {
+	tr := NewTracer()
+	ctx, root := tr.StartSpan(context.Background(), "request")
+	_, child := tr.StartSpan(ctx, "framework/run")
+	child.Arg("depth", "02").End()
+	root.End()
+	_, bystander := tr.StartSpan(context.Background(), "other")
+	bystander.End()
+
+	recs := tr.TakeTrace(root.TraceID())
+	if len(recs) != 2 {
+		t.Fatalf("TakeTrace returned %d spans, want 2", len(recs))
+	}
+	// Completion order: child ended first.
+	if recs[0].Name != "framework/run" || recs[0].Parent != root.ID() || recs[0].Args["depth"] != "02" {
+		t.Errorf("recs[0] = %+v", recs[0])
+	}
+	if recs[1].Name != "request" || recs[1].Parent != 0 || recs[1].Trace != root.ID() {
+		t.Errorf("recs[1] = %+v", recs[1])
+	}
+	// Taken spans are removed; the bystander trace remains.
+	if tr.Len() != 1 {
+		t.Errorf("Len after take = %d, want 1", tr.Len())
+	}
+	if again := tr.TakeTrace(root.TraceID()); again != nil {
+		t.Errorf("second take returned %d spans, want nil", len(again))
+	}
+	if tr.TakeTrace(0) != nil {
+		t.Error("TakeTrace(0) should return nil")
+	}
+	var nilTr *Tracer
+	if nilTr.TakeTrace(1) != nil {
+		t.Error("nil tracer TakeTrace should return nil")
+	}
+}
+
+// TestSpanRetention: with a cap set, the oldest completed spans age out.
+func TestSpanRetention(t *testing.T) {
+	tr := NewTracer()
+	tr.SetRetention(3)
+	for i := 0; i < 10; i++ {
+		_, s := tr.StartSpan(context.Background(), "request")
+		s.End()
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want retention cap 3", tr.Len())
+	}
+	// The survivors are the newest spans (highest IDs).
+	evs := decodeTrace(t, tr)
+	if len(evs) != 3 {
+		t.Fatalf("export has %d events, want 3", len(evs))
+	}
+	var nilTr *Tracer
+	nilTr.SetRetention(5) // no-op
+}

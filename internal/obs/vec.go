@@ -86,6 +86,76 @@ func (v *TimerVec) With(values ...string) *Timer {
 	return t
 }
 
+// GaugeVec is a family of gauges partitioned by labels, e.g. the
+// per-endpoint in-flight request counts of the serving path.
+type GaugeVec struct {
+	name   string
+	labels []string
+	mu     sync.RWMutex
+	series map[string]*Gauge
+}
+
+// With returns the gauge for the given label values, creating it if
+// needed. Same contract as CounterVec.With.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic("obs: GaugeVec " + v.name + ": label value count mismatch")
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	g, ok := v.series[key]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.series[key]; !ok {
+		g = &Gauge{}
+		v.series[key] = g
+	}
+	return g
+}
+
+// HistogramVec is a family of histograms partitioned by labels, all
+// sharing one set of bucket bounds — e.g. the per-endpoint request
+// latency distributions of the serving path.
+type HistogramVec struct {
+	name   string
+	labels []string
+	bounds []float64
+	mu     sync.RWMutex
+	series map[string]*Histogram
+}
+
+// With returns the histogram for the given label values, creating it if
+// needed. Same contract as CounterVec.With.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic("obs: HistogramVec " + v.name + ": label value count mismatch")
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	h, ok := v.series[key]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.series[key]; !ok {
+		h = &Histogram{bounds: v.bounds, buckets: make([]int64, len(v.bounds)+1)}
+		v.series[key] = h
+	}
+	return h
+}
+
 // LabeledCounter is one serialized series of a CounterVec.
 type LabeledCounter struct {
 	Labels map[string]string `json:"labels"`
@@ -109,6 +179,30 @@ type LabeledTimer struct {
 type TimerVecSnapshot struct {
 	LabelNames []string       `json:"label_names"`
 	Series     []LabeledTimer `json:"series"`
+}
+
+// LabeledGauge is one serialized series of a GaugeVec.
+type LabeledGauge struct {
+	Labels map[string]string `json:"labels"`
+	Value  float64           `json:"value"`
+}
+
+// GaugeVecSnapshot is the serialized state of a GaugeVec.
+type GaugeVecSnapshot struct {
+	LabelNames []string       `json:"label_names"`
+	Series     []LabeledGauge `json:"series"`
+}
+
+// LabeledHistogram is one serialized series of a HistogramVec.
+type LabeledHistogram struct {
+	Labels map[string]string `json:"labels"`
+	HistogramSnapshot
+}
+
+// HistogramVecSnapshot is the serialized state of a HistogramVec.
+type HistogramVecSnapshot struct {
+	LabelNames []string           `json:"label_names"`
+	Series     []LabeledHistogram `json:"series"`
 }
 
 func labelMap(names []string, key string) map[string]string {
@@ -141,6 +235,32 @@ func (v *TimerVec) snapshot() TimerVecSnapshot {
 		s.Series = append(s.Series, LabeledTimer{
 			Labels:        labelMap(v.labels, key),
 			TimerSnapshot: v.series[key].snapshot(),
+		})
+	}
+	return s
+}
+
+func (v *GaugeVec) snapshot() GaugeVecSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	s := GaugeVecSnapshot{LabelNames: append([]string(nil), v.labels...)}
+	for _, key := range sortedKeys(v.series) {
+		s.Series = append(s.Series, LabeledGauge{
+			Labels: labelMap(v.labels, key),
+			Value:  v.series[key].Value(),
+		})
+	}
+	return s
+}
+
+func (v *HistogramVec) snapshot() HistogramVecSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	s := HistogramVecSnapshot{LabelNames: append([]string(nil), v.labels...)}
+	for _, key := range sortedKeys(v.series) {
+		s.Series = append(s.Series, LabeledHistogram{
+			Labels:            labelMap(v.labels, key),
+			HistogramSnapshot: v.series[key].snapshot(),
 		})
 	}
 	return s

@@ -57,6 +57,69 @@ func TestTimerVecBasics(t *testing.T) {
 	}
 }
 
+func TestGaugeVecBasics(t *testing.T) {
+	r := New()
+	v := r.GaugeVec("serve/inflight", "route")
+	v.With("/api/discover").Set(3)
+	v.With("/api/discover").Set(2)
+	v.With("/healthz").Set(1)
+	if got := v.With("/api/discover").Value(); got != 2 {
+		t.Errorf(`series route=/api/discover = %v, want 2`, got)
+	}
+	s := v.snapshot()
+	if !reflect.DeepEqual(s.LabelNames, []string{"route"}) {
+		t.Errorf("label names = %v", s.LabelNames)
+	}
+	if len(s.Series) != 2 {
+		t.Fatalf("series count = %d, want 2", len(s.Series))
+	}
+	if s.Series[0].Labels["route"] != "/api/discover" || s.Series[0].Value != 2 {
+		t.Errorf("series[0] = %+v", s.Series[0])
+	}
+	if r.GaugeVec("serve/inflight", "route") != v {
+		t.Error("second GaugeVec lookup returned a different vector")
+	}
+}
+
+func TestHistogramVecBasics(t *testing.T) {
+	r := New()
+	v := r.HistogramVec("serve/request_seconds", []float64{0.01, 0.1, 1}, "route")
+	v.With("/api/discover").Observe(0.05)
+	v.With("/api/discover").Observe(0.5)
+	v.With("/api/discover").Observe(5)
+	v.With("/healthz").Observe(0.001)
+	s := v.snapshot()
+	if len(s.Series) != 2 {
+		t.Fatalf("series count = %d, want 2", len(s.Series))
+	}
+	d := s.Series[0]
+	if d.Labels["route"] != "/api/discover" || d.Count != 3 {
+		t.Fatalf("series[0] = %+v", d)
+	}
+	if d.Sum != 5.55 || d.Min != 0.05 || d.Max != 5 {
+		t.Errorf("sum/min/max = %v/%v/%v, want 5.55/0.05/5", d.Sum, d.Min, d.Max)
+	}
+	// Buckets are per-bound (non-cumulative) in snapshots, with the
+	// overflow under +Inf — same shape as plain Histogram snapshots.
+	counts := map[string]int64{}
+	for _, b := range d.Buckets {
+		counts[formatFloat(float64(b.UpperBound))] = b.Count
+	}
+	if counts["0.1"] != 1 || counts["1"] != 1 || counts["+Inf"] != 1 {
+		t.Errorf("bucket counts = %v", counts)
+	}
+	// Default bounds kick in when none are given.
+	dv := r.HistogramVec("other", nil, "l")
+	dv.With("x").Observe(3)
+	ds := dv.With("x").snapshot()
+	if len(ds.Buckets) != 1 || float64(ds.Buckets[0].UpperBound) != 5 {
+		t.Errorf("default-bounds snapshot buckets = %+v, want one bucket at le=5", ds.Buckets)
+	}
+	if r.HistogramVec("serve/request_seconds", nil, "route") != v {
+		t.Error("second HistogramVec lookup returned a different vector")
+	}
+}
+
 func TestVecLabelMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -70,10 +133,16 @@ func TestVecNilSafety(t *testing.T) {
 	var r *Registry
 	r.CounterVec("x", "l").With("v").Add(1)
 	r.TimerVec("x", "l").With("v").Observe(time.Second)
+	r.GaugeVec("x", "l").With("v").Set(1)
+	r.HistogramVec("x", nil, "l").With("v").Observe(1)
 	var cv *CounterVec
 	cv.With("v").Inc()
 	var tv *TimerVec
 	tv.With("v").Observe(time.Second)
+	var gv *GaugeVec
+	gv.With("v").Set(1)
+	var hv *HistogramVec
+	hv.With("v").Observe(1)
 }
 
 // populateVecs mirrors obs_test.populate for the labeled kinds.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"midas"
+	"midas/internal/obs"
 )
 
 // routes mounts the JSON API. Every handler runs behind withMetrics,
@@ -24,6 +26,7 @@ func (s *Server) routes(mux *http.ServeMux) {
 		mux.HandleFunc(pattern, s.withMetrics(pattern, h))
 	}
 	handle("GET /healthz", s.handleHealth)
+	handle("GET /readyz", s.handleReady)
 	handle("POST /api/sessions", s.handleCreateSession)
 	handle("GET /api/sessions", s.handleListSessions)
 	handle("GET /api/sessions/{name}", s.handleGetSession)
@@ -36,11 +39,16 @@ func (s *Server) routes(mux *http.ServeMux) {
 	handle("GET /api/jobs", s.handleListJobs)
 	handle("GET /api/jobs/{id}", s.handleGetJob)
 	handle("GET /api/jobs/{id}/result", s.handleJobResult)
+	handle("GET /api/sessions/{name}/jobs/{id}/profile", s.handleJobProfile)
 }
 
 type statusWriter struct {
 	http.ResponseWriter
 	code int
+	// fields are extra key/value pairs a handler attaches to the
+	// request's access-log record (addLogFields) — how the discover
+	// handler puts the job ID on the line that carries the request ID.
+	fields []any
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -48,20 +56,73 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// addLogFields attaches key/value pairs to the access-log record of the
+// request being served on w. No-op when w is not the middleware's
+// writer (plain httptest writers in handler unit tests).
+func addLogFields(w http.ResponseWriter, kv ...any) {
+	if sw, ok := w.(*statusWriter); ok {
+		sw.fields = append(sw.fields, kv...)
+	}
+}
+
+// reqIDKey carries the request ID through the context, alongside (not
+// instead of) the log fields — handlers need the raw value to stamp it
+// onto the jobs they spawn.
+type reqIDKey struct{}
+
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// withMetrics wraps every API handler with the request-scoped
+// observability: the request deadline, a request ID, a root span (the
+// trace every discovery span of this request hangs off), the
+// per-endpoint counter/timer/latency-histogram, and one structured
+// access-log record on completion.
 func (s *Server) withMetrics(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	requests := s.reg.CounterVec("serve/requests", "endpoint", "code")
 	timer := s.reg.TimerVec("serve/request", "endpoint")
+	latency := s.reg.HistogramVec("serve/request_seconds", obs.DefaultLatencyBuckets, "endpoint")
+	// Probes and scrapes are polled continuously; give them spans and
+	// access logs only at debug verbosity so the interesting traffic
+	// stands out (and the tracer holds discovery traces, not probes).
+	probe := !strings.Contains(pattern, "/api/")
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
 		if s.opts.RequestTimeout > 0 {
-			ctx, cancel := withTimeout(r.Context(), s.opts.RequestTimeout)
+			var cancel context.CancelFunc
+			ctx, cancel = withTimeout(ctx, s.opts.RequestTimeout)
 			defer cancel()
-			r = r.WithContext(ctx)
 		}
+		reqID := fmt.Sprintf("r%06d", s.nextReq.Add(1))
+		ctx = context.WithValue(ctx, reqIDKey{}, reqID)
+		ctx = obs.ContextWithLogFields(ctx, "request", reqID)
+		var span *obs.Span
+		if !probe {
+			ctx, span = s.tracer.StartSpan(ctx, "serve/request")
+			span.Arg("endpoint", pattern).Arg("request", reqID)
+		}
+		r = r.WithContext(ctx)
+
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		stop := timer.With(pattern).Start()
+		start := time.Now()
 		h(sw, r)
-		stop()
+		elapsed := time.Since(start)
+
+		span.Arg("code", strconv.Itoa(sw.code)).End()
+		timer.With(pattern).Observe(elapsed)
+		latency.With(pattern).Observe(elapsed.Seconds())
 		requests.With(pattern, strconv.Itoa(sw.code)).Inc()
+		level := obs.LevelInfo
+		if probe {
+			level = obs.LevelDebug
+		}
+		kv := append([]any{
+			"method", r.Method, "path", r.URL.Path, "endpoint", pattern,
+			"code", sw.code, "dur", elapsed,
+		}, sw.fields...)
+		s.logger().Log(ctx, level, "request", kv...)
 	}
 }
 
@@ -92,6 +153,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+}
+
+// handleReady is the routing probe: 200 only while the server wants
+// traffic. It flips to 503 the moment Drain begins — while /healthz
+// stays 200, so orchestrators stop routing without killing the process
+// mid-drain — and stays 503 until the binary calls SetReady(true).
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	ready := s.ready.Load() && !draining
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"ready": ready, "draining": draining})
 }
 
 // apiOptions is the JSON shape of midas.Options accepted at session
@@ -150,6 +227,8 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, "%v", err)
 	default:
+		addLogFields(w, "session", sn.name)
+		s.logger().Info(r.Context(), "session created", "session", sn.name)
 		writeJSON(w, http.StatusCreated, map[string]string{"session": sn.name})
 	}
 }
@@ -318,6 +397,7 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusTooManyRequests, "discovery capacity saturated, retry later")
 		return
 	}
+	addLogFields(w, "job", j.id, "session", sn.name)
 	j.mu.Lock()
 	status := j.status
 	j.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"midas"
+	"midas/internal/obs"
 )
 
 // Job states. A deadline or disconnect mid-discovery yields
@@ -31,6 +32,8 @@ var (
 type job struct {
 	id      string
 	session string
+	request string // ID of the request that started it
+	trace   int64  // trace holding the job's spans; 0 = none (cache hit)
 
 	mu       sync.Mutex
 	status   string
@@ -39,6 +42,7 @@ type job struct {
 	cached   bool
 	started  time.Time
 	finished time.Time
+	profile  *jobProfile // folded from the trace on first /profile GET
 }
 
 func (j *job) finish(res *midas.Result, err error) {
@@ -116,12 +120,26 @@ func (s *Server) trackRunning() (untrack func()) {
 // just between the fingerprint reads).
 func (s *Server) execute(ctx context.Context, sn *session, j *job, fp uint64) {
 	defer s.trackRunning()()
+	s.logger().Info(ctx, "job started")
 	res, err := s.discover(ctx, sn.sess)
 	if err == nil && sn.sess.Fingerprint() == fp {
 		sn.storeCache(fp, res)
 	}
 	j.finish(res, err)
 	s.reg.Counter("serve/jobs/finished").Inc()
+	j.mu.Lock()
+	status, elapsed := j.status, j.finished.Sub(j.started)
+	j.mu.Unlock()
+	kv := []any{"status", status, "dur", elapsed}
+	if res != nil {
+		kv = append(kv, "slices", len(res.Slices))
+	}
+	if err != nil {
+		kv = append(kv, "err", err)
+		s.logger().Warn(ctx, "job finished", kv...)
+		return
+	}
+	s.logger().Info(ctx, "job finished", kv...)
 }
 
 // startDiscover answers a discover request: cache hit → an immediately
@@ -134,8 +152,10 @@ func (s *Server) startDiscover(ctx context.Context, sn *session, wait bool, time
 	if res := sn.cached(fp); res != nil {
 		s.reg.Counter("serve/cache/hit").Inc()
 		j := s.newJob(sn.name)
+		j.request = requestID(ctx)
 		j.cached = true
 		j.finish(res, nil)
+		s.logger().Info(ctx, "job finished", "job", j.id, "session", sn.name, "cached", true)
 		return j, nil
 	}
 	s.reg.Counter("serve/cache/miss").Inc()
@@ -143,25 +163,49 @@ func (s *Server) startDiscover(ctx context.Context, sn *session, wait bool, time
 		return nil, err
 	}
 	j := s.newJob(sn.name)
+	j.request = requestID(ctx)
+
+	// The job's span starts under the request span, so the request is
+	// the root of one trace holding the job and every framework span
+	// beneath it — including for async jobs, whose context below derives
+	// from baseCtx (it must outlive the request) but explicitly carries
+	// the job span across that detach.
+	_, jspan := s.tracer.StartSpan(ctx, "serve/job")
+	jspan.Arg("job", j.id).Arg("session", sn.name).Arg("request", j.request)
+	j.trace = jspan.TraceID()
+
 	if wait {
 		defer s.release()
 		runCtx, cancel := withTimeout(ctx, timeout)
 		defer cancel()
+		runCtx = obs.ContextWithSpan(runCtx, jspan)
+		runCtx = obs.ContextWithLogFields(runCtx, "job", j.id, "session", sn.name)
 		s.execute(runCtx, sn, j, fp)
+		jspan.Arg("status", j.statusNow()).End()
 		return j, nil
 	}
 	if timeout <= 0 {
 		timeout = s.opts.JobTimeout
 	}
 	jobCtx, cancel := withTimeout(s.baseCtx, timeout)
+	jobCtx = obs.ContextWithSpan(jobCtx, jspan)
+	jobCtx = obs.ContextWithLogFields(jobCtx,
+		"request", j.request, "job", j.id, "session", sn.name)
 	s.jobsWG.Add(1)
 	go func() {
 		defer s.jobsWG.Done()
 		defer cancel()
 		defer s.release()
 		s.execute(jobCtx, sn, j, fp)
+		jspan.Arg("status", j.statusNow()).End()
 	}()
 	return j, nil
+}
+
+func (j *job) statusNow() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
 }
 
 func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {

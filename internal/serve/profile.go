@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"midas/internal/obs"
+)
+
+// jobProfile is the per-phase time breakdown of one discovery job,
+// folded from its span tree: the serving-path analogue of the paper's
+// per-slice cost accounting. Phases are the framework's hierarchy
+// rounds — sequential within the run, so their durations sum to at most
+// the job's wall time — and each phase carries the parallel busy time
+// spent beneath it (source shards, table builds, detection including
+// lattice build and traversal, consolidation), which may exceed the
+// phase's own duration when workers overlap.
+type jobProfile struct {
+	Job              string         `json:"job"`
+	Session          string         `json:"session"`
+	Request          string         `json:"request,omitempty"`
+	Trace            string         `json:"trace"`
+	Status           string         `json:"status"`
+	WallSeconds      float64        `json:"wall_seconds"`
+	AccountedSeconds float64        `json:"accounted_seconds"`
+	Spans            int            `json:"spans"`
+	Phases           []profilePhase `json:"phases"`
+}
+
+type profilePhase struct {
+	Name          string             `json:"name"`
+	OffsetSeconds float64            `json:"offset_seconds"`
+	Seconds       float64            `json:"seconds"`
+	Sources       int                `json:"sources,omitempty"`
+	BusySeconds   map[string]float64 `json:"busy_seconds,omitempty"`
+}
+
+// handleJobProfile serves GET /api/sessions/{name}/jobs/{id}/profile.
+// The profile is folded from the job's trace on first request — which
+// removes the trace from the tracer (bounding its memory) — and cached
+// on the job for every request after.
+func (s *Server) handleJobProfile(w http.ResponseWriter, r *http.Request) {
+	sn := s.sessionOrErr(w, r)
+	if sn == nil {
+		return
+	}
+	j := s.jobOrErr(w, r)
+	if j == nil {
+		return
+	}
+	if j.session != sn.name {
+		writeErr(w, http.StatusBadRequest, "job %s belongs to session %q", j.id, j.session)
+		return
+	}
+	j.mu.Lock()
+	status, profile, trace := j.status, j.profile, j.trace
+	j.mu.Unlock()
+	switch {
+	case profile != nil:
+		writeJSON(w, http.StatusOK, profile)
+		return
+	case status == StateRunning:
+		writeErr(w, http.StatusConflict, "job %s is still running", j.id)
+		return
+	case trace == 0:
+		writeErr(w, http.StatusNotFound, "job %s has no trace (cached result)", j.id)
+		return
+	}
+	p := foldProfile(j, s.tracer.TakeTrace(trace))
+	if p == nil {
+		writeErr(w, http.StatusNotFound, "job %s trace no longer retained", j.id)
+		return
+	}
+	j.mu.Lock()
+	// Another request may have folded concurrently; first one wins so
+	// repeated GETs return identical bytes.
+	if j.profile == nil {
+		j.profile = p
+	}
+	p = j.profile
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, p)
+}
+
+// foldProfile builds the per-phase breakdown from the job's trace. recs
+// is the full trace — the request root span, the job span, and the
+// framework spans beneath it. Returns nil when the job span is gone
+// (trace aged out of retention before it was taken).
+func foldProfile(j *job, recs []obs.SpanRecord) *jobProfile {
+	var jobSpan *obs.SpanRecord
+	for i := range recs {
+		if recs[i].Name == "serve/job" && recs[i].Args["job"] == j.id {
+			jobSpan = &recs[i]
+			break
+		}
+	}
+	if jobSpan == nil {
+		return nil
+	}
+
+	// parent→children index over the whole trace.
+	children := make(map[int64][]*obs.SpanRecord, len(recs))
+	for i := range recs {
+		children[recs[i].Parent] = append(children[recs[i].Parent], &recs[i])
+	}
+
+	p := &jobProfile{
+		Job:         j.id,
+		Session:     j.session,
+		Request:     j.request,
+		Trace:       obs.FormatTraceID(jobSpan.Trace),
+		Status:      j.statusNow(),
+		WallSeconds: jobSpan.Duration.Seconds(),
+		Spans:       countTree(children, jobSpan.ID),
+	}
+
+	// The run span sits directly under the job span; its children are
+	// the sequential hierarchy rounds — the profile's phases.
+	var run *obs.SpanRecord
+	for _, c := range children[jobSpan.ID] {
+		if c.Name == "framework/run" {
+			run = c
+			break
+		}
+	}
+	if run == nil {
+		return p // no framework spans (e.g. empty corpus): wall time only
+	}
+	for _, round := range children[run.ID] {
+		phase := profilePhase{
+			Name:          round.Name,
+			OffsetSeconds: (round.Start - jobSpan.Start).Seconds(),
+			Seconds:       round.Duration.Seconds(),
+		}
+		if n, err := strconv.Atoi(round.Args["sources"]); err == nil {
+			phase.Sources = n
+		}
+		busy := make(map[string]float64)
+		var walk func(parent int64, depth int)
+		walk = func(parent int64, depth int) {
+			for _, c := range children[parent] {
+				name := c.Name
+				if depth == 0 {
+					// Direct children of a round are the per-source
+					// shards, named by source; aggregate them so the
+					// busy map stays small and source-count-independent.
+					name = "source"
+				}
+				busy[name] += c.Duration.Seconds()
+				walk(c.ID, depth+1)
+			}
+		}
+		walk(round.ID, 0)
+		if len(busy) > 0 {
+			phase.BusySeconds = busy
+		}
+		p.AccountedSeconds += phase.Seconds
+		p.Phases = append(p.Phases, phase)
+	}
+	sort.Slice(p.Phases, func(i, k int) bool {
+		return p.Phases[i].OffsetSeconds < p.Phases[k].OffsetSeconds
+	})
+	return p
+}
+
+func countTree(children map[int64][]*obs.SpanRecord, id int64) int {
+	n := 1
+	for _, c := range children[id] {
+		n += countTree(children, c.ID)
+	}
+	return n
+}

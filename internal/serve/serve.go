@@ -17,6 +17,7 @@ import (
 	"regexp"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"midas"
@@ -41,15 +42,41 @@ type Options struct {
 	// registry whose telemetry endpoints are mounted on the API mux.
 	// Default: the process-wide obs registry.
 	Registry *obs.Registry
+	// Logger receives access and job-lifecycle records. Default: the
+	// process-wide obs logger (nil there too = logging disabled).
+	Logger *obs.Logger
+	// Trace receives the per-request root spans and, through them, the
+	// discovery pipeline's spans — one trace per request. Default: a
+	// private tracer owned by the server (request tracing is what feeds
+	// /profile, so unlike batch binaries it is always on).
+	Trace *obs.Tracer
+	// TraceRetention bounds completed spans kept by the tracer while
+	// they wait to be folded into job profiles; oldest age out first,
+	// and a job whose trace ages out before its first /profile GET
+	// answers 404 there. A discovery over S sources emits ≈4·S spans
+	// per round, so the default of 1<<17 holds the last few
+	// Slim-corpus-sized jobs (folding a profile frees its trace
+	// early). Negative retains everything.
+	TraceRetention int
 }
 
 // Server is the discovery service: a registry of named sessions and
 // their discovery jobs. Create with New, mount Handler on an
 // http.Server, and call Drain then Close on shutdown.
 type Server struct {
-	opts Options
-	reg  *obs.Registry
-	sem  chan struct{}
+	opts   Options
+	reg    *obs.Registry
+	log    *obs.Logger // nil = fall back to obs.DefaultLogger at call sites
+	tracer *obs.Tracer
+	sem    chan struct{}
+
+	// ready gates /readyz: false until the binary reports the listener
+	// up (SetReady), false again the moment Drain begins — the
+	// load-balancer signal to stop routing here while /healthz still
+	// answers 200 for liveness.
+	ready atomic.Bool
+
+	nextReq atomic.Int64 // request-ID counter
 
 	mu       sync.RWMutex
 	sessions map[string]*session
@@ -105,9 +132,22 @@ func New(opts Options) *Server {
 		opts.RequestTimeout = 30 * time.Second
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	tracer := opts.Trace
+	if tracer == nil {
+		tracer = obs.NewTracer()
+	}
+	retention := opts.TraceRetention
+	if retention == 0 {
+		retention = 1 << 17
+	}
+	if retention > 0 {
+		tracer.SetRetention(retention)
+	}
 	s := &Server{
 		opts:       opts,
 		reg:        opts.Registry.OrDefault(),
+		log:        opts.Logger,
+		tracer:     tracer,
 		sem:        make(chan struct{}, opts.MaxInFlight),
 		sessions:   make(map[string]*session),
 		jobs:       make(map[string]*job),
@@ -169,25 +209,41 @@ func (s *Server) deleteSession(name string) bool {
 // for them to wind down. It returns the number of jobs that were still
 // running when draining began.
 func (s *Server) Drain(ctx context.Context) int {
+	s.ready.Store(false)
 	s.mu.Lock()
 	s.draining = true
 	inFlight := int(s.running)
 	s.mu.Unlock()
 	s.reg.Gauge("serve/draining").Set(1)
+	s.logger().Info(ctx, "drain started", "in_flight", inFlight)
 
 	done := make(chan struct{})
 	go func() {
 		s.jobsWG.Wait()
 		close(done)
 	}()
+	canceled := false
 	select {
 	case <-done:
 	case <-ctx.Done():
+		canceled = true
 		s.cancelJobs()
 		<-done
 	}
+	s.logger().Info(ctx, "drain finished", "in_flight", inFlight, "canceled", canceled)
 	return inFlight
 }
+
+// SetReady flips the /readyz verdict. Binaries call SetReady(true) once
+// the listener is bound; Drain flips it back off.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Tracer returns the tracer collecting the server's request spans.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// logger resolves the server's logger at call time, so a default
+// installed after New (the -log-level flag path) is still picked up.
+func (s *Server) logger() *obs.Logger { return s.log.OrDefault() }
 
 // Close releases the server's job contexts. Safe after Drain.
 func (s *Server) Close() { s.cancelJobs() }
@@ -208,7 +264,7 @@ func (s *Server) Handler() *http.ServeMux {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "midas-serve\n\n/api/sessions\n/api/jobs\n/healthz\n/metrics\n/debug/vars\n/debug/pprof/\n")
+		fmt.Fprint(w, "midas-serve\n\n/api/sessions\n/api/jobs\n/healthz\n/readyz\n/metrics\n/debug/vars\n/debug/pprof/\n")
 	})
 	return mux
 }

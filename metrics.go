@@ -72,6 +72,15 @@ func (m *Metrics) registry() *obs.Registry {
 	return m.reg
 }
 
+// ConfigureLogging installs the process-wide structured logger that
+// the pipeline and serving path write through, from the string forms
+// the binaries accept as -log-level (debug|info|warn|error|off) and
+// -log-format (logfmt|json). Level "off" disables logging, the default
+// state of a fresh process.
+func ConfigureLogging(w io.Writer, level, format string) error {
+	return obs.InstallDefaultLogger(w, level, format)
+}
+
 // Tracer records spans — named, timed, parented intervals covering the
 // whole pipeline run, each hierarchy round, and each source's
 // build/detect/consolidate phases — and exports them as Chrome
