@@ -297,6 +297,33 @@ func BenchmarkPublicDiscover(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalDiscover measures the delta-aware re-discovery
+// path: a session primed on the full 100-domain Slim corpus receives a
+// one-fact delta on a single source each iteration and re-discovers.
+// Steady-state cost is the touched branch plus consolidation, not the
+// full corpus; an iteration that reuses nothing is a bug, not a slow
+// run.
+func BenchmarkIncrementalDiscover(b *testing.B) {
+	world := datagen.ReVerbSlim(datagen.DefaultSlimParams(7))
+	facts := worldFacts(world)
+	sess := midas.NewSession(nil, nil)
+	sess.AddFacts(facts...)
+	sess.Discover()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.AddFacts(midas.Fact{
+			Subject:    fmt.Sprintf("delta entity %d", i),
+			Predicate:  "kind",
+			Object:     fmt.Sprintf("delta kind %d", i),
+			Confidence: 0.9,
+			URL:        facts[0].URL,
+		})
+		if res := sess.Discover(); res.SourcesReused == 0 {
+			b.Fatal("incremental discover reused nothing")
+		}
+	}
+}
+
 // --- Scaling sweep (EXPERIMENTS.md "scaling") ---
 
 func BenchmarkScalingSweep(b *testing.B) {

@@ -25,6 +25,14 @@
 //     same -max-wall-regress limit and -min-seconds noise floor, so a
 //     slowdown confined to one round (e.g. the domain-level merge)
 //     cannot hide inside a stable total.
+//   - reuse ratio (optional, for delta-workload snapshots): the share
+//     of sources the framework answered from a prior run,
+//     framework/sources_reused / (sources_reused + sources_processed),
+//     measured on the *current* snapshot only, must not fall below
+//     -min-reuse-ratio. Disabled at the default 0 — from-scratch bench
+//     runs reuse nothing; enable it on snapshots of incremental
+//     workloads (e.g. service-smoke's re-discover after a one-source
+//     facts POST).
 //   - request p99 (optional, for serving-path snapshots such as the
 //     final -stats dump of midas-serve): per-endpoint p99 latency
 //     estimated from the serve/request_seconds histogram vector must
@@ -64,6 +72,7 @@ func main() {
 		minSeconds   = flag.Float64("min-seconds", 0.05, "skip the wall-time check below this baseline (noise floor)")
 		minLevelGen  = flag.Int64("min-level-nodes", 200, "skip per-level pruning checks below this baseline node count (noise floor)")
 		maxP99       = flag.Float64("max-p99-regress", 0, "max relative per-endpoint request-p99 regression (0 = check disabled)")
+		minReuse     = flag.Float64("min-reuse-ratio", 0, "min framework source-reuse ratio in the current snapshot (0 = check disabled)")
 		minP99       = flag.Float64("min-p99-seconds", 0.005, "skip the p99 check below this baseline (noise floor)")
 		allowMissing = flag.Bool("allow-missing", false, "exit 0 when the old snapshot does not exist")
 		logLevel     = flag.String("log-level", "info", "log verbosity: debug|info|warn|error|off")
@@ -98,6 +107,7 @@ func main() {
 		MinLevelNodes:  *minLevelGen,
 		MaxP99Regress:  *maxP99,
 		MinP99Seconds:  *minP99,
+		MinReuseRatio:  *minReuse,
 	})
 	for _, line := range report.Lines {
 		fmt.Println(line)
@@ -132,6 +142,11 @@ type Thresholds struct {
 	// MinP99Seconds is the p99 noise floor: endpoints whose baseline
 	// p99 is below it skip the check.
 	MinP99Seconds float64
+	// MinReuseRatio is the floor on the current snapshot's framework
+	// source-reuse ratio, sources_reused / (reused + processed). 0
+	// disables the check; it only makes sense for snapshots of
+	// incremental (delta) workloads.
+	MinReuseRatio float64
 }
 
 // Report is the outcome of a comparison: human-readable lines plus the
@@ -185,7 +200,35 @@ func Compare(oldSnap, newSnap obs.Snapshot, th Thresholds) Report {
 	comparePerLevel(&rep, oldSnap, newSnap, th)
 	comparePerDepth(&rep, oldSnap, newSnap, th)
 	compareP99(&rep, oldSnap, newSnap, th)
+	compareReuse(&rep, newSnap, th)
 	return rep
+}
+
+// compareReuse enforces the incremental-discovery floor: on a delta
+// workload, the framework must answer at least MinReuseRatio of its
+// sources from the prior run. Unlike the other checks it reads only
+// the current snapshot — the baseline has no say in how much reuse the
+// new code achieves.
+func compareReuse(rep *Report, newSnap obs.Snapshot, th Thresholds) {
+	if th.MinReuseRatio <= 0 {
+		return
+	}
+	reused := newSnap.Counters["framework/sources_reused"]
+	processed := newSnap.Counters["framework/sources_processed"]
+	total := reused + processed
+	if total == 0 {
+		line := "reuse ratio: current snapshot has no framework source counters"
+		rep.Lines = append(rep.Lines, line)
+		rep.Regressions = append(rep.Regressions, line)
+		return
+	}
+	ratio := float64(reused) / float64(total)
+	line := fmt.Sprintf("reuse ratio: %d reused / %d total = %.3f (floor %.3f)",
+		reused, total, ratio, th.MinReuseRatio)
+	rep.Lines = append(rep.Lines, line)
+	if ratio < th.MinReuseRatio {
+		rep.Regressions = append(rep.Regressions, line)
+	}
 }
 
 // compareP99 applies the latency check to each endpoint of the

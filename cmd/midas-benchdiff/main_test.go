@@ -301,3 +301,47 @@ func TestCompareP99Regression(t *testing.T) {
 		t.Errorf("regressions = %v, want exactly two p99 regressions", rep.Regressions)
 	}
 }
+
+// reuseSnap layers framework source counters onto a baseline snapshot.
+func reuseSnap(base obs.Snapshot, reused, processed int64) obs.Snapshot {
+	base.Counters["framework/sources_reused"] = reused
+	base.Counters["framework/sources_processed"] = processed
+	return base
+}
+
+func TestCompareReuseDisabledByDefault(t *testing.T) {
+	newSnap := reuseSnap(snap(1.0, 1000, 300, 200), 0, 100)
+	rep := Compare(snap(1.0, 1000, 300, 200), newSnap, defaultTh) // MinReuseRatio zero
+	if regressionsMatching(rep, "reuse") != 0 {
+		t.Errorf("regressions = %v, reuse check must stay disabled at floor 0", rep.Regressions)
+	}
+}
+
+func TestCompareReuseWithinFloor(t *testing.T) {
+	th := defaultTh
+	th.MinReuseRatio = 0.9
+	newSnap := reuseSnap(snap(1.0, 1000, 300, 200), 95, 5)
+	rep := Compare(snap(1.0, 1000, 300, 200), newSnap, th)
+	if regressionsMatching(rep, "reuse") != 0 {
+		t.Errorf("regressions = %v, want none at 95%% reuse", rep.Regressions)
+	}
+}
+
+func TestCompareReuseBelowFloor(t *testing.T) {
+	th := defaultTh
+	th.MinReuseRatio = 0.9
+	newSnap := reuseSnap(snap(1.0, 1000, 300, 200), 50, 50)
+	rep := Compare(snap(1.0, 1000, 300, 200), newSnap, th)
+	if regressionsMatching(rep, "reuse ratio") != 1 {
+		t.Errorf("regressions = %v, want one reuse regression", rep.Regressions)
+	}
+}
+
+func TestCompareReuseMissingCounters(t *testing.T) {
+	th := defaultTh
+	th.MinReuseRatio = 0.9
+	rep := Compare(snap(1.0, 1000, 300, 200), snap(1.0, 1000, 300, 200), th)
+	if regressionsMatching(rep, "reuse") != 1 {
+		t.Errorf("regressions = %v, want a regression when counters are absent but the floor is set", rep.Regressions)
+	}
+}

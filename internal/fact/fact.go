@@ -23,6 +23,7 @@ import (
 	"midas/internal/idset"
 	"midas/internal/kb"
 	"midas/internal/obs"
+	"midas/internal/source"
 )
 
 // Property is a (predicate, value) pair from Definition 4, packed into a
@@ -172,6 +173,12 @@ type Table struct {
 	TotalFacts int
 	// TotalNew is the number of facts absent from the KB.
 	TotalNew int
+	// Fingerprint is a 64-bit FNV-1a hash over the table's full content
+	// — every (subject, property) row cell together with its newness bit
+	// — so two tables with equal fingerprints are interchangeable for
+	// detection and consolidation. Incremental runs key cached
+	// per-source results by it.
+	Fingerprint uint64
 }
 
 // NumEntities returns the number of rows.
@@ -291,7 +298,112 @@ func buildWith(source string, space *kb.Space, triples []kb.Triple, existing kb.
 		t.Entities = append(t.Entities, e)
 		i = j
 	}
+	t.computeFingerprint()
 	return t
+}
+
+// computeFingerprint seals the table's content hash. Call once
+// Entities and the newness arena are final; any change to either must
+// recompute it.
+func (t *Table) computeFingerprint() {
+	h := idset.FingerprintSeed
+	var w [2]uint64
+	for i := range t.Entities {
+		e := &t.Entities[i]
+		for j, p := range e.Props {
+			w[0] = uint64(uint32(e.Subject)) << 1
+			if e.New[j] {
+				w[0] |= 1
+			}
+			w[1] = uint64(p)
+			h = idset.AppendFingerprint64(h, w[:])
+		}
+	}
+	t.Fingerprint = h
+}
+
+// ContainsFact reports whether the triple appears as a cell of the
+// table (binary search on the subject-sorted rows, then on the row's
+// sorted properties). Incremental runs use it to decide whether a batch
+// of newly absorbed KB triples can flip any of the table's newness
+// bits.
+func (t *Table) ContainsFact(tr kb.Triple) bool {
+	i := sort.Search(len(t.Entities), func(i int) bool { return t.Entities[i].Subject >= tr.S })
+	if i >= len(t.Entities) || t.Entities[i].Subject != tr.S {
+		return false
+	}
+	return t.Entities[i].HasProp(Prop(tr.P, tr.O))
+}
+
+// Reannotate rebuilds the table's newness annotation against a grown
+// KB, sharing the immutable row structure (entities, interned property
+// sets) with t and allocating only a fresh newness arena. The returned
+// table carries recomputed TotalNew and Fingerprint; t is not mutated.
+func Reannotate(t *Table, existing kb.Membership) *Table {
+	nt := &Table{
+		Source:     t.Source,
+		Space:      t.Space,
+		Entities:   append([]Entity(nil), t.Entities...),
+		PropSets:   t.PropSets,
+		TotalFacts: t.TotalFacts,
+	}
+	newArena := make([]bool, 0, t.TotalFacts)
+	for i := range nt.Entities {
+		e := &nt.Entities[i]
+		start := len(newArena)
+		e.NewCount = 0
+		for _, p := range e.Props {
+			isNew := existing == nil || !existing.Contains(kb.Triple{S: e.Subject, P: p.Pred(), O: p.Value()})
+			newArena = append(newArena, isNew)
+			if isNew {
+				e.NewCount++
+			}
+		}
+		e.New = newArena[start:len(newArena):len(newArena)]
+		nt.TotalNew += e.NewCount
+	}
+	nt.computeFingerprint()
+	return nt
+}
+
+// LeafSource is one normalized web source's share of a corpus: its
+// triples in corpus order and an FNV-1a fingerprint chained over them.
+// The corpus is append-only, so a source whose facts did not change
+// keeps its fingerprint across corpus growth — the cheap dirtiness
+// signal incremental runs key on.
+type LeafSource struct {
+	Triples []kb.Triple
+	FP      uint64
+}
+
+// LeafSources partitions a corpus by normalized source URL
+// (source.Normalize), fingerprinting each source's triple sequence.
+// Facts whose URL normalizes to "" are dropped, mirroring the
+// framework's sharding.
+func LeafSources(c *Corpus) map[string]*LeafSource {
+	out := make(map[string]*LeafSource)
+	srcOf := make(map[dict.ID]string)
+	var w [2]uint64
+	for _, e := range c.Facts {
+		src, ok := srcOf[e.URL]
+		if !ok {
+			src = source.Normalize(c.URLs.String(e.URL))
+			srcOf[e.URL] = src
+		}
+		if src == "" {
+			continue
+		}
+		ls := out[src]
+		if ls == nil {
+			ls = &LeafSource{FP: idset.FingerprintSeed}
+			out[src] = ls
+		}
+		ls.Triples = append(ls.Triples, e.Triple)
+		w[0] = uint64(uint32(e.Triple.S))<<32 | uint64(uint32(e.Triple.P))
+		w[1] = uint64(uint32(e.Triple.O))
+		ls.FP = idset.AppendFingerprint64(ls.FP, w[:])
+	}
+	return out
 }
 
 // Merge combines child fact tables into the table of their common parent
@@ -388,6 +500,7 @@ func merge(source string, space *kb.Space, children []*Table) *Table {
 		t.Entities = append(t.Entities, e)
 		i = j
 	}
+	t.computeFingerprint()
 	return t
 }
 

@@ -65,6 +65,94 @@ type Options struct {
 	// falls back to obs.DefaultTracer(), which is itself nil (tracing
 	// disabled, zero overhead) unless a binary enabled it.
 	Trace *obs.Tracer
+	// Prior is the reusable state of the previous run over the same
+	// (append-only) corpus lineage, as returned in Output.NextPrior.
+	// Sources whose leaf facts, children, and newness are unchanged skip
+	// table building and detection and feed their cached slices straight
+	// into consolidation. nil runs from scratch. Prior is only valid
+	// when the run's options (cost model, detector, core settings) match
+	// the run that produced it.
+	Prior *Prior
+	// Delta lists the triples added to the KB since Prior was captured
+	// (i.e. since the KB was at Prior.Epoch). It must be complete — a
+	// caller that cannot enumerate every triple added in between must
+	// pass Prior == nil instead. An empty Delta with a non-nil Prior
+	// asserts the KB's answer set is unchanged since Prior.Epoch.
+	Delta []kb.Triple
+}
+
+// Prior carries the per-source state of a completed framework run:
+// each processed source's fact table and consolidated surviving slices,
+// keyed by the source's leaf-fact fingerprint, with newness annotations
+// valid for the KB at Epoch. It is produced by RunContext
+// (Output.NextPrior) and consumed opaquely via Options.Prior.
+type Prior struct {
+	// Epoch is the KB epoch (kb.KB.Epoch) the run's newness
+	// annotations were computed against.
+	Epoch   uint64
+	sources map[string]*sourceState
+}
+
+// NumSources returns the number of per-source entries retained.
+func (p *Prior) NumSources() int { return len(p.sources) }
+
+// sourceState is one source's cached results. leafFP fingerprints the
+// source's own (leaf) triples in corpus order — 0 for a source that had
+// none and exists only as a parent of deeper sources.
+type sourceState struct {
+	leafFP    uint64
+	table     *fact.Table
+	surviving []scored
+}
+
+// reusePlan describes how much of the prior run one source may reuse
+// this round. The zero value means none: rebuild the table, re-detect,
+// re-consolidate.
+type reusePlan struct {
+	// state, when non-nil, proves the source's table structure is
+	// unchanged: its leaf fingerprint matches and every child's table
+	// was itself reused — build/merge can be skipped.
+	state *sourceState
+	// reannotate is set when a Delta triple appears in the table: the
+	// structure stands but the newness bits must be recomputed against
+	// the grown KB.
+	reannotate bool
+	// full short-circuits the source entirely: table clean, newness
+	// untouched by Delta, and every child's surviving slices identical
+	// to the prior run — so detection and consolidation would reproduce
+	// the cached surviving slices exactly.
+	full bool
+}
+
+// planReuse evaluates the reuse ladder for one source. Children can
+// only be appended to (the corpus is append-only), so "every current
+// child reused its table" implies the child set is exactly the prior
+// run's.
+func planReuse(prior *Prior, src string, pe *pendingEntry, leafFP uint64, delta []kb.Triple) reusePlan {
+	if prior == nil {
+		return reusePlan{}
+	}
+	st := prior.sources[src]
+	if st == nil || st.leafFP != leafFP {
+		return reusePlan{}
+	}
+	childrenSame := true
+	for _, c := range pe.children {
+		if !c.tableReused {
+			return reusePlan{}
+		}
+		if !c.survivingSame {
+			childrenSame = false
+		}
+	}
+	annValid := true
+	for _, t := range delta {
+		if st.table.ContainsFact(t) {
+			annValid = false
+			break
+		}
+	}
+	return reusePlan{state: st, reannotate: !annValid, full: annValid && childrenSame}
 }
 
 func (o Options) cost() slice.CostModel {
@@ -127,8 +215,16 @@ type Output struct {
 	// Rounds is the number of hierarchy levels processed.
 	Rounds int
 	// SourcesProcessed counts detector invocations (one per web source
-	// at every granularity that had facts or child slices).
+	// at every granularity that had facts or child slices). Sources
+	// answered from Prior do not count; see SourcesReused.
 	SourcesProcessed int
+	// SourcesReused counts sources whose detection was skipped entirely
+	// because the prior run's surviving slices were proven still valid.
+	SourcesReused int
+	// NextPrior is the reusable state of this run, to feed into the next
+	// run's Options.Prior. It is nil when the run ended early (context
+	// cancellation leaves the hierarchy partially processed).
+	NextPrior *Prior
 	// Levels reports per-round effort, deepest level first.
 	Levels []LevelStat
 }
@@ -142,6 +238,9 @@ type LevelStat struct {
 	// Slices is the number of slices surviving this round's
 	// consolidation.
 	Slices int
+	// Reused is how many of Sources were answered from the prior run
+	// without invoking the detector.
+	Reused int
 	// Seconds is the wall time of the round (shard + detect +
 	// consolidate).
 	Seconds float64
@@ -155,11 +254,16 @@ type scored struct {
 	sourceTotal int
 }
 
-// item is a processed web source moving up the hierarchy.
+// item is a processed web source moving up the hierarchy. The two
+// reuse flags carry provenance to the parent's planReuse: tableReused
+// asserts the table (rows and newness bits alike) is byte-identical to
+// the prior run's, survivingSame that the surviving slices are too.
 type item struct {
-	src       string
-	table     *fact.Table
-	surviving []scored
+	src           string
+	table         *fact.Table
+	surviving     []scored
+	tableReused   bool
+	survivingSame bool
 }
 
 // pendingEntry accumulates the leaf facts and processed children of a
@@ -208,24 +312,33 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 		member = existing.Frozen()
 	}
 
-	// Group facts by normalized leaf source.
-	bySource := make(map[string][]kb.Triple)
-	for _, e := range corpus.Facts {
-		src := source.Normalize(corpus.URLs.String(e.URL))
-		if src == "" {
-			continue
-		}
-		bySource[src] = append(bySource[src], e.Triple)
-	}
+	// Group facts by normalized leaf source, fingerprinting each
+	// source's triple sequence: the corpus is append-only, so an
+	// unchanged source reproduces its prior fingerprint and is a reuse
+	// candidate.
+	bySource := fact.LeafSources(corpus)
 
 	pending := make(map[string]*pendingEntry)
 	maxDepth := 0
-	for src, triples := range bySource {
-		pending[src] = &pendingEntry{triples: triples}
+	for src, ls := range bySource {
+		pending[src] = &pendingEntry{triples: ls.Triples}
 		if d := source.Depth(src); d > maxDepth {
 			maxDepth = d
 		}
 	}
+	// leafFP is 0 for sources that exist only as parents of deeper
+	// sources (LeafSource fingerprints start at the non-zero FNV seed).
+	leafFP := func(src string) uint64 {
+		if ls := bySource[src]; ls != nil {
+			return ls.FP
+		}
+		return 0
+	}
+	var epochNow uint64
+	if existing != nil {
+		epochNow = existing.Epoch()
+	}
+	next := &Prior{Epoch: epochNow, sources: make(map[string]*sourceState)}
 
 	out := &Output{}
 	var final []scored
@@ -252,6 +365,7 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 		reg.Counter("framework/final_slices").Add(int64(len(out.Slices)))
 		runSpan.Arg("rounds", strconv.Itoa(out.Rounds)).
 			Arg("sources_processed", strconv.Itoa(out.SourcesProcessed)).
+			Arg("sources_reused", strconv.Itoa(out.SourcesReused)).
 			Arg("final_slices", strconv.Itoa(len(out.Slices))).
 			End()
 		return out, err
@@ -274,37 +388,54 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 		}
 		sort.Strings(batch)
 		out.Rounds++
-		out.SourcesProcessed += len(batch)
 		roundStart := time.Now()
 		roundCtx, roundSpan := obs.StartSpan(ctx, fmt.Sprintf("framework/depth%02d", d))
 		roundSpan.Arg("depth", strconv.Itoa(d)).Arg("sources", strconv.Itoa(len(batch)))
 
-		// Detect + consolidate each shard on the worker pool. busyNs
-		// accumulates in-shard wall time across workers; against the
-		// round's wall clock it yields the pool's utilization (1.0 =
-		// every worker busy the whole round; low values flag skew from
-		// one oversized shard).
+		// Detect + consolidate each dirty shard on the worker pool;
+		// fully-reusable shards are answered inline from the prior run
+		// (their cached surviving slices are proven still valid, so no
+		// detector invocation is needed). busyNs accumulates in-shard
+		// wall time across workers; against the round's wall clock it
+		// yields the pool's utilization (1.0 = every worker busy the
+		// whole round; low values flag skew from one oversized shard).
 		results := make([]*item, len(batch))
+		reused := 0
 		var wg sync.WaitGroup
 		var busyNs atomic.Int64
 		shardTimer := reg.Timer("framework/shard")
 		for i, src := range batch {
+			plan := planReuse(opts.Prior, src, pending[src], leafFP(src), opts.Delta)
+			if plan.full {
+				results[i] = &item{
+					src:           src,
+					table:         plan.state.table,
+					surviving:     plan.state.surviving,
+					tableReused:   true,
+					survivingSame: true,
+				}
+				reused++
+				continue
+			}
 			wg.Add(1)
-			go func(i int, src string) {
+			go func(i int, src string, plan reusePlan) {
 				defer wg.Done()
 				pool.Acquire()
 				defer pool.Release()
 				shardStart := time.Now()
 				srcCtx, srcSpan := obs.StartSpan(roundCtx, src)
-				results[i] = processSource(srcCtx, src, d, pending[src], corpus.Space, member, detect, cost, reg)
+				results[i] = processSource(srcCtx, src, d, pending[src], plan, corpus.Space, member, detect, cost, reg)
 				srcSpan.Arg("surviving", strconv.Itoa(len(results[i].surviving))).End()
 				elapsed := time.Since(shardStart)
 				shardTimer.Observe(elapsed)
 				busyNs.Add(int64(elapsed))
-			}(i, src)
+			}(i, src, plan)
 		}
 		wg.Wait()
-		roundSpan.End()
+		roundSpan.Arg("reused", strconv.Itoa(reused)).End()
+		processed := len(batch) - reused
+		out.SourcesProcessed += processed
+		out.SourcesReused += reused
 
 		surviving := 0
 		for _, it := range results {
@@ -315,28 +446,36 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 			Depth:   d,
 			Sources: len(batch),
 			Slices:  surviving,
+			Reused:  reused,
 			Seconds: roundWall.Seconds(),
 		})
 		reg.Counter("framework/rounds").Inc()
-		reg.Counter("framework/sources_processed").Add(int64(len(batch)))
+		reg.Counter("framework/sources_processed").Add(int64(processed))
+		reg.Counter("framework/sources_reused").Add(int64(reused))
 		reg.Timer("framework/round").Observe(roundWall)
 		reg.TimerVec("framework/depth", "depth").With(depthLabel(d)).Observe(roundWall)
 		reg.CounterVec("framework/depth_sources", "depth").With(depthLabel(d)).Add(int64(len(batch)))
 		reg.Histogram("framework/round_sources").Observe(float64(len(batch)))
 		reg.Histogram("framework/round_slices").Observe(float64(surviving))
-		if wall := roundWall.Seconds(); wall > 0 {
+		if wall := roundWall.Seconds(); wall > 0 && processed > 0 {
 			workers := opts.workers()
-			if len(batch) < workers {
-				workers = len(batch)
+			if processed < workers {
+				workers = processed
 			}
 			util := busyNs.Load() / int64(workers)
 			reg.Gauge("framework/worker_utilization").Set(float64(util) / 1e9 / wall)
 		}
 
 		// Route surviving slices: to the parent's pending entry, or to
-		// the final output for domain-level sources.
+		// the final output for domain-level sources. Every completed
+		// source — reused or rebuilt — is recorded for the next run.
 		for _, it := range results {
 			delete(pending, it.src)
+			next.sources[it.src] = &sourceState{
+				leafFP:    leafFP(it.src),
+				table:     it.table,
+				surviving: it.surviving,
+			}
 			if parent, ok := source.Parent(it.src); ok {
 				pe := pending[parent]
 				if pe == nil {
@@ -350,32 +489,46 @@ func RunContext(ctx context.Context, corpus *fact.Corpus, existing *kb.KB, opts 
 		}
 	}
 
+	out.NextPrior = next
 	return finish(nil)
 }
 
 // processSource builds the source's fact table (merging leaf facts with
 // the children's tables), detects slices seeded with the children's
-// surviving slices, and consolidates parent against child slices.
-func processSource(ctx context.Context, src string, depth int, pe *pendingEntry, space *kb.Space, existing kb.Membership, detect detectFunc, cost slice.CostModel, reg *obs.Registry) *item {
+// surviving slices, and consolidates parent against child slices. A
+// reuse plan with a clean table skips the build/merge (re-annotating
+// the newness bits first if absorbed triples touched the table); the
+// detector still runs, because a child's surviving slices changed.
+func processSource(ctx context.Context, src string, depth int, pe *pendingEntry, plan reusePlan, space *kb.Space, existing kb.Membership, detect detectFunc, cost slice.CostModel, reg *obs.Registry) *item {
 	// Assemble the fact table at this granularity.
 	_, tableSpan := obs.StartSpan(ctx, "table/build")
 	var table *fact.Table
-	var leaf *fact.Table
-	if len(pe.triples) > 0 {
-		leaf = fact.BuildObs(src, space, pe.triples, existing, reg)
-	}
+	tableReused := false
 	switch {
-	case len(pe.children) == 0 && leaf != nil:
-		table = leaf
+	case plan.state != nil && !plan.reannotate:
+		table = plan.state.table
+		tableReused = true
+		reg.Counter("fact/tables_reused").Inc()
+	case plan.state != nil:
+		table = fact.Reannotate(plan.state.table, existing)
+		reg.Counter("fact/tables_reannotated").Inc()
 	default:
-		tables := make([]*fact.Table, 0, len(pe.children)+1)
-		if leaf != nil {
-			tables = append(tables, leaf)
+		var leaf *fact.Table
+		if len(pe.triples) > 0 {
+			leaf = fact.BuildObs(src, space, pe.triples, existing, reg)
 		}
-		for _, c := range pe.children {
-			tables = append(tables, c.table)
+		if len(pe.children) == 0 && leaf != nil {
+			table = leaf
+		} else {
+			tables := make([]*fact.Table, 0, len(pe.children)+1)
+			if leaf != nil {
+				tables = append(tables, leaf)
+			}
+			for _, c := range pe.children {
+				tables = append(tables, c.table)
+			}
+			table = fact.MergeObs(src, space, tables, reg)
 		}
-		table = fact.MergeObs(src, space, tables, reg)
 	}
 	tableSpan.Arg("entities", strconv.Itoa(len(table.Entities))).End()
 
@@ -411,7 +564,7 @@ func processSource(ctx context.Context, src string, depth int, pe *pendingEntry,
 	_, consSpan := obs.StartSpan(ctx, "consolidate")
 	surviving := consolidate(parents, children, depth, cost, existing, reg)
 	consSpan.Arg("surviving", strconv.Itoa(len(surviving))).End()
-	return &item{src: src, table: table, surviving: surviving}
+	return &item{src: src, table: table, surviving: surviving, tableReused: tableReused}
 }
 
 // consolidate compares each parent slice against the child slices whose
@@ -494,9 +647,18 @@ func childSetProfit(children []scored, idx []int, cost slice.CostModel, existing
 		totals[children[j].sl.Source] = children[j].sourceTotal
 	}
 	unionFacts, unionNew := slice.UnionStats(sets, existing)
+	// Sum the crawl terms in sorted-source order: SetProfit accumulates
+	// them in floating point, so map-iteration order would make the
+	// profit — and with it consolidation decisions — nondeterministic
+	// at the ulp level.
+	srcs := make([]string, 0, len(totals))
+	for s := range totals {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
 	perSource := make([]int, 0, len(totals))
-	for _, t := range totals {
-		perSource = append(perSource, t)
+	for _, s := range srcs {
+		perSource = append(perSource, totals[s])
 	}
 	return cost.SetProfit(len(idx), unionFacts, unionNew, perSource)
 }

@@ -1,0 +1,157 @@
+package framework_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"midas/internal/fact"
+	"midas/internal/framework"
+	"midas/internal/kb"
+)
+
+// contextCanceled returns an already-canceled context.
+func contextCanceled() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx, cancel
+}
+
+// outputsEqual compares two runs slice-for-slice, including profits and
+// materialized fact sets — the equivalence the incremental path must
+// preserve bit-exactly.
+func outputsEqual(t *testing.T, want, got *framework.Output) {
+	t.Helper()
+	if len(want.Slices) != len(got.Slices) {
+		t.Fatalf("slice count: want %d, got %d", len(want.Slices), len(got.Slices))
+	}
+	for i := range want.Slices {
+		if !reflect.DeepEqual(*want.Slices[i], *got.Slices[i]) {
+			t.Errorf("slice %d differs:\nwant %+v\ngot  %+v", i, *want.Slices[i], *got.Slices[i])
+		}
+	}
+	if !reflect.DeepEqual(want.FactSets, got.FactSets) {
+		t.Error("fact sets differ")
+	}
+	if want.Rounds != got.Rounds {
+		t.Errorf("rounds: want %d, got %d", want.Rounds, got.Rounds)
+	}
+}
+
+// TestPriorFullReuse: an unchanged corpus and KB must answer every
+// source from the prior run without a single detector invocation.
+func TestPriorFullReuse(t *testing.T) {
+	corpus, existing := exampleCorpus()
+	opts := exampleFrameworkOpts()
+
+	first := framework.Run(corpus, existing, opts)
+	if first.NextPrior == nil {
+		t.Fatal("completed run must return NextPrior")
+	}
+	if first.SourcesReused != 0 {
+		t.Fatalf("first run reused %d sources, want 0", first.SourcesReused)
+	}
+	if first.NextPrior.NumSources() != first.SourcesProcessed {
+		t.Fatalf("NextPrior holds %d sources, processed %d", first.NextPrior.NumSources(), first.SourcesProcessed)
+	}
+
+	opts.Prior = first.NextPrior
+	second := framework.Run(corpus, existing, opts)
+	if second.SourcesProcessed != 0 {
+		t.Fatalf("unchanged rerun processed %d sources, want 0", second.SourcesProcessed)
+	}
+	if second.SourcesReused != first.SourcesProcessed {
+		t.Fatalf("unchanged rerun reused %d sources, want %d", second.SourcesReused, first.SourcesProcessed)
+	}
+	outputsEqual(t, first, second)
+	for _, lv := range second.Levels {
+		if lv.Reused != lv.Sources {
+			t.Errorf("depth %d: reused %d of %d sources", lv.Depth, lv.Reused, lv.Sources)
+		}
+	}
+}
+
+// TestPriorCorpusDelta: appending facts to one page must rebuild only
+// that page's branch of the URL hierarchy; every untouched source is
+// reused, and the output matches a from-scratch run bit-for-bit.
+func TestPriorCorpusDelta(t *testing.T) {
+	corpus, existing := exampleCorpus()
+	opts := exampleFrameworkOpts()
+	first := framework.Run(corpus, existing, opts)
+
+	corpus.Add(fact.Fact{
+		Subject: "Delta", Predicate: "category", Object: "rocket_family",
+		Confidence: 0.9, URL: "http://space.skyrocket.de/doc_lau_fam/atlas.htm",
+	})
+
+	incOpts := opts
+	incOpts.Prior = first.NextPrior
+	inc := framework.Run(corpus, existing, incOpts)
+	fresh := framework.Run(corpus, existing, opts)
+	outputsEqual(t, fresh, inc)
+
+	if inc.SourcesReused == 0 {
+		t.Fatal("one-page delta must reuse the untouched sources")
+	}
+	// The touched page and its two ancestors (sub-domain, domain) are
+	// dirty; everything else must be served from the prior run.
+	if dirty := inc.SourcesProcessed; dirty != 3 {
+		t.Errorf("processed %d sources, want 3 (page + 2 ancestors)", dirty)
+	}
+	if inc.SourcesReused+inc.SourcesProcessed != fresh.SourcesProcessed {
+		t.Errorf("reused(%d)+processed(%d) != total sources %d",
+			inc.SourcesReused, inc.SourcesProcessed, fresh.SourcesProcessed)
+	}
+}
+
+// TestPriorKBDelta: absorbing triples into the KB invalidates exactly
+// the sources whose tables contain them. Sources sharing none of the
+// absorbed facts keep their cached detection results even though the
+// KB epoch moved.
+func TestPriorKBDelta(t *testing.T) {
+	corpus, existing := exampleCorpus()
+	opts := exampleFrameworkOpts()
+	first := framework.Run(corpus, existing, opts)
+
+	// Absorb the Atlas facts (present only under doc_lau_fam pages and
+	// their ancestors).
+	delta := []kb.Triple{
+		corpus.Space.Intern("Atlas", "category", "rocket_family"),
+		corpus.Space.Intern("Atlas", "sponsor", "NASA"),
+		corpus.Space.Intern("Atlas", "started", "1957"),
+	}
+	for _, tr := range delta {
+		if !existing.Add(tr) {
+			t.Fatalf("delta triple %v was already in the KB", tr)
+		}
+	}
+
+	incOpts := opts
+	incOpts.Prior = first.NextPrior
+	incOpts.Delta = delta
+	inc := framework.Run(corpus, existing, incOpts)
+	fresh := framework.Run(corpus, existing, opts)
+	outputsEqual(t, fresh, inc)
+
+	if inc.SourcesReused == 0 {
+		t.Fatal("sources without the absorbed facts must be reused")
+	}
+	if inc.SourcesProcessed == 0 {
+		t.Fatal("sources carrying the absorbed facts must be re-detected")
+	}
+}
+
+// TestPriorPartialRunNoNextPrior: a canceled run must not hand out
+// reusable state — its hierarchy is only partially consolidated.
+func TestPriorPartialRunNoNextPrior(t *testing.T) {
+	corpus, existing := exampleCorpus()
+	ctx, cancel := contextCanceled()
+	defer cancel()
+	out, err := framework.RunContext(ctx, corpus, existing, exampleFrameworkOpts())
+	if err == nil {
+		t.Fatal("canceled run must report the context error")
+	}
+	if out.NextPrior != nil {
+		t.Fatal("canceled run must not return NextPrior")
+	}
+}

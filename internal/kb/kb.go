@@ -134,6 +134,12 @@ type KB struct {
 	// Fig. 7-style dataset tables).
 	byPredicate map[dict.ID]int
 	size        int
+	// epoch counts mutating calls, including inserts of already-present
+	// triples (the KB's answer set is unchanged but a caller observed a
+	// write). Incremental consumers compare epochs instead of sizes:
+	// equal epochs guarantee no write happened in between, so cached
+	// newness annotations are still valid.
+	epoch uint64
 
 	// obs receives bulk-load metrics; nil falls back to obs.Default().
 	obs *obs.Registry
@@ -179,6 +185,7 @@ func (k *KB) Add(t Triple) bool {
 }
 
 func (k *KB) addLocked(t Triple) bool {
+	k.epoch++
 	if !k.insertMembership(t.fingerprint(), t) {
 		return false
 	}
@@ -305,6 +312,16 @@ func (k *KB) Size() int {
 	return k.size
 }
 
+// Epoch returns the KB's monotonic mutation counter. It advances on
+// every insert attempt — including duplicates, which leave Size
+// unchanged — so two equal Epoch readings prove the KB saw no writes in
+// between.
+func (k *KB) Epoch() uint64 {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.epoch
+}
+
 // NumSubjects returns the number of distinct subjects.
 func (k *KB) NumSubjects() int {
 	k.mu.RLock()
@@ -363,6 +380,7 @@ func (k *KB) Clone() *KB {
 		c.byPredicate[p] = n
 	}
 	c.size = k.size
+	c.epoch = k.epoch
 	return c
 }
 

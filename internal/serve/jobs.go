@@ -115,15 +115,26 @@ func (s *Server) trackRunning() (untrack func()) {
 // execute runs one discovery under ctx, stores a completed result in
 // the session cache if the corpus is still at fp, and finalizes the
 // job. Only complete results are cacheable, and only if no facts
-// arrived and no absorption happened while the discovery ran (the
-// session's lock excludes mutators during a discovery, so the gap is
-// just between the fingerprint reads).
+// arrived and no absorption happened between the request's fingerprint
+// read and the discovery taking the session lock — the discovery
+// stamps the fingerprint it actually ran at into Result.Fingerprint,
+// so the recheck costs nothing instead of a second fingerprint
+// computation. A completed discovery that reused cached per-source
+// detection results from the previous run counts as a partial cache
+// hit (serve/cache/partial): the request missed the result cache but
+// most of the detection work was served from the session's
+// incremental state.
 func (s *Server) execute(ctx context.Context, sn *session, j *job, fp uint64) {
 	defer s.trackRunning()()
 	s.logger().Info(ctx, "job started")
 	res, err := s.discover(ctx, sn.sess)
-	if err == nil && sn.sess.Fingerprint() == fp {
-		sn.storeCache(fp, res)
+	if err == nil && res != nil {
+		if res.Fingerprint == fp {
+			sn.storeCache(fp, res)
+		}
+		if res.SourcesReused > 0 {
+			s.reg.Counter("serve/cache/partial").Inc()
+		}
 	}
 	j.finish(res, err)
 	s.reg.Counter("serve/jobs/finished").Inc()

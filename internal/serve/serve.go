@@ -4,9 +4,11 @@
 // jobs behind a bounded in-flight semaphore (saturation sheds with 429),
 // request deadlines and client disconnects propagate into the pipeline
 // via context, repeated discoveries on an unchanged corpus are answered
-// from a result cache keyed by the session's FNV-1a fingerprint, and
-// shutdown drains running jobs before the final metrics snapshot is
-// flushed. Telemetry (/metrics, /debug/vars, /debug/pprof) is mounted on
+// from a result cache keyed by the session's FNV-1a fingerprint, cache
+// misses run the session's delta-aware discovery (only sources the
+// mutation touched are re-detected; reuse is surfaced as
+// serve/cache/partial hits), and shutdown drains running jobs before
+// the final metrics snapshot is flushed. Telemetry (/metrics, /debug/vars, /debug/pprof) is mounted on
 // the same listener via obs.Mount.
 package serve
 
@@ -98,7 +100,11 @@ type Server struct {
 
 // session is one named midas.Session plus its single-entry result
 // cache. The corpus is append-only and the KB only grows, so an old
-// fingerprint never recurs and one entry is all a cache needs.
+// fingerprint never recurs and one entry is all a cache needs. The
+// cache is only the exact-hit fast path: a fingerprint miss runs the
+// session's incremental discovery, which itself reuses the per-source
+// detection results of the previous run for every source the mutation
+// did not touch (reported as serve/cache/partial hits).
 type session struct {
 	name string
 	sess *midas.Session

@@ -239,6 +239,45 @@ func TestDiscoverCache(t *testing.T) {
 	}
 }
 
+// TestPartialCacheHit: a delta confined to one source misses the
+// exact-fingerprint result cache but answers most sources from the
+// session's incremental state, surfaced as a serve/cache/partial hit.
+func TestPartialCacheHit(t *testing.T) {
+	reg := obs.New()
+	_, ts := newTestServer(t, Options{Registry: reg})
+	do(t, "POST", ts.URL+"/api/sessions", strings.NewReader(`{"name":"p"}`), "application/json", nil)
+	postFacts(t, ts.URL, "p", corpusFacts("alpha", 10))
+	postFacts(t, ts.URL, "p", corpusFacts("beta", 10))
+	if j := discoverWait(t, ts.URL, "p"); j.Status != StateDone {
+		t.Fatalf("prime discover: %+v", j)
+	}
+	if v := reg.Counter("serve/cache/partial").Value(); v != 0 {
+		t.Fatalf("serve/cache/partial = %d before any delta, want 0", v)
+	}
+
+	// One fact on one existing page: the exact cache misses, but only
+	// that page's branch is re-detected.
+	postFacts(t, ts.URL, "p", []apiFact{{
+		Subject: "alpha entity 0", Predicate: "kind", Object: "alpha prime",
+		Confidence: 0.9, URL: "http://alpha.example.com/wiki/e0.htm",
+	}})
+	j := discoverWait(t, ts.URL, "p")
+	if j.Status != StateDone || j.Cached {
+		t.Fatalf("delta discover: %+v", j)
+	}
+	if v := reg.Counter("serve/cache/partial").Value(); v != 1 {
+		t.Fatalf("serve/cache/partial = %d after single-source delta, want 1", v)
+	}
+
+	// An unchanged re-discover is an exact hit, not another partial one.
+	if j := discoverWait(t, ts.URL, "p"); !j.Cached {
+		t.Fatalf("unchanged re-discover not cached: %+v", j)
+	}
+	if v := reg.Counter("serve/cache/partial").Value(); v != 1 {
+		t.Fatalf("serve/cache/partial = %d after exact hit, want 1", v)
+	}
+}
+
 // blockingDiscover substitutes the job body: it parks until release is
 // closed (or the context ends), so tests control job lifetime exactly.
 func blockingDiscover(release <-chan struct{}) func(context.Context, *midas.Session) (*midas.Result, error) {

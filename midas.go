@@ -184,6 +184,15 @@ type Result struct {
 	Rounds int
 	// SourcesProcessed counts per-source detector invocations.
 	SourcesProcessed int
+	// SourcesReused counts sources answered from the previous run's
+	// cached detection results instead of invoking the detector — only
+	// Session discoveries reuse (package-level Discover always runs from
+	// scratch, leaving it 0).
+	SourcesReused int
+	// Fingerprint is the session fingerprint the result was computed at
+	// (Session.Fingerprint read under the same lock as the discovery),
+	// 0 for package-level Discover. Caches key results by it.
+	Fingerprint uint64
 }
 
 // Options tunes discovery. The zero value (or nil) uses the paper's
@@ -256,6 +265,18 @@ func Discover(corpus *Corpus, existing *KB, opts *Options) *Result {
 // context's error.
 func DiscoverContext(ctx context.Context, corpus *Corpus, existing *KB, opts *Options) (*Result, error) {
 	o := opts.orDefault()
+	res, _, err := discover(ctx, corpus, existing, &o, nil, nil)
+	return res, err
+}
+
+// discover runs the pipeline, optionally reusing a prior run's
+// per-source detection results (Session's incremental path). The
+// transforms run before leaf-source fingerprinting inside the
+// framework, so a source only reuses when the facts the framework
+// actually sees are unchanged — a transform whose output shifted (a
+// fused conflict resolved differently, a new bucket boundary) changes
+// the fingerprints and forces a rebuild of the affected sources.
+func discover(ctx context.Context, corpus *Corpus, existing *KB, o *Options, prior *framework.Prior, delta []kb.Triple) (*Result, *framework.Prior, error) {
 	c := corpus.c
 	if o.MinConfidence > 0 {
 		c = c.FilterConfidence(o.MinConfidence)
@@ -278,6 +299,8 @@ func DiscoverContext(ctx context.Context, corpus *Corpus, existing *KB, opts *Op
 		Workers: o.Workers,
 		Obs:     o.Metrics.registry(),
 		Trace:   o.Trace.tracer(),
+		Prior:   prior,
+		Delta:   delta,
 		Core: core.Options{
 			Cost:              o.Cost,
 			Workers:           o.Workers,
@@ -300,13 +323,17 @@ func DiscoverContext(ctx context.Context, corpus *Corpus, existing *KB, opts *Op
 			keep[i] = true
 		}
 	}
-	res := &Result{Rounds: out.Rounds, SourcesProcessed: out.SourcesProcessed}
+	res := &Result{
+		Rounds:           out.Rounds,
+		SourcesProcessed: out.SourcesProcessed,
+		SourcesReused:    out.SourcesReused,
+	}
 	for i, s := range out.Slices {
 		if keep[i] {
 			res.Slices = append(res.Slices, publish(s, c.Space))
 		}
 	}
-	return res, runErr
+	return res, out.NextPrior, runErr
 }
 
 // DiscoverSource runs MIDASalg on the facts of a single web source,

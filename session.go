@@ -7,7 +7,10 @@ import (
 	"strings"
 	"sync"
 
+	"midas/internal/fact"
+	"midas/internal/framework"
 	"midas/internal/idset"
+	"midas/internal/kb"
 	"midas/internal/obs"
 	"midas/internal/source"
 )
@@ -48,11 +51,37 @@ type Session struct {
 	bySubject map[string][]sessionFact
 	dirty     bool
 
+	// fpMu guards the incremental fingerprint state below. It is
+	// separate from mu so Fingerprint can run under the read lock
+	// (concurrently with discoveries) while still advancing the cache.
+	fpMu sync.Mutex
 	// factFP is the running FNV-1a fingerprint over the first fpFacts
 	// corpus facts; Fingerprint extends it incrementally as the
 	// append-only corpus grows.
 	factFP  uint64
 	fpFacts int
+
+	// pmu guards the incremental-discovery state: the prior completed
+	// run and the KB delta accumulated since it. mu's writers mutate
+	// this state and mu's readers consume it, but pmu makes each access
+	// atomic so concurrent discoveries (all readers) stay race-free.
+	pmu sync.Mutex
+	// prior is the reusable per-source state of the last completed
+	// discovery; nil forces a from-scratch run.
+	prior *framework.Prior
+	// delta lists the triples Absorb added to the KB since prior was
+	// captured; deltaTo is the KB epoch through which delta is complete.
+	// deltaBroken records that the KB was mutated outside Absorb (via
+	// KB()) while a prior was held, so delta can no longer be trusted
+	// and the next discovery rebuilds from scratch.
+	delta       []kb.Triple
+	deltaTo     uint64
+	deltaBroken bool
+	// dirtySrcs names normalized sources touched by AddFacts/Absorb
+	// since the last completed discovery — an advisory signal for
+	// operators (DirtySources); the framework's per-source fingerprints
+	// are the reuse authority.
+	dirtySrcs map[string]struct{}
 }
 
 type sessionFact struct {
@@ -95,27 +124,53 @@ func (s *Session) CorpusSize() int {
 	return s.corpus.Len()
 }
 
-// AddFacts appends extraction output to the session corpus.
+// AddFacts appends extraction output to the session corpus. Only the
+// touched sources become dirty: the next Discover rebuilds their
+// tables and re-detects there, reusing the previous run's results for
+// every clean source.
 func (s *Session) AddFacts(facts ...Fact) {
 	s.mu.Lock()
 	for _, f := range facts {
 		s.corpus.Add(f)
 	}
 	s.dirty = s.dirty || len(facts) > 0
+	if len(facts) > 0 {
+		s.pmu.Lock()
+		if s.dirtySrcs == nil {
+			s.dirtySrcs = make(map[string]struct{})
+		}
+		for _, f := range facts {
+			if src := source.Normalize(f.URL); src != "" {
+				s.dirtySrcs[src] = struct{}{}
+			}
+		}
+		s.pmu.Unlock()
+	}
 	s.mu.Unlock()
 	s.metrics().Counter("session/facts_added").Add(int64(len(facts)))
 }
 
 // Fingerprint identifies the discovery-relevant state of the session: a
 // 64-bit FNV-1a hash over the fact table (interned triples, source
-// URLs, confidences) folded with the KB's fact count. Two calls return
-// the same value iff no facts were added and the KB did not grow in
-// between, so Discover results can be cached keyed by it (see
-// internal/serve). The corpus hash is maintained incrementally — on an
-// unchanged session this is O(1).
+// URLs, confidences) folded with the KB's fact count and mutation
+// epoch. Two calls return the same value iff no facts were added and
+// the KB saw no writes in between — including writes that inserted
+// only already-known triples, which leave the size unchanged but still
+// advance the epoch — so Discover results can be cached keyed by it
+// (see internal/serve). The corpus hash is maintained incrementally —
+// on an unchanged session this is O(1).
 func (s *Session) Fingerprint() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fingerprintLocked()
+}
+
+// fingerprintLocked computes the fingerprint under mu (read or write);
+// fpMu serializes the incremental corpus-hash advance between
+// concurrent readers.
+func (s *Session) fingerprintLocked() uint64 {
+	s.fpMu.Lock()
+	defer s.fpMu.Unlock()
 	facts := s.corpus.c.Facts
 	for _, e := range facts[s.fpFacts:] {
 		s.factFP = idset.AppendFingerprint64(s.factFP, []uint64{
@@ -125,7 +180,73 @@ func (s *Session) Fingerprint() uint64 {
 		})
 	}
 	s.fpFacts = len(facts)
-	return idset.AppendFingerprint64(s.factFP, []uint64{uint64(s.kb.Size())})
+	return idset.AppendFingerprint64(s.factFP, []uint64{
+		uint64(s.kb.Size()),
+		s.kb.store.Epoch(),
+	})
+}
+
+// SourceFingerprints returns the per-source FNV-1a fingerprints of the
+// session corpus, keyed by normalized source URL — the signal the
+// incremental path compares across runs to decide which sources are
+// dirty. Facts whose URL normalizes to "" are excluded.
+func (s *Session) SourceFingerprints() map[string]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]uint64)
+	for src, ls := range fact.LeafSources(s.corpus.c) {
+		out[src] = ls.FP
+	}
+	return out
+}
+
+// DirtySources lists, sorted, the normalized sources touched by
+// AddFacts or Absorb since the last completed discovery. It is an
+// advisory operator signal: the framework decides actual reuse from
+// per-source fingerprints and absorbed-triple containment, which also
+// catch sources sharing facts with an absorbed slice.
+func (s *Session) DirtySources() []string {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	out := make([]string, 0, len(s.dirtySrcs))
+	for src := range s.dirtySrcs {
+		out = append(out, src)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// usablePrior decides whether the last completed run can seed this one,
+// and with which KB delta. Reuse requires either an untouched KB (epoch
+// equal to the prior's) or a delta trail that is provably complete: the
+// KB's epoch matches the last Absorb's and no untracked mutation broke
+// the trail in between.
+func (s *Session) usablePrior() (*framework.Prior, []kb.Triple) {
+	epoch := s.kb.store.Epoch()
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.prior == nil {
+		return nil, nil
+	}
+	if epoch == s.prior.Epoch {
+		return s.prior, nil
+	}
+	if !s.deltaBroken && epoch == s.deltaTo {
+		return s.prior, append([]kb.Triple(nil), s.delta...)
+	}
+	return nil, nil
+}
+
+// storePrior records a completed run's reusable state and resets the
+// delta trail to start from it.
+func (s *Session) storePrior(p *framework.Prior) {
+	s.pmu.Lock()
+	s.prior = p
+	s.delta = nil
+	s.deltaTo = p.Epoch
+	s.deltaBroken = false
+	s.dirtySrcs = nil
+	s.pmu.Unlock()
 }
 
 // Discover runs the full pipeline over the current corpus against the
@@ -140,14 +261,28 @@ func (s *Session) Discover() *Result {
 // slices finalized so far together with the context's error. Multiple
 // discoveries may run concurrently (they hold the session's read lock);
 // AddFacts and Absorb wait for in-flight discoveries to finish.
+//
+// Discoveries are incremental: each completed run keeps its per-source
+// fact tables and detection results, and the next run reuses them for
+// every source whose facts are unchanged and whose newness the KB
+// growth since then cannot have touched — doing detection work
+// proportional to the delta, with a result identical to a from-scratch
+// run. Result.SourcesReused reports how much was skipped.
 func (s *Session) DiscoverContext(ctx context.Context) (*Result, error) {
 	reg := s.metrics()
 	defer reg.Timer("session/discover").Start()()
 	s.mu.RLock()
-	res, err := DiscoverContext(ctx, s.corpus, s.kb, &s.opts)
+	fp := s.fingerprintLocked()
+	prior, delta := s.usablePrior()
+	res, next, err := discover(ctx, s.corpus, s.kb, &s.opts, prior, delta)
+	res.Fingerprint = fp
+	if err == nil && next != nil {
+		s.storePrior(next)
+	}
 	s.mu.RUnlock()
 	reg.Counter("session/discoveries").Inc()
 	reg.Gauge("session/last_slices").Set(float64(len(res.Slices)))
+	reg.Counter("session/sources_reused").Add(int64(res.SourcesReused))
 	return res, err
 }
 
@@ -155,27 +290,55 @@ func (s *Session) DiscoverContext(ctx context.Context) (*Result, error) {
 // the slice's entities located at or under the slice's source is added
 // to the KB. It returns the number of facts that were new. Subsequent
 // Discover calls no longer count these facts as gain.
+//
+// Absorb always advances the KB epoch, but it records the triples it
+// actually added, so the next Discover still reuses the detection
+// results of every source whose fact table contains none of them —
+// only sources carrying the absorbed facts fall back to re-annotation
+// and re-detection. A KB mutated outside Absorb (through KB()) breaks
+// that trail and the next Discover rebuilds from scratch.
 func (s *Session) Absorb(sl Slice) int {
 	reg := s.metrics()
 	defer reg.Timer("session/absorb").Start()()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pmu.Lock()
+	if s.prior != nil && s.kb.store.Epoch() != s.deltaTo {
+		// The KB moved since the delta trail last caught up: an
+		// untracked mutation slipped in, so completeness is gone.
+		s.deltaBroken = true
+	}
+	s.pmu.Unlock()
 	s.reindex()
 	members := make(map[string]bool, len(sl.Entities))
 	for _, e := range sl.Entities {
 		members[e] = true
 	}
 	added := 0
+	var addedTriples []kb.Triple
+	space := s.kb.store.Space()
 	for e := range members {
 		for _, sf := range s.bySubject[e] {
 			if sf.src != sl.Source && !strings.HasPrefix(sf.src, sl.Source+"/") {
 				continue
 			}
-			if s.kb.Add(sf.f.Subject, sf.f.Predicate, sf.f.Object) {
+			t := space.Intern(sf.f.Subject, sf.f.Predicate, sf.f.Object)
+			if s.kb.store.Add(t) {
 				added++
+				addedTriples = append(addedTriples, t)
 			}
 		}
 	}
+	s.pmu.Lock()
+	if s.prior != nil && !s.deltaBroken {
+		s.delta = append(s.delta, addedTriples...)
+	}
+	s.deltaTo = s.kb.store.Epoch()
+	if s.dirtySrcs == nil {
+		s.dirtySrcs = make(map[string]struct{})
+	}
+	s.dirtySrcs[sl.Source] = struct{}{}
+	s.pmu.Unlock()
 	reg.Counter("session/absorbs").Inc()
 	reg.Counter("session/facts_absorbed").Add(int64(added))
 	reg.Gauge("session/kb_facts").Set(float64(s.kb.Size()))
