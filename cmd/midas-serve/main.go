@@ -75,7 +75,10 @@ func main() {
 		JobTimeout:     *jobTimeout,
 		Registry:       reg,
 	})
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// ReadHeaderTimeout bounds how long a connection may sit between
+	// accept and a complete request header, so idle or trickling clients
+	// cannot pin accept slots indefinitely (Slowloris).
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -1,0 +1,333 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"midas"
+	"midas/internal/faultinject"
+	"midas/internal/obs"
+	"midas/internal/serve"
+	"midas/internal/testutil"
+)
+
+// config is one soak invocation's knobs, shared by every seed it runs.
+type config struct {
+	ops      int
+	clients  int
+	maxFacts int
+	breakIt  bool
+	verbose  bool
+	pool     []poolRow
+}
+
+// report is the per-seed outcome — serialized verbatim as the failure
+// artifact, so a violation ships with everything needed to replay it:
+// the seed, the fault plan it drew, what was injected, the full op log,
+// and the violations themselves.
+type report struct {
+	Seed        int64            `json:"seed"`
+	Plan        faultinject.Plan `json:"plan"`
+	FaultCounts map[string]int64 `json:"fault_counts"`
+	Requests    int64            `json:"requests"`
+	Disconnects int64            `json:"disconnects"`
+	Shed        int64            `json:"shed"`
+	Ops         []opRecord       `json:"ops"`
+	Violations  []violation      `json:"violations"`
+}
+
+type opRecord struct {
+	Worker  int    `json:"worker"`
+	Seq     int    `json:"seq"`
+	Op      string `json:"op"`
+	Session string `json:"session,omitempty"`
+	Code    int    `json:"code,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+type violation struct {
+	Worker int    `json:"worker"`
+	Seq    int    `json:"seq"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// seedHarness runs one seed: an in-process serve.Server with every
+// fault seam wired to one seeded Injector, hammered by cfg.clients
+// deterministic workers, then checked against the end-of-run
+// invariants (drain behavior, metrics consistency, goroutine leaks).
+type seedHarness struct {
+	cfg  config
+	seed int64
+	inj  *faultinject.Injector
+	reg  *obs.Registry
+	srv  *serve.Server
+	ts   *httptest.Server
+	hc   *http.Client
+
+	responses atomic.Int64 // HTTP responses the clients observed
+	disconns  atomic.Int64 // requests abandoned client-side
+	shed429   atomic.Int64 // 429s the clients observed
+
+	mu    sync.Mutex
+	ops   []opRecord
+	viols []violation
+}
+
+func runSeed(cfg config, seed int64) *report {
+	if cfg.clients <= 0 {
+		cfg.clients = 4
+	}
+	before := testutil.Goroutines()
+	inj := faultinject.New(seed, faultinject.DefaultPlan())
+	reg := obs.New()
+	maxInFlight := cfg.clients/2 + 1 // tight enough that shedding happens
+	opts := serve.Options{
+		Registry:       reg,
+		MaxInFlight:    maxInFlight,
+		RequestTimeout: 30 * time.Second,
+		IDs:            serve.NewIDSource(seed),
+		Now:            inj.Clock(),
+		NewSession: func(o *midas.Options) *midas.Session {
+			if o == nil {
+				o = &midas.Options{}
+			}
+			o.Detect = inj.Detector()
+			return midas.NewSession(nil, o)
+		},
+		WrapDiscover: func(next serve.Discover) serve.Discover {
+			d := inj.Discover(faultinject.DiscoverFunc(next))
+			if cfg.breakIt {
+				d = inj.CorruptResults(d)
+			}
+			return serve.Discover(d)
+		},
+	}
+	srv := serve.New(opts)
+	srv.SetReady(true)
+	ts := httptest.NewServer(srv.Handler())
+	h := &seedHarness{
+		cfg: cfg, seed: seed, inj: inj, reg: reg, srv: srv, ts: ts,
+		hc: &http.Client{Timeout: 60 * time.Second},
+	}
+
+	// A sentinel session no worker touches: never discovered before the
+	// drain, so its result cache is empty and checkDrain's probe must
+	// reach the drain gate rather than a cache hit or a 404.
+	if code, err := h.doJSON(h.hc, "POST", "/api/sessions",
+		strings.NewReader(`{"name":"drain-probe"}`), "application/json", nil); err != nil || code != http.StatusCreated {
+		h.violate(-1, -1, "setup", fmt.Sprintf("creating drain-probe session: HTTP %d (%v)", code, err))
+	}
+
+	perWorker := cfg.ops / cfg.clients
+	if perWorker <= 0 {
+		perWorker = 1
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := newWorker(h, id)
+			for seq := 0; seq < perWorker; seq++ {
+				w.step(seq)
+			}
+			w.finalChecks()
+		}(i)
+	}
+	wg.Wait()
+
+	h.checkDrain()
+	h.checkMetrics()
+
+	ts.Close()
+	srv.Close()
+	h.hc.CloseIdleConnections()
+	if leaks := testutil.Leaked(before, 5*time.Second); len(leaks) > 0 {
+		h.violate(-1, -1, "goroutine-leak", fmt.Sprintf("%v", leaks))
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return &report{
+		Seed:        seed,
+		Plan:        inj.Plan(),
+		FaultCounts: inj.Counts(),
+		Requests:    h.responses.Load(),
+		Disconnects: h.disconns.Load(),
+		Shed:        h.shed429.Load(),
+		Ops:         h.ops,
+		Violations:  h.viols,
+	}
+}
+
+func (h *seedHarness) record(worker, seq int, op, session string, code int, note string) {
+	if h.cfg.verbose {
+		fmt.Printf("seed %d w%d #%d %-14s %-12s %d %s\n", h.seed, worker, seq, op, session, code, note)
+	}
+	h.mu.Lock()
+	h.ops = append(h.ops, opRecord{Worker: worker, Seq: seq, Op: op, Session: session, Code: code, Note: note})
+	h.mu.Unlock()
+}
+
+func (h *seedHarness) violate(worker, seq int, kind, detail string) {
+	h.mu.Lock()
+	h.viols = append(h.viols, violation{Worker: worker, Seq: seq, Kind: kind, Detail: detail})
+	h.mu.Unlock()
+}
+
+// doJSON issues one request against the harness server, decoding the
+// JSON response into out when non-nil. A transport-level failure
+// returns code 0 with the error; response bodies that fail to decode
+// are reported as a harness violation (the API must always answer
+// well-formed JSON).
+func (h *seedHarness) doJSON(client *http.Client, method, path string, body io.Reader, contentType string, out any) (int, error) {
+	req, err := http.NewRequest(method, h.ts.URL+path, body)
+	if err != nil {
+		return 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		h.disconns.Add(1)
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.disconns.Add(1)
+		return 0, err
+	}
+	h.responses.Add(1)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		h.shed429.Add(1)
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			h.violate(-1, -1, "malformed-response", fmt.Sprintf("%s %s: %v in %.200q", method, path, err, raw))
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// checkDrain verifies shutdown semantics: Drain leaves no job running,
+// and a draining server refuses discovery with 503 while /healthz stays
+// alive.
+func (h *seedHarness) checkDrain() {
+	ctx, cancel := contextWithTimeout(10 * time.Second)
+	defer cancel()
+	h.srv.Drain(ctx)
+
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	code, err := h.doJSON(h.hc, "POST", "/api/sessions/drain-probe/discover", nil, "", &errResp)
+	if err == nil && code != http.StatusServiceUnavailable {
+		h.violate(-1, -1, "drain-503", fmt.Sprintf("discover during drain: HTTP %d, want 503", code))
+	}
+	if code, err := h.doJSON(h.hc, "GET", "/healthz", nil, "", nil); err != nil || code != http.StatusOK {
+		h.violate(-1, -1, "drain-healthz", fmt.Sprintf("healthz during drain: HTTP %d (%v)", code, err))
+	}
+
+	var jobs struct {
+		Jobs []struct {
+			Job    string `json:"job"`
+			Status string `json:"status"`
+			Cached bool   `json:"cached"`
+		} `json:"jobs"`
+	}
+	if code, err := h.doJSON(h.hc, "GET", "/api/jobs", nil, "", &jobs); err != nil || code != http.StatusOK {
+		h.violate(-1, -1, "drain-jobs", fmt.Sprintf("job list after drain: HTTP %d (%v)", code, err))
+		return
+	}
+	ran, cached := int64(0), int64(0)
+	for _, j := range jobs.Jobs {
+		if j.Status == serve.StateRunning {
+			h.violate(-1, -1, "drain-left-running", fmt.Sprintf("job %s still running after Drain", j.Job))
+		}
+		if j.Cached {
+			cached++
+		} else {
+			ran++
+		}
+	}
+	// The authoritative job list must reconcile exactly with the
+	// serve/* counters: every non-cached job was executed and finished,
+	// every cached one hit the result cache.
+	h.reconcile("jobs/finished", ran, func() int64 { return h.reg.Counter("serve/jobs/finished").Value() })
+	h.reconcile("cache/hit", cached, func() int64 { return h.reg.Counter("serve/cache/hit").Value() })
+}
+
+// reconcile retries an exact counter comparison briefly: a handler that
+// already answered its client may still be a few instructions away from
+// bumping its counters.
+func (h *seedHarness) reconcile(name string, want int64, got func() int64) {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got() == want || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := got(); g != want {
+		h.violate(-1, -1, "metrics-"+name, fmt.Sprintf("serve/%s = %d, observed %d", name, g, want))
+	}
+}
+
+// checkMetrics bounds the request counters against what the clients
+// observed: the server counts every handler completion, so its total
+// must cover every client-observed response and exceed it by at most
+// the number of abandoned requests.
+func (h *seedHarness) checkMetrics() {
+	observed := h.responses.Load()
+	dropped := h.disconns.Load()
+	total := func() int64 {
+		var n int64
+		for _, s := range h.reg.Snapshot().CounterVecs["serve/requests"].Series {
+			n += s.Value
+		}
+		return n
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for total() < observed && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := total(); got < observed || got > observed+dropped {
+		h.violate(-1, -1, "metrics-requests",
+			fmt.Sprintf("serve/requests total %d outside [%d, %d] (observed, +%d disconnects)",
+				got, observed, observed+dropped, dropped))
+	}
+	shed := h.reg.Counter("serve/shed").Value()
+	if seen := h.shed429.Load(); shed < seen || shed > seen+dropped {
+		h.violate(-1, -1, "metrics-shed",
+			fmt.Sprintf("serve/shed = %d outside [%d, %d]", shed, seen, seen+dropped))
+	}
+	if running := h.reg.Gauge("serve/jobs/running").Value(); running != 0 {
+		h.violate(-1, -1, "metrics-running", fmt.Sprintf("serve/jobs/running = %v after drain", running))
+	}
+}
+
+// digest condenses a result's slices into a comparable fingerprint.
+func digest(slices []normSlice) string {
+	b, _ := json.Marshal(slices)
+	sum := fnv.New64a()
+	sum.Write(b)
+	return fmt.Sprintf("%016x", sum.Sum64())
+}
+
+func sameSlices(a, b []normSlice) bool {
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	return bytes.Equal(ab, bb)
+}

@@ -1,0 +1,198 @@
+// Command midas-soak runs a randomized concurrent workload against an
+// in-process serve.Server with every fault seam wired to a seeded
+// injector, and checks the serving path's invariants continuously:
+// cache hits only on equal fingerprints, incremental results identical
+// to a from-scratch oracle rerun, serve/* metrics consistent with the
+// responses the clients saw, no goroutine leaks after drain, and
+// partial-only results when an injected deadline lands.
+//
+// Every run is replayable: the workload and the fault plan both derive
+// from -seed, so a failing seed re-runs to the same workload against
+// the same fault distribution. On violations the full report — plan,
+// fault counts, op log, violations — is written to
+// <oplog>/SOAK_failure_seed<N>.json and the exit status is 1.
+//
+// Usage:
+//
+//	midas-soak -seeds 5 -ops 300                # seeds 1..5, ~300 ops each
+//	midas-soak -seed 7 -ops 300 -v              # replay seed 7, op-by-op
+//	midas-soak -facts data/facts.tsv            # draw facts from a corpus
+//	midas-soak -break                           # prove the oracle bites
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// poolRow is one fact the workers draw batches from.
+type poolRow struct {
+	subject, predicate, object string
+	confidence                 float64
+	url                        string
+}
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 0, "run exactly this seed (0 = run -seeds sequential seeds)")
+		seeds    = flag.Int("seeds", 3, "number of seeds to run, starting at 1")
+		ops      = flag.Int("ops", 200, "approximate operations per seed, split across clients")
+		clients  = flag.Int("clients", 4, "concurrent workers per seed")
+		facts    = flag.String("facts", "", "facts TSV to draw from (subject\\tpredicate\\tobject[\\tconf[\\turl]]); default synthetic")
+		maxFacts = flag.Int("max-facts", 400, "cap on fact rows ingested per session")
+		oplog    = flag.String("oplog", ".", "directory for failure artifacts")
+		breakIt  = flag.Bool("break", false, "inject a deliberate invariant break (the harness must catch it)")
+		verbose  = flag.Bool("v", false, "log every operation")
+	)
+	flag.Parse()
+
+	pool, err := loadPool(*facts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "midas-soak: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := config{
+		ops: *ops, clients: *clients, maxFacts: *maxFacts,
+		breakIt: *breakIt, verbose: *verbose, pool: pool,
+	}
+
+	var run []int64
+	if *seed != 0 {
+		run = []int64{*seed}
+	} else {
+		for s := 1; s <= *seeds; s++ {
+			run = append(run, int64(s))
+		}
+	}
+
+	failed := 0
+	for _, s := range run {
+		start := time.Now()
+		r := runSeed(cfg, s)
+		status := "ok"
+		if len(r.Violations) > 0 {
+			status = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+			failed++
+		}
+		fmt.Printf("seed %d: %s — %d ops, %d responses, %d shed, %d disconnects, faults %v in %v\n",
+			s, status, len(r.Ops), r.Requests, r.Shed, r.Disconnects, r.FaultCounts, time.Since(start).Round(time.Millisecond))
+		if len(r.Violations) > 0 {
+			for i, v := range r.Violations {
+				if i == 10 {
+					fmt.Printf("  … %d more\n", len(r.Violations)-i)
+					break
+				}
+				fmt.Printf("  [%s] w%d#%d: %s\n", v.Kind, v.Worker, v.Seq, v.Detail)
+			}
+			if path, err := writeArtifact(*oplog, r); err != nil {
+				fmt.Fprintf(os.Stderr, "midas-soak: writing artifact: %v\n", err)
+			} else {
+				fmt.Printf("  artifact: %s\n  replay:   midas-soak -seed %d -ops %d -clients %d%s\n",
+					path, s, *ops, *clients, breakFlag(*breakIt))
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func breakFlag(b bool) string {
+	if b {
+		return " -break"
+	}
+	return ""
+}
+
+func writeArtifact(dir string, r *report) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("SOAK_failure_seed%d.json", r.Seed))
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, b, 0o644)
+}
+
+// loadPool reads a facts TSV, or synthesizes a corpus shaped like the
+// generator's slim datasets: a handful of verticals, each a web source
+// with per-entity pages, two predicates per entity.
+func loadPool(path string) ([]poolRow, error) {
+	if path == "" {
+		return syntheticPool(), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pool []poolRow
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		cols := strings.Split(line, "\t")
+		if len(cols) < 3 {
+			continue
+		}
+		row := poolRow{subject: cols[0], predicate: cols[1], object: cols[2], confidence: 0.9}
+		if len(cols) > 3 {
+			if c, err := strconv.ParseFloat(cols[3], 64); err == nil && c > 0 && c <= 1 {
+				row.confidence = c
+			}
+		}
+		if len(cols) > 4 {
+			row.url = cols[4]
+		}
+		if row.url == "" {
+			row.url = "http://pool.soak.example.com/wiki/p.htm"
+		}
+		pool = append(pool, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("no usable rows in %s", path)
+	}
+	return pool, nil
+}
+
+// syntheticPool builds a corpus the pipeline can actually slice: per
+// vertical, every entity shares kind=<vertical> (the property that
+// defines a profitable slice over the vertical's web source) and
+// carries one unique id fact, each on its own page of the vertical's
+// sub-domain.
+func syntheticPool() []poolRow {
+	verticals := []string{"movies", "books", "songs", "people", "places", "teams"}
+	var pool []poolRow
+	for _, v := range verticals {
+		for i := 0; i < 50; i++ {
+			subj := fmt.Sprintf("%s entity %d", v, i)
+			url := fmt.Sprintf("http://%s.soak.example.com/wiki/e%d.htm", v, i)
+			conf := 0.5 + float64(i%5)*0.1
+			pool = append(pool,
+				poolRow{subject: subj, predicate: "kind", object: v, confidence: conf, url: url},
+				poolRow{subject: subj, predicate: "id", object: fmt.Sprintf("id-%s-%d", v, i), confidence: conf, url: url},
+			)
+		}
+	}
+	return pool
+}

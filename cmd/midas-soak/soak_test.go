@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func testConfig(breakIt bool) config {
+	return config{ops: 80, clients: 4, maxFacts: 200, breakIt: breakIt, pool: syntheticPool()}
+}
+
+// TestSoakCleanRun: without injected breaks, a soak seed completes with
+// zero invariant violations — faults fire, the server absorbs them.
+func TestSoakCleanRun(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		r := runSeed(testConfig(false), seed)
+		for _, v := range r.Violations {
+			t.Errorf("seed %d: [%s] w%d#%d: %s", seed, v.Kind, v.Worker, v.Seq, v.Detail)
+		}
+		if len(r.Ops) == 0 {
+			t.Errorf("seed %d: no operations recorded", seed)
+		}
+	}
+}
+
+// TestSoakBreakCaught: the deliberately injected invariant break (a
+// corrupted discovery result) is detected by the oracles, and the
+// failing seed replays to a failure again — the property that makes a
+// soak artifact actionable.
+func TestSoakBreakCaught(t *testing.T) {
+	var failing int64
+	for seed := int64(1); seed <= 3; seed++ {
+		r := runSeed(testConfig(true), seed)
+		if len(r.Violations) > 0 {
+			failing = seed
+			if r.FaultCounts["corrupt"] == 0 {
+				t.Errorf("seed %d: violations without any injected corruption", seed)
+			}
+			break
+		}
+	}
+	if failing == 0 {
+		t.Fatal("injected result corruption was never caught across 3 seeds")
+	}
+
+	replay := runSeed(testConfig(true), failing)
+	if len(replay.Violations) == 0 {
+		t.Fatalf("seed %d failed once but replayed clean", failing)
+	}
+
+	// The report must serialize: it is the failure artifact.
+	if _, err := json.Marshal(replay); err != nil {
+		t.Fatalf("report not serializable: %v", err)
+	}
+}
+
+// TestSoakReportShape: a report carries everything a replay needs.
+func TestSoakReportShape(t *testing.T) {
+	r := runSeed(testConfig(false), 42)
+	if r.Seed != 42 {
+		t.Errorf("report seed = %d", r.Seed)
+	}
+	if r.Plan.ReadErrProb == 0 {
+		t.Error("report carries no fault plan")
+	}
+	if r.Requests == 0 {
+		t.Error("report counted no responses")
+	}
+}

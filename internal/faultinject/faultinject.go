@@ -1,0 +1,272 @@
+// Package faultinject is the deterministic fault-injection layer behind
+// cmd/midas-soak: seeded, probabilistic faults planted into the seams
+// the serving path already exposes (serve.Options.WrapDiscover /
+// NewSession / Now, midas.Options.Detect, and any io.Reader feeding a
+// KB load). Production code never imports this package — the seams
+// default to nil and cost nothing — and this package never imports
+// internal/serve, so the dependency arrow points strictly from the
+// harness into the library.
+//
+// Determinism: every decision is drawn from one seeded PRNG, so a fixed
+// seed yields a fixed decision sequence. Under concurrency the
+// *assignment* of decisions to callers follows the goroutine
+// interleaving, but the soak harness derives its op streams from
+// per-worker PRNGs and checks interleaving-independent invariants, so
+// replaying a seed reproduces the same workload against the same fault
+// distribution — which in practice re-triggers the failures a seed
+// exposed.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"midas"
+	"midas/internal/core"
+	"midas/internal/fact"
+	"midas/internal/hierarchy"
+	"midas/internal/slice"
+)
+
+// ErrInjected marks a fault-injected I/O failure, so harness code can
+// distinguish planted errors from real ones.
+var ErrInjected = errors.New("faultinject: injected read error")
+
+// Plan sets the fault mix: each probability is rolled independently at
+// the matching seam. The zero value injects nothing.
+type Plan struct {
+	// ReadErrProb is the chance a Reader-wrapped stream fails with
+	// ErrInjected partway through, at a seeded byte offset.
+	ReadErrProb float64 `json:"read_err_prob"`
+	// ReadLatencyProb is the chance a Reader-wrapped stream sleeps up to
+	// MaxReadLatency before its first byte (a slow upstream).
+	ReadLatencyProb float64       `json:"read_latency_prob"`
+	MaxReadLatency  time.Duration `json:"max_read_latency"`
+	// StallProb is the chance a Discover-wrapped run stalls up to
+	// MaxStall before starting; the stall honors the context, so a
+	// deadline shorter than the stall yields a partial result.
+	StallProb float64       `json:"stall_prob"`
+	MaxStall  time.Duration `json:"max_stall"`
+	// CancelProb is the chance a Discover-wrapped run executes under an
+	// already-canceled child context — the guaranteed-partial path.
+	CancelProb float64 `json:"cancel_prob"`
+	// DetectStallProb is the chance one per-source detector invocation
+	// sleeps up to MaxDetectStall (an oversized shard).
+	DetectStallProb float64       `json:"detect_stall_prob"`
+	MaxDetectStall  time.Duration `json:"max_detect_stall"`
+	// SkewProb is the chance one Clock reading jumps by up to ±MaxSkew.
+	// Readings are clamped monotonic, so skew stretches and compresses
+	// elapsed times without ever making a job finish before it started.
+	SkewProb float64       `json:"skew_prob"`
+	MaxSkew  time.Duration `json:"max_skew"`
+}
+
+// DefaultPlan returns the soak harness's standard fault mix: every seam
+// fires often enough to matter in a few hundred ops, with latencies
+// small enough to keep a -race run fast.
+func DefaultPlan() Plan {
+	return Plan{
+		ReadErrProb:     0.15,
+		ReadLatencyProb: 0.2,
+		MaxReadLatency:  5 * time.Millisecond,
+		StallProb:       0.2,
+		MaxStall:        10 * time.Millisecond,
+		CancelProb:      0.1,
+		DetectStallProb: 0.05,
+		MaxDetectStall:  2 * time.Millisecond,
+		SkewProb:        0.3,
+		MaxSkew:         30 * time.Second,
+	}
+}
+
+// Injector draws faults from a seeded PRNG according to a Plan and
+// counts what it injected (Counts), for the failure artifact.
+type Injector struct {
+	plan Plan
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	offset time.Duration // current clock skew
+	last   time.Time     // monotonic clamp for Clock
+	counts map[string]int64
+}
+
+// New returns an Injector drawing from seed under plan.
+func New(seed int64, plan Plan) *Injector {
+	return &Injector{
+		plan:   plan,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[string]int64),
+	}
+}
+
+// Plan returns the injector's fault plan (for failure artifacts).
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Counts returns a snapshot of injected-fault counters, keyed
+// read_err, read_latency, stall, cancel, detect_stall, skew.
+func (in *Injector) Counts() map[string]int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// roll draws one decision; dur draws a duration in [0, max).
+func (in *Injector) roll(p float64, counter string) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() >= p {
+		return false
+	}
+	in.counts[counter]++
+	return true
+}
+
+func (in *Injector) dur(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return time.Duration(in.rng.Int63n(int64(max)))
+}
+
+// Reader wraps r with the plan's stream faults: with ReadLatencyProb a
+// sleep before the first byte, with ReadErrProb an ErrInjected failure
+// at a seeded offset within the first 16 KiB. The fault decisions are
+// drawn at wrap time, so a wrapped reader's behavior is fixed the
+// moment it is handed out.
+func (in *Injector) Reader(r io.Reader) io.Reader {
+	fr := &faultReader{r: r, failAt: -1}
+	if in.roll(in.plan.ReadLatencyProb, "read_latency") {
+		fr.delay = in.dur(in.plan.MaxReadLatency)
+	}
+	if in.roll(in.plan.ReadErrProb, "read_err") {
+		in.mu.Lock()
+		fr.failAt = in.rng.Int63n(16 << 10)
+		in.mu.Unlock()
+	}
+	return fr
+}
+
+type faultReader struct {
+	r      io.Reader
+	delay  time.Duration // sleep before the first read
+	failAt int64         // fail once this many bytes have been served; -1 = never
+	read   int64
+	first  bool
+}
+
+func (f *faultReader) Read(p []byte) (int, error) {
+	if !f.first {
+		f.first = true
+		if f.delay > 0 {
+			time.Sleep(f.delay)
+		}
+	}
+	if f.failAt >= 0 && f.read >= f.failAt {
+		return 0, fmt.Errorf("after %d bytes: %w", f.read, ErrInjected)
+	}
+	if f.failAt >= 0 && int64(len(p)) > f.failAt-f.read {
+		p = p[:f.failAt-f.read]
+		if len(p) == 0 {
+			return 0, fmt.Errorf("after %d bytes: %w", f.read, ErrInjected)
+		}
+	}
+	n, err := f.r.Read(p)
+	f.read += int64(n)
+	return n, err
+}
+
+// DiscoverFunc mirrors serve.Discover without importing serve (named
+// function types convert explicitly in both directions).
+type DiscoverFunc func(ctx context.Context, sess *midas.Session) (*midas.Result, error)
+
+// Discover wraps a discovery body with the plan's run-level faults:
+// a context-honoring stall before the run (StallProb) and, with
+// CancelProb, execution under an already-canceled child context — the
+// deterministic way to force the partial-result path.
+func (in *Injector) Discover(next DiscoverFunc) DiscoverFunc {
+	return func(ctx context.Context, sess *midas.Session) (*midas.Result, error) {
+		if in.roll(in.plan.StallProb, "stall") {
+			t := time.NewTimer(in.dur(in.plan.MaxStall))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
+		if in.roll(in.plan.CancelProb, "cancel") {
+			cctx, cancel := context.WithCancel(ctx)
+			cancel()
+			ctx = cctx
+		}
+		return next(ctx, sess)
+	}
+}
+
+// CorruptResults wraps a discovery body with a deliberate invariant
+// break — roughly a third of completed results lose their last slice —
+// so the soak harness can prove its oracle catches a lying server
+// (the -break acceptance check). Never wired outside that check.
+func (in *Injector) CorruptResults(next DiscoverFunc) DiscoverFunc {
+	return func(ctx context.Context, sess *midas.Session) (*midas.Result, error) {
+		res, err := next(ctx, sess)
+		if err == nil && res != nil && len(res.Slices) > 0 && in.roll(1.0/3, "corrupt") {
+			broken := *res
+			broken.Slices = broken.Slices[:len(broken.Slices)-1]
+			return &broken, err
+		}
+		return res, err
+	}
+}
+
+// Detector returns the default detection phase (MIDASalg, bit-identical
+// to the framework's built-in wiring for any worker count) with the
+// plan's per-source stall in front: with DetectStallProb one source's
+// detection sleeps up to MaxDetectStall. Detection output is never
+// perturbed — faults here only move time around.
+func (in *Injector) Detector() midas.Detector {
+	return func(table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice {
+		if in.roll(in.plan.DetectStallProb, "detect_stall") {
+			time.Sleep(in.dur(in.plan.MaxDetectStall))
+		}
+		return core.DiscoverSeeded(table, seeds, core.Options{Cost: slice.DefaultCostModel()}).Slices
+	}
+}
+
+// Clock returns a skewed wall clock for serve.Options.Now: with
+// SkewProb a reading jumps by up to ±MaxSkew, and every reading is
+// clamped to never run backwards (so elapsed = finished − started
+// stays non-negative however the skew lands).
+func (in *Injector) Clock() func() time.Time {
+	return func() time.Time {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		if in.plan.SkewProb > 0 && in.rng.Float64() < in.plan.SkewProb {
+			in.counts["skew"]++
+			max := int64(in.plan.MaxSkew)
+			if max > 0 {
+				in.offset += time.Duration(in.rng.Int63n(2*max) - max)
+			}
+		}
+		now := time.Now().Add(in.offset)
+		if now.Before(in.last) {
+			now = in.last
+		}
+		in.last = now
+		return now
+	}
+}

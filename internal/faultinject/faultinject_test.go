@@ -1,0 +1,196 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"midas"
+)
+
+// TestReaderDeterministic: two injectors with the same seed make the
+// same per-reader fault decisions, byte for byte.
+func TestReaderDeterministic(t *testing.T) {
+	plan := DefaultPlan()
+	plan.MaxReadLatency = 0 // keep the test instant
+	plan.ReadLatencyProb = 0
+	run := func(seed int64) []string {
+		in := New(seed, plan)
+		var outcomes []string
+		for i := 0; i < 64; i++ {
+			src := strings.Repeat("x", 20<<10)
+			data, err := io.ReadAll(in.Reader(strings.NewReader(src)))
+			switch {
+			case errors.Is(err, ErrInjected):
+				outcomes = append(outcomes, "err@"+itoa(len(data)))
+			case err != nil:
+				t.Fatalf("reader %d: unexpected error %v", i, err)
+			default:
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different outcomes:\n%v\n%v", a, b)
+	}
+	c := run(43)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical 64-reader outcome sequences")
+	}
+	injected := 0
+	for _, o := range a {
+		if o != "ok" {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Error("ReadErrProb 0.15 over 64 readers injected nothing")
+	}
+}
+
+func itoa(n int) string {
+	return string(rune('0'+n/10000%10)) + string(rune('0'+n/1000%10)) +
+		string(rune('0'+n/100%10)) + string(rune('0'+n/10%10)) + string(rune('0'+n%10))
+}
+
+// TestReaderFailOffset: an injected failure surfaces exactly at its
+// seeded offset — the bytes before it are delivered intact.
+func TestReaderFailOffset(t *testing.T) {
+	plan := Plan{ReadErrProb: 1}
+	in := New(7, plan)
+	src := bytes.Repeat([]byte("abc"), 8<<10)
+	data, err := io.ReadAll(in.Reader(bytes.NewReader(src)))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if !bytes.Equal(data, src[:len(data)]) {
+		t.Error("bytes before the injected failure were corrupted")
+	}
+	if len(data) >= len(src) {
+		t.Error("failure injected after the full stream was served")
+	}
+}
+
+// TestDiscoverCancelFault: with CancelProb 1 the wrapped body always
+// sees a canceled context, which DiscoverContext turns into a partial
+// result.
+func TestDiscoverCancelFault(t *testing.T) {
+	in := New(1, Plan{CancelProb: 1})
+	sess := midas.NewSession(nil, nil)
+	sess.AddFacts(midas.Fact{
+		Subject: "e", Predicate: "kind", Object: "t",
+		Confidence: 0.9, URL: "http://a.example.com/p.htm",
+	})
+	wrapped := in.Discover(func(ctx context.Context, s *midas.Session) (*midas.Result, error) {
+		return s.DiscoverContext(ctx)
+	})
+	res, err := wrapped(context.Background(), sess)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Slices) != 0 {
+		t.Errorf("canceled discovery returned %+v, want empty partial", res)
+	}
+	if in.Counts()["cancel"] != 1 {
+		t.Errorf("counts = %v, want cancel=1", in.Counts())
+	}
+}
+
+// TestDiscoverStallHonorsContext: a long stall under a short deadline
+// returns at the deadline, not after the stall.
+func TestDiscoverStallHonorsContext(t *testing.T) {
+	in := New(1, Plan{StallProb: 1, MaxStall: 10 * time.Second})
+	wrapped := in.Discover(func(ctx context.Context, s *midas.Session) (*midas.Result, error) {
+		return &midas.Result{}, ctx.Err()
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := wrapped(ctx, nil)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("stall ignored the context: took %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestDetectorMatchesDefault: the stalling detector only moves time —
+// a session wired with it discovers exactly what the default pipeline
+// does.
+func TestDetectorMatchesDefault(t *testing.T) {
+	facts := func() []midas.Fact {
+		var fs []midas.Fact
+		for i := 0; i < 12; i++ {
+			fs = append(fs, midas.Fact{
+				Subject: "e" + itoa(i), Predicate: "kind", Object: "widget",
+				Confidence: 0.9, URL: "http://a.example.com/w/p" + itoa(i) + ".htm",
+			})
+		}
+		return fs
+	}
+	in := New(3, Plan{DetectStallProb: 1, MaxDetectStall: time.Millisecond})
+	withFault := midas.NewSession(nil, &midas.Options{Detect: in.Detector()})
+	withFault.AddFacts(facts()...)
+	plain := midas.NewSession(nil, nil)
+	plain.AddFacts(facts()...)
+
+	got, want := withFault.Discover(), plain.Discover()
+	if !reflect.DeepEqual(got.Slices, want.Slices) {
+		t.Error("stalling detector changed discovery output")
+	}
+	if in.Counts()["detect_stall"] == 0 {
+		t.Error("detector never stalled at probability 1")
+	}
+}
+
+// TestClockMonotonic: heavy skew never drives the clock backwards, and
+// the same seed yields the same skew decisions (counted jumps).
+func TestClockMonotonic(t *testing.T) {
+	in := New(9, Plan{SkewProb: 0.8, MaxSkew: time.Hour})
+	clock := in.Clock()
+	prev := clock()
+	for i := 0; i < 500; i++ {
+		now := clock()
+		if now.Before(prev) {
+			t.Fatalf("clock went backwards: %v then %v", prev, now)
+		}
+		prev = now
+	}
+	if in.Counts()["skew"] == 0 {
+		t.Error("no skew jumps at probability 0.8 over 500 readings")
+	}
+}
+
+// TestCorruptResultsDropsSlices: the deliberate invariant breaker
+// shortens some results and leaves the underlying result untouched.
+func TestCorruptResultsDropsSlices(t *testing.T) {
+	in := New(5, Plan{})
+	base := &midas.Result{Slices: []midas.Slice{{Source: "a"}, {Source: "b"}}}
+	wrapped := in.CorruptResults(func(ctx context.Context, s *midas.Session) (*midas.Result, error) {
+		return base, nil
+	})
+	dropped := 0
+	for i := 0; i < 50; i++ {
+		res, err := wrapped(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Slices) < len(base.Slices) {
+			dropped++
+		}
+		if len(base.Slices) != 2 {
+			t.Fatal("CorruptResults mutated the shared result")
+		}
+	}
+	if dropped == 0 {
+		t.Error("CorruptResults never dropped a slice over 50 calls")
+	}
+}

@@ -95,7 +95,7 @@ func (s *Server) withMetrics(pattern string, h http.HandlerFunc) http.HandlerFun
 			ctx, cancel = withTimeout(ctx, s.opts.RequestTimeout)
 			defer cancel()
 		}
-		reqID := fmt.Sprintf("r%06d", s.nextReq.Add(1))
+		reqID := s.ids.RequestID()
 		ctx = context.WithValue(ctx, reqIDKey{}, reqID)
 		ctx = obs.ContextWithLogFields(ctx, "request", reqID)
 		var span *obs.Span
@@ -281,13 +281,14 @@ func (s *Server) handleLoadKB(w http.ResponseWriter, r *http.Request) {
 		added int
 		err   error
 	)
+	body := ctxReader(r.Context(), r.Body)
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "tsv":
-		added, err = sn.sess.KB().LoadTSV(r.Body)
+		added, err = sn.sess.KB().LoadTSV(body)
 	case "binary":
-		added, err = sn.sess.KB().LoadBinary(r.Body)
+		added, err = sn.sess.KB().LoadBinary(body)
 	case "ntriples":
-		added, err = sn.sess.KB().LoadNTriples(r.Body)
+		added, err = sn.sess.KB().LoadNTriples(body)
 	default:
 		writeErr(w, http.StatusBadRequest, "unknown KB format %q", format)
 		return
@@ -307,6 +308,76 @@ type apiFact struct {
 	URL        string  `json:"url"`
 }
 
+// parseFactsJSON decodes a JSON array of facts. A zero confidence
+// defaults to 1 (extraction output often omits it); anything else
+// outside (0,1] — negative, NaN via raw floats, over 1 — rejects the
+// batch.
+func parseFactsJSON(r io.Reader) ([]midas.Fact, error) {
+	var in []apiFact
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	facts := make([]midas.Fact, 0, len(in))
+	for i, f := range in {
+		if f.Confidence == 0 {
+			f.Confidence = 1
+		}
+		if !validConfidence(f.Confidence) {
+			return nil, fmt.Errorf("fact %d: confidence %v outside (0,1]", i, f.Confidence)
+		}
+		facts = append(facts, midas.Fact{
+			Subject: f.Subject, Predicate: f.Predicate, Object: f.Object,
+			Confidence: f.Confidence, URL: f.URL,
+		})
+	}
+	return facts, nil
+}
+
+// validConfidence bounds an extraction confidence to (0,1]; the
+// comparison chain is false for NaN.
+func validConfidence(c float64) bool { return c > 0 && c <= 1 }
+
+// parseFactsTSV decodes TSV lines in the midas-datagen facts.tsv
+// layout: subject, predicate, object [, confidence [, url]]. Blank
+// lines are skipped; anything else malformed fails the whole batch
+// (ingestion is atomic — parse everything, then add).
+func parseFactsTSV(r io.Reader) ([]midas.Fact, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var facts []midas.Fact
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		cols := strings.Split(text, "\t")
+		if len(cols) < 3 {
+			return nil, fmt.Errorf("facts line %d: %d columns, want ≥ 3", line, len(cols))
+		}
+		if cols[0] == "" || cols[1] == "" || cols[2] == "" {
+			return nil, fmt.Errorf("facts line %d: empty subject, predicate, or object", line)
+		}
+		f := midas.Fact{Subject: cols[0], Predicate: cols[1], Object: cols[2], Confidence: 1}
+		if len(cols) > 3 && cols[3] != "" {
+			conf, err := strconv.ParseFloat(cols[3], 64)
+			if err != nil || !validConfidence(conf) {
+				return nil, fmt.Errorf("facts line %d: bad confidence %q", line, cols[3])
+			}
+			f.Confidence = conf
+		}
+		if len(cols) > 4 {
+			f.URL = cols[4]
+		}
+		facts = append(facts, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading facts: %w", err)
+	}
+	return facts, nil
+}
+
 // handleAddFacts accepts extraction output either as a JSON array of
 // facts or, for any non-JSON content type, as TSV lines in the
 // midas-datagen facts.tsv layout: subject, predicate, object
@@ -316,55 +387,19 @@ func (s *Server) handleAddFacts(w http.ResponseWriter, r *http.Request) {
 	if sn == nil {
 		return
 	}
-	var facts []midas.Fact
+	body := ctxReader(r.Context(), r.Body)
+	var (
+		facts []midas.Fact
+		err   error
+	)
 	if strings.Contains(r.Header.Get("Content-Type"), "json") {
-		var in []apiFact
-		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
-			writeErr(w, http.StatusBadRequest, "bad facts JSON: %v", err)
-			return
-		}
-		for _, f := range in {
-			if f.Confidence == 0 {
-				f.Confidence = 1
-			}
-			facts = append(facts, midas.Fact{
-				Subject: f.Subject, Predicate: f.Predicate, Object: f.Object,
-				Confidence: f.Confidence, URL: f.URL,
-			})
-		}
+		facts, err = parseFactsJSON(body)
 	} else {
-		sc := bufio.NewScanner(r.Body)
-		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-		line := 0
-		for sc.Scan() {
-			line++
-			text := sc.Text()
-			if text == "" {
-				continue
-			}
-			cols := strings.Split(text, "\t")
-			if len(cols) < 3 {
-				writeErr(w, http.StatusBadRequest, "facts line %d: %d columns, want ≥ 3", line, len(cols))
-				return
-			}
-			f := midas.Fact{Subject: cols[0], Predicate: cols[1], Object: cols[2], Confidence: 1}
-			if len(cols) > 3 && cols[3] != "" {
-				conf, err := strconv.ParseFloat(cols[3], 64)
-				if err != nil {
-					writeErr(w, http.StatusBadRequest, "facts line %d: bad confidence %q", line, cols[3])
-					return
-				}
-				f.Confidence = conf
-			}
-			if len(cols) > 4 {
-				f.URL = cols[4]
-			}
-			facts = append(facts, f)
-		}
-		if err := sc.Err(); err != nil {
-			writeErr(w, http.StatusBadRequest, "reading facts: %v", err)
-			return
-		}
+		facts, err = parseFactsTSV(body)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad facts body: %v", err)
+		return
 	}
 	sn.sess.AddFacts(facts...)
 	writeJSON(w, http.StatusOK, map[string]int{"added": len(facts)})
@@ -405,10 +440,10 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 	if status != StateRunning {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, jobInfo(j))
+	writeJSON(w, code, s.jobInfo(j))
 }
 
-func jobInfo(j *job) map[string]any {
+func (s *Server) jobInfo(j *job) map[string]any {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := map[string]any{
@@ -425,7 +460,7 @@ func jobInfo(j *job) map[string]any {
 	}
 	end := j.finished
 	if j.status == StateRunning {
-		end = time.Now()
+		end = s.now()
 	}
 	info["elapsed_seconds"] = end.Sub(j.started).Seconds()
 	return info
@@ -441,7 +476,7 @@ func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].started.Before(jobs[k].started) })
 	list := make([]map[string]any, len(jobs))
 	for i, j := range jobs {
-		list[i] = jobInfo(j)
+		list[i] = s.jobInfo(j)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
 }
@@ -457,7 +492,7 @@ func (s *Server) jobOrErr(w http.ResponseWriter, r *http.Request) *job {
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	if j := s.jobOrErr(w, r); j != nil {
-		writeJSON(w, http.StatusOK, jobInfo(j))
+		writeJSON(w, http.StatusOK, s.jobInfo(j))
 	}
 }
 
@@ -510,6 +545,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		"cached":            cached,
 		"rounds":            res.Rounds,
 		"sources_processed": res.SourcesProcessed,
+		"fingerprint":       fmt.Sprintf("%016x", res.Fingerprint),
 		"slices":            slices,
 	}
 	if jerr != nil {
@@ -576,6 +612,24 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	kbFacts, covered := sn.sess.Progress()
 	writeJSON(w, http.StatusOK, map[string]any{"kb_facts": kbFacts, "coverage": covered})
 }
+
+// ctxReader bounds reads from r by ctx: once the request deadline hits
+// or the client disconnects, the next Read returns ctx.Err() instead of
+// blocking on a stalled body. (net/http cancels the connection on
+// disconnect, but a deadline set by withMetrics otherwise leaves body
+// reads running past it.)
+func ctxReader(ctx context.Context, r io.Reader) io.Reader {
+	return ctxReadFunc(func(p []byte) (int, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return r.Read(p)
+	})
+}
+
+type ctxReadFunc func(p []byte) (int, error)
+
+func (f ctxReadFunc) Read(p []byte) (int, error) { return f(p) }
 
 // decodeJSONBody decodes a JSON request body into v. An empty body is
 // allowed when optional is true (e.g. POST /api/sessions with defaults).

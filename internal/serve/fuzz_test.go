@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzFactsIngestJSON throws arbitrary bytes at the JSON facts parser.
+// Properties: no panic, and on success every fact has a positive
+// confidence (the zero-defaults-to-1 rule) — the parser either rejects
+// a body or yields facts the Session can take as-is.
+func FuzzFactsIngestJSON(f *testing.F) {
+	f.Add([]byte(`[{"subject":"a","predicate":"kind","object":"x","confidence":0.9,"url":"http://s.example.com/p.htm"}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"subject":"a"}]`))
+	f.Add([]byte(`{"subject":"not-an-array"}`))
+	f.Add([]byte(`[{"confidence":1e308},{"confidence":-1}]`))
+	f.Add([]byte("[{\"subject\":\"\xff\xfe invalid utf8\"}]"))
+	f.Add([]byte(`[`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		facts, err := parseFactsJSON(bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		for i, fc := range facts {
+			if !validConfidence(fc.Confidence) {
+				t.Errorf("fact %d: confidence %v outside (0,1] survived parsing", i, fc.Confidence)
+			}
+		}
+	})
+}
+
+// FuzzFactsIngestTSV throws arbitrary bytes at the TSV facts parser.
+// Properties: no panic; on success every fact has ≥3 populated columns'
+// worth of fields, confidences parse to the declared or default value,
+// and the fact count never exceeds the line count (ingestion is atomic,
+// so a parse error must yield no facts at all).
+func FuzzFactsIngestTSV(f *testing.F) {
+	f.Add([]byte("a\tkind\tx\t0.9\thttp://s.example.com/p.htm\n"))
+	f.Add([]byte("a\tkind\tx\n\na2\tkind\ty\n"))
+	f.Add([]byte("too\tfew\n"))
+	f.Add([]byte("a\tkind\tx\tnot-a-number\n"))
+	f.Add([]byte("a\tkind\tx\t\textra\tcolumns\tignored\n"))
+	f.Add([]byte("\xff\xfe\tbad\tutf8\n"))
+	f.Add([]byte(strings.Repeat("x", 1<<20) + "\ty\tz\n")) // one huge line
+	f.Add([]byte(strings.Repeat("x", 2<<20)))              // over the scanner cap
+	f.Fuzz(func(t *testing.T, body []byte) {
+		facts, err := parseFactsTSV(bytes.NewReader(body))
+		if err != nil {
+			if facts != nil {
+				t.Error("parse error must yield no facts (atomic ingestion)")
+			}
+			return
+		}
+		lines := bytes.Count(body, []byte("\n")) + 1
+		if len(facts) > lines {
+			t.Errorf("%d facts from %d lines", len(facts), lines)
+		}
+		for i, fc := range facts {
+			if fc.Subject == "" && fc.Predicate == "" && fc.Object == "" {
+				t.Errorf("fact %d: all key fields empty", i)
+			}
+			if !validConfidence(fc.Confidence) {
+				t.Errorf("fact %d: confidence %v outside (0,1] survived parsing", i, fc.Confidence)
+			}
+			// The scanner splits on \n; a fact field containing one would
+			// mean the parser resynthesized line structure.
+			for _, s := range []string{fc.Subject, fc.Predicate, fc.Object, fc.URL} {
+				if strings.ContainsRune(s, '\n') {
+					t.Errorf("fact %d: field crosses a line boundary: %q", i, s)
+				}
+				_ = utf8.ValidString(s) // must not panic on arbitrary bytes
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// IDSource mints the server's request and job IDs. Generation is fully
+// deterministic: a source built with NewIDSource(seed) yields the same
+// ID sequence for the same sequence of calls, so a soak run that
+// replays its op script against a server seeded identically produces a
+// byte-identical transcript — job IDs, request IDs, log fields and all.
+//
+// The zero seed is what production servers use (Options.IDs nil): IDs
+// are then the bare monotonic counters (r000001, j1, ...) the API has
+// always exposed. A nonzero seed appends a seeded discriminator to each
+// ID (j3-84c1), so transcripts from different seeds never collide when
+// collected side by side and a transcript visibly names the seed stream
+// it came from.
+type IDSource struct {
+	mu  sync.Mutex
+	rng *rand.Rand // nil for the counter-only zero seed
+	req int64
+	job int64
+}
+
+// NewIDSource returns a deterministic ID source for seed. Seed 0 is the
+// production default: plain counters, no discriminator.
+func NewIDSource(seed int64) *IDSource {
+	s := &IDSource{}
+	if seed != 0 {
+		s.rng = rand.New(rand.NewSource(seed))
+	}
+	return s
+}
+
+// RequestID mints the next request ID.
+func (s *IDSource) RequestID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.req++
+	if s.rng == nil {
+		return fmt.Sprintf("r%06d", s.req)
+	}
+	return fmt.Sprintf("r%06d-%04x", s.req, s.rng.Intn(1<<16))
+}
+
+// JobID mints the next job ID.
+func (s *IDSource) JobID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.job++
+	if s.rng == nil {
+		return fmt.Sprintf("j%d", s.job)
+	}
+	return fmt.Sprintf("j%d-%04x", s.job, s.rng.Intn(1<<16))
+}

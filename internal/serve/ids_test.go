@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestIDDeterminism: two IDSources with the same seed yield identical
+// ID streams — the property that makes a replayed soak run's transcript
+// byte-identical — and different seeds diverge. Seed 0 keeps the
+// production counter format.
+func TestIDDeterminism(t *testing.T) {
+	stream := func(seed int64) []string {
+		src := NewIDSource(seed)
+		var ids []string
+		for i := 0; i < 50; i++ {
+			ids = append(ids, src.RequestID(), src.JobID())
+		}
+		return ids
+	}
+	a, b := stream(99), stream(99)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different ID streams:\n%v\n%v", a[:4], b[:4])
+	}
+	if reflect.DeepEqual(a, stream(100)) {
+		t.Error("different seeds produced identical ID streams")
+	}
+	for _, id := range a {
+		if !strings.Contains(id, "-") {
+			t.Fatalf("seeded ID %q carries no discriminator", id)
+		}
+	}
+
+	zero := NewIDSource(0)
+	if got := zero.RequestID(); got != "r000001" {
+		t.Errorf("production request ID = %q, want r000001", got)
+	}
+	if got := zero.JobID(); got != "j1" {
+		t.Errorf("production job ID = %q, want j1", got)
+	}
+}
+
+// TestIDSourceConcurrent: concurrent minting never duplicates an ID
+// (the counter part is unique regardless of interleaving).
+func TestIDSourceConcurrent(t *testing.T) {
+	src := NewIDSource(7)
+	const workers, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[string]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := src.JobID()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate job ID %q", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSeededServerTranscript: a server wired with a seeded IDSource
+// mints the IDs of that seed's stream in request order — the serve-side
+// half of replayable transcripts.
+func TestSeededServerTranscript(t *testing.T) {
+	want := NewIDSource(1234)
+	_, ts := newTestServer(t, Options{IDs: NewIDSource(1234)})
+	var created struct {
+		Session string `json:"session"`
+	}
+	do(t, "POST", ts.URL+"/api/sessions", strings.NewReader(`{"name":"tr"}`), "application/json", &created)
+	postFacts(t, ts.URL, "tr", corpusFacts("alpha", 2))
+	var j jobResp
+	do(t, "POST", ts.URL+"/api/sessions/tr/discover", nil, "", &j)
+
+	// Three requests before the discover's own ID draw.
+	want.RequestID()
+	want.RequestID()
+	want.RequestID()
+	if got := want.JobID(); j.Job != got {
+		t.Errorf("job ID = %q, want %q (the seeded stream's next job ID)", j.Job, got)
+	}
+}
+
+// TestDrainWaitsForSyncDiscover: a synchronous (wait=true) discovery is
+// drain-accountable like any job: Drain does not return while it runs,
+// and an expiring drain context cancels it into a partial result
+// instead of abandoning it.
+func TestDrainWaitsForSyncDiscover(t *testing.T) {
+	s, ts := newTestServer(t, Options{RequestTimeout: 30 * time.Second})
+	s.discover = blockingDiscover(nil) // only context cancellation ends it
+	do(t, "POST", ts.URL+"/api/sessions", strings.NewReader(`{"name":"sy"}`), "application/json", nil)
+	postFacts(t, ts.URL, "sy", corpusFacts("alpha", 2))
+
+	respCh := make(chan jobResp, 1)
+	go func() {
+		var j jobResp
+		do(t, "POST", ts.URL+"/api/sessions/sy/discover?wait=true", nil, "", &j)
+		respCh <- j
+	}()
+
+	// Wait until the sync job is actually running.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var jobs struct {
+			Jobs []jobResp `json:"jobs"`
+		}
+		do(t, "GET", ts.URL+"/api/jobs", nil, "", &jobs)
+		if len(jobs.Jobs) == 1 && jobs.Jobs[0].Status == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sync discovery never showed up as running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	inFlight := s.Drain(drainCtx)
+	if inFlight != 1 {
+		t.Errorf("Drain saw %d in-flight jobs, want the sync discovery", inFlight)
+	}
+	// Drain must have waited out its context (the job only ends when the
+	// drain deadline cancels it), not returned immediately.
+	if waited := time.Since(start); waited < 100*time.Millisecond {
+		t.Errorf("Drain returned after %v with a sync discovery still running", waited)
+	}
+
+	select {
+	case j := <-respCh:
+		if j.Status != StatePartial {
+			t.Errorf("drained sync discovery status = %q, want %q", j.Status, StatePartial)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sync discovery response never arrived after drain")
+	}
+}
+
+// TestRequestIDsOnJobs: every job records the request that started it,
+// in the ID format the server was configured with.
+func TestRequestIDsOnJobs(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	do(t, "POST", ts.URL+"/api/sessions", strings.NewReader(`{"name":"rq"}`), "application/json", nil)
+	postFacts(t, ts.URL, "rq", corpusFacts("alpha", 2))
+	j := discoverWait(t, ts.URL, "rq")
+	jb := s.job(j.Job)
+	if jb == nil || !strings.HasPrefix(jb.request, "r") {
+		t.Fatalf("job %s request ID = %q", j.Job, jb.request)
+	}
+	if code := do(t, "GET", ts.URL+"/api/jobs/"+fmt.Sprint(j.Job), nil, "", nil); code != http.StatusOK {
+		t.Fatalf("job fetch: HTTP %d", code)
+	}
+}

@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync"
 	"time"
 
@@ -45,12 +44,14 @@ type job struct {
 	profile  *jobProfile // folded from the trace on first /profile GET
 }
 
-func (j *job) finish(res *midas.Result, err error) {
+// finish finalizes the job at now (the server's clock seam, so skewed
+// soak clocks stamp consistently with started).
+func (j *job) finish(now time.Time, res *midas.Result, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.result = res
 	j.err = err
-	j.finished = time.Now()
+	j.finished = now
 	switch {
 	case err == nil:
 		j.status = StateDone
@@ -63,16 +64,15 @@ func (j *job) finish(res *midas.Result, err error) {
 
 // newJob registers a job for the session. Callers hold no server locks.
 func (s *Server) newJob(sessionName string) *job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.nextJob++
 	j := &job{
-		id:      fmt.Sprintf("j%d", s.nextJob),
+		id:      s.ids.JobID(),
 		session: sessionName,
 		status:  StateRunning,
-		started: time.Now(),
+		started: s.now(),
 	}
+	s.mu.Lock()
 	s.jobs[j.id] = j
+	s.mu.Unlock()
 	return j
 }
 
@@ -136,7 +136,7 @@ func (s *Server) execute(ctx context.Context, sn *session, j *job, fp uint64) {
 			s.reg.Counter("serve/cache/partial").Inc()
 		}
 	}
-	j.finish(res, err)
+	j.finish(s.now(), res, err)
 	s.reg.Counter("serve/jobs/finished").Inc()
 	j.mu.Lock()
 	status, elapsed := j.status, j.finished.Sub(j.started)
@@ -165,7 +165,7 @@ func (s *Server) startDiscover(ctx context.Context, sn *session, wait bool, time
 		j := s.newJob(sn.name)
 		j.request = requestID(ctx)
 		j.cached = true
-		j.finish(res, nil)
+		j.finish(s.now(), res, nil)
 		s.logger().Info(ctx, "job finished", "job", j.id, "session", sn.name, "cached", true)
 		return j, nil
 	}
@@ -186,9 +186,19 @@ func (s *Server) startDiscover(ctx context.Context, sn *session, wait bool, time
 	j.trace = jspan.TraceID()
 
 	if wait {
+		// Synchronous discoveries are jobs too: they join jobsWG so
+		// Drain waits for them, and — since they run under the request
+		// context, out of reach of the baseCtx cancellation that stops
+		// async jobs at the drain deadline — baseCtx is bridged into
+		// their cancel func, so an expiring drain ends them with
+		// partial results instead of returning while they still run.
+		s.jobsWG.Add(1)
+		defer s.jobsWG.Done()
 		defer s.release()
 		runCtx, cancel := withTimeout(ctx, timeout)
 		defer cancel()
+		stop := context.AfterFunc(s.baseCtx, cancel)
+		defer stop()
 		runCtx = obs.ContextWithSpan(runCtx, jspan)
 		runCtx = obs.ContextWithLogFields(runCtx, "job", j.id, "session", sn.name)
 		s.execute(runCtx, sn, j, fp)

@@ -60,7 +60,34 @@ type Options struct {
 	// Slim-corpus-sized jobs (folding a profile frees its trace
 	// early). Negative retains everything.
 	TraceRetention int
+
+	// The four fields below are injection seams for the fault-injection
+	// and soak harness (internal/faultinject, cmd/midas-soak). All
+	// default to nil, and a nil seam costs production nothing beyond the
+	// one resolution at New.
+
+	// WrapDiscover, when set, wraps the discovery job body — the soak
+	// harness injects seeded stalls and cancellations here. The wrapper
+	// must honor ctx and must not mutate the session.
+	WrapDiscover func(Discover) Discover
+	// NewSession, when set, constructs the midas.Session behind each
+	// created session — the seam through which the soak harness plants
+	// a fault-injecting detector. nil means midas.NewSession(nil, opts).
+	NewSession func(opts *midas.Options) *midas.Session
+	// Now, when set, supplies the wall-clock timestamps the server
+	// stamps on jobs and requests (started/finished times, elapsed
+	// seconds) — the clock-skew seam. Context deadlines still run on
+	// the real clock. nil means time.Now.
+	Now func() time.Time
+	// IDs, when set, mints request and job IDs (see IDSource). nil
+	// means NewIDSource(0): plain deterministic counters.
+	IDs *IDSource
 }
+
+// Discover is the discovery job body: the function a Server runs for
+// each non-cached discovery. The default calls sess.DiscoverContext;
+// Options.WrapDiscover interposes on it.
+type Discover func(ctx context.Context, sess *midas.Session) (*midas.Result, error)
 
 // Server is the discovery service: a registry of named sessions and
 // their discovery jobs. Create with New, mount Handler on an
@@ -78,13 +105,15 @@ type Server struct {
 	// answers 200 for liveness.
 	ready atomic.Bool
 
-	nextReq atomic.Int64 // request-ID counter
+	// now and ids are the resolved clock and ID seams (Options.Now,
+	// Options.IDs), never nil after New.
+	now func() time.Time
+	ids *IDSource
 
 	mu       sync.RWMutex
 	sessions map[string]*session
 	jobs     map[string]*job
 	nextSess int
-	nextJob  int
 	draining bool
 
 	jobsWG  sync.WaitGroup
@@ -94,8 +123,11 @@ type Server struct {
 	cancelJobs context.CancelFunc
 
 	// discover is the job body; tests substitute it to model slow or
-	// blocking discoveries without large corpora.
-	discover func(ctx context.Context, sess *midas.Session) (*midas.Result, error)
+	// blocking discoveries without large corpora, and Options.
+	// WrapDiscover interposes fault injection on it.
+	discover Discover
+	// newSession is the resolved Options.NewSession seam.
+	newSession func(opts *midas.Options) *midas.Session
 }
 
 // session is one named midas.Session plus its single-entry result
@@ -154,14 +186,31 @@ func New(opts Options) *Server {
 		reg:        opts.Registry.OrDefault(),
 		log:        opts.Logger,
 		tracer:     tracer,
+		now:        opts.Now,
+		ids:        opts.IDs,
 		sem:        make(chan struct{}, opts.MaxInFlight),
 		sessions:   make(map[string]*session),
 		jobs:       make(map[string]*job),
 		baseCtx:    ctx,
 		cancelJobs: cancel,
 	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	if s.ids == nil {
+		s.ids = NewIDSource(0)
+	}
+	s.newSession = opts.NewSession
+	if s.newSession == nil {
+		s.newSession = func(o *midas.Options) *midas.Session {
+			return midas.NewSession(nil, o)
+		}
+	}
 	s.discover = func(ctx context.Context, sess *midas.Session) (*midas.Result, error) {
 		return sess.DiscoverContext(ctx)
+	}
+	if opts.WrapDiscover != nil {
+		s.discover = opts.WrapDiscover(s.discover)
 	}
 	return s
 }
@@ -185,7 +234,7 @@ func (s *Server) createSession(name string, opts *midas.Options) (*session, erro
 	if _, ok := s.sessions[name]; ok {
 		return nil, errExists
 	}
-	sn := &session{name: name, sess: midas.NewSession(nil, opts)}
+	sn := &session{name: name, sess: s.newSession(opts)}
 	s.sessions[name] = sn
 	s.reg.Gauge("serve/sessions").Set(float64(len(s.sessions)))
 	return sn, nil

@@ -15,10 +15,16 @@ import (
 
 	"midas"
 	"midas/internal/obs"
+	"midas/internal/testutil"
 )
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
+	// Registered before the server's own cleanup, so the leak diff runs
+	// after Close has torn everything down: every suite built on this
+	// helper asserts its server leaves no goroutines behind — including
+	// the drain tests, whose jobs straddle shutdown.
+	testutil.CheckGoroutines(t)
 	if opts.Registry == nil {
 		opts.Registry = obs.New()
 	}

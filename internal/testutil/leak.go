@@ -1,0 +1,157 @@
+// Package testutil holds test-support code shared between the package
+// test suites and the midas-soak harness. It is internal but not
+// _test-only: the soak driver (cmd/midas-soak) uses the same
+// goroutine-leak snapshot diff the httptest suites assert with, so the
+// helpers live in a plain package.
+package testutil
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GoroutineSnapshot is the set of goroutines alive at one instant,
+// keyed by a stable identity: the goroutine's creation site (the
+// "created by" frame) plus its top function. Counting by identity
+// instead of goroutine ID makes the diff robust to unrelated churn —
+// a leaked worker shows up as a key whose count grew and stayed grown.
+type GoroutineSnapshot map[string]int
+
+// Goroutines captures the current goroutine population. The calling
+// goroutine itself is excluded (its key would differ between the
+// "before" capture in the test body and the "after" capture in a
+// cleanup, producing spurious diffs in both directions).
+func Goroutines() GoroutineSnapshot {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	snap := make(GoroutineSnapshot)
+	for i, g := range strings.Split(string(buf), "\n\n") {
+		if i == 0 {
+			continue // the goroutine running runtime.Stack
+		}
+		if key := goroutineKey(g); key != "" {
+			snap[key]++
+		}
+	}
+	return snap
+}
+
+// goroutineKey condenses one goroutine's stack dump into its identity
+// key, or "" for goroutines that never count as leaks: runtime
+// internals, the testing machinery, and the std HTTP client/server
+// plumbing whose lifetime is managed by keep-alive pools rather than
+// the code under test.
+func goroutineKey(stack string) string {
+	lines := strings.Split(strings.TrimSpace(stack), "\n")
+	if len(lines) < 2 {
+		return ""
+	}
+	top := funcName(lines[1])
+	created := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "created by ") {
+			created = strings.TrimPrefix(l, "created by ")
+			if j := strings.Index(created, " in goroutine"); j >= 0 {
+				created = created[:j]
+			}
+			break
+		}
+	}
+	for _, benign := range benignFrames {
+		if strings.HasPrefix(top, benign) || strings.HasPrefix(created, benign) {
+			return ""
+		}
+	}
+	if created == "" {
+		created = "main"
+	}
+	return created + " -> " + top
+}
+
+// benignFrames are goroutine origins that outlive individual tests by
+// design and must not count as leaks of the code under test.
+var benignFrames = []string{
+	"runtime.",                  // GC, finalizers, scavenger
+	"testing.",                  // test runner, t.Parallel parking
+	"os/signal.",                // signal mask goroutine
+	"net/http.(*persistConn)",   // client keep-alive pool
+	"net/http.(*Transport)",     // idle-conn management
+	"net/http.setRequestCancel", // per-request cancel watchers
+	"net/http/httptest.",        // test server accept loop
+	"net/http.(*Server).Serve",  // handler goroutines wind down async
+	"net/http.(*conn).serve",    // ditto
+}
+
+// funcName strips the argument list off a stack frame's first line:
+// "net/http.(*persistConn).readLoop(0xc0001)" → the dotted name. The
+// argument list is the last parenthesized group on the line (method
+// receivers parenthesize earlier).
+func funcName(frame string) string {
+	if i := strings.LastIndexByte(frame, '('); i > 0 {
+		return frame[:i]
+	}
+	return frame
+}
+
+// Leaked diffs the current goroutine population against before,
+// retrying for up to wait so goroutines that are mid-teardown (handler
+// goroutines after a server close, timer-driven workers) get to exit.
+// It returns a description per leaked identity, empty when clean.
+func Leaked(before GoroutineSnapshot, wait time.Duration) []string {
+	deadline := time.Now().Add(wait)
+	for {
+		// Keep-alive connections owned by the shared default transport
+		// otherwise linger for their idle timeout and mask real leaks.
+		http.DefaultClient.CloseIdleConnections()
+		leaks := diff(before, Goroutines())
+		if len(leaks) == 0 || time.Now().After(deadline) {
+			return leaks
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func diff(before, after GoroutineSnapshot) []string {
+	var leaks []string
+	for key, n := range after {
+		if extra := n - before[key]; extra > 0 {
+			leaks = append(leaks, fmt.Sprintf("%d leaked: %s", extra, key))
+		}
+	}
+	sort.Strings(leaks)
+	return leaks
+}
+
+// TB is the subset of testing.TB the check helpers need, kept as a
+// local interface so this package does not import testing into
+// non-test binaries that link it (the soak harness).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// CheckGoroutines snapshots the goroutine population now and registers
+// a cleanup that fails the test if goroutines created during the test
+// are still alive at its end (after a grace window for teardown).
+// Call it first in the test body, before starting servers.
+func CheckGoroutines(t TB) {
+	t.Helper()
+	before := Goroutines()
+	t.Cleanup(func() {
+		if leaks := Leaked(before, 2*time.Second); len(leaks) > 0 {
+			t.Errorf("goroutines leaked by the test:\n  %s", strings.Join(leaks, "\n  "))
+		}
+	})
+}

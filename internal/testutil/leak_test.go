@@ -1,0 +1,86 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLeakedDetectsAndClears: a goroutine parked on a channel shows up
+// in the diff, disappears once released, and the retry window absorbs
+// the wind-down delay.
+func TestLeakedDetectsAndClears(t *testing.T) {
+	before := Goroutines()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+
+	leaks := Leaked(before, 100*time.Millisecond)
+	if len(leaks) == 0 {
+		t.Fatal("parked goroutine not reported as leaked")
+	}
+	found := false
+	for _, l := range leaks {
+		if strings.Contains(l, "TestLeakedDetectsAndClears") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("leak report does not name the creation site: %v", leaks)
+	}
+
+	close(release)
+	<-done
+	if leaks := Leaked(before, 2*time.Second); len(leaks) != 0 {
+		t.Errorf("leaks after release: %v", leaks)
+	}
+}
+
+// TestGoroutineKeyFiltersBenign: runtime and testing goroutines never
+// count; an app goroutine keys by creation site and top function.
+func TestGoroutineKeyFiltersBenign(t *testing.T) {
+	cases := []struct {
+		stack string
+		want  string
+	}{
+		{
+			stack: "goroutine 18 [select]:\n" +
+				"runtime.gopark(0x1, 0x2)\n" +
+				"\t/usr/local/go/src/runtime/proc.go:402 +0xce\n" +
+				"created by runtime.gcBgMarkStartWorkers in goroutine 1\n" +
+				"\t/usr/local/go/src/runtime/mgc.go:1234 +0x1c",
+			want: "",
+		},
+		{
+			stack: "goroutine 35 [chan receive]:\n" +
+				"testing.(*T).Parallel(0xc000184340)\n" +
+				"\t/usr/local/go/src/testing/testing.go:1484 +0x225\n",
+			want: "",
+		},
+		{
+			stack: "goroutine 7 [chan receive]:\n" +
+				"midas/internal/serve.(*Server).worker(0xc000100000)\n" +
+				"\t/root/repo/internal/serve/serve.go:10 +0x11\n" +
+				"created by midas/internal/serve.New in goroutine 5\n" +
+				"\t/root/repo/internal/serve/serve.go:20 +0x22",
+			want: "midas/internal/serve.New -> midas/internal/serve.(*Server).worker",
+		},
+	}
+	for i, c := range cases {
+		if got := goroutineKey(c.stack); got != c.want {
+			t.Errorf("case %d: key = %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+// TestCheckGoroutinesCleanPass: the cleanup-based checker passes on a
+// test that starts and fully stops its goroutines.
+func TestCheckGoroutinesCleanPass(t *testing.T) {
+	CheckGoroutines(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

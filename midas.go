@@ -52,6 +52,14 @@ import (
 // confidence and the URL of the page it was extracted from.
 type Fact = fact.Fact
 
+// Detector is the per-source detection phase of the framework: it runs
+// slice detection over one web source's fact table, seeded with the
+// per-entity property sets. Options.Detect substitutes it; the types it
+// operates on live in the internal packages, so custom detectors are a
+// testing seam (stall injection, invocation counting), not a public
+// extension point.
+type Detector = framework.Detector
+
 // CostModel holds the coefficients of the profit function f(S) = gain −
 // cost (Definition 9 of the paper): Fp is the per-slice training cost,
 // Fc the per-fact crawling cost, Fd the per-fact de-duplication cost,
@@ -242,6 +250,11 @@ type Options struct {
 	// detect/consolidate), exportable as Chrome trace-event JSON. nil
 	// disables tracing.
 	Trace *Tracer
+	// Detect substitutes the per-source detection phase (nil = MIDASalg).
+	// A fault-injection and testing seam: wrappers can stall, count, or
+	// perturb detection while the framework's scheduling, consolidation,
+	// and reuse logic runs unchanged.
+	Detect Detector
 }
 
 func (o *Options) orDefault() Options {
@@ -301,6 +314,7 @@ func discover(ctx context.Context, corpus *Corpus, existing *KB, o *Options, pri
 		Trace:   o.Trace.tracer(),
 		Prior:   prior,
 		Delta:   delta,
+		Detect:  o.Detect,
 		Core: core.Options{
 			Cost:              o.Cost,
 			Workers:           o.Workers,

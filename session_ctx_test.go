@@ -1,0 +1,134 @@
+package midas_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"midas"
+	"midas/internal/core"
+	"midas/internal/fact"
+	"midas/internal/hierarchy"
+	"midas/internal/slice"
+)
+
+// countingDetector wraps the default detection phase (MIDASalg via
+// core.DiscoverSeeded, which is bit-identical to the framework's
+// built-in wiring for any worker count) and calls hook before each
+// invocation — the seam the mid-run cancellation test uses.
+func countingDetector(hook func(n int64)) midas.Detector {
+	var n atomic.Int64
+	return func(table *fact.Table, seeds []hierarchy.Seed) []*slice.Slice {
+		hook(n.Add(1))
+		return core.DiscoverSeeded(table, seeds, core.Options{Cost: slice.DefaultCostModel()}).Slices
+	}
+}
+
+// TestDiscoverContextPreCanceled: a context canceled before the call
+// yields the partial contract at its degenerate point — an empty but
+// non-nil result carrying the fingerprint, the context's error, and a
+// session left fully usable (no prior is stored from the failed run,
+// so the next discovery runs from scratch and matches a fresh session).
+func TestDiscoverContextPreCanceled(t *testing.T) {
+	sess := midas.NewSession(nil, nil)
+	sess.AddFacts(sessionCorpusFacts()...)
+	fp := sess.Fingerprint()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sess.DiscoverContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("result must be non-nil on cancellation")
+	}
+	if len(res.Slices) != 0 || res.Rounds != 0 {
+		t.Errorf("pre-canceled run produced %d slices over %d rounds, want 0/0",
+			len(res.Slices), res.Rounds)
+	}
+	if res.Fingerprint != fp {
+		t.Errorf("partial result fingerprint = %x, want %x", res.Fingerprint, fp)
+	}
+
+	full, err := sess.DiscoverContext(context.Background())
+	if err != nil {
+		t.Fatalf("discovery after cancellation: %v", err)
+	}
+	if full.SourcesReused != 0 {
+		t.Errorf("canceled run must not store a prior, but %d sources were reused", full.SourcesReused)
+	}
+	fresh := midas.NewSession(nil, nil)
+	fresh.AddFacts(sessionCorpusFacts()...)
+	want := fresh.Discover()
+	if !reflect.DeepEqual(full.Slices, want.Slices) {
+		t.Error("post-cancellation discovery differs from a fresh session's")
+	}
+}
+
+// TestDiscoverContextExpiredDeadline: a deadline already in the past
+// behaves like pre-cancellation but reports DeadlineExceeded.
+func TestDiscoverContextExpiredDeadline(t *testing.T) {
+	sess := midas.NewSession(nil, nil)
+	sess.AddFacts(sessionCorpusFacts()...)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := sess.DiscoverContext(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res == nil || len(res.Slices) != 0 {
+		t.Fatalf("expired deadline: result = %+v, want empty non-nil", res)
+	}
+	if _, err := sess.DiscoverContext(context.Background()); err != nil {
+		t.Fatalf("discovery after expired deadline: %v", err)
+	}
+}
+
+// TestDiscoverContextMidRunCancel: cancellation raised while detection
+// is underway (via the Options.Detect seam) ends the run at the next
+// hierarchy-level boundary: fewer rounds than a full run, the slices
+// finalized so far, and the context's error. The aborted run must not
+// pollute the session's incremental state.
+func TestDiscoverContextMidRunCancel(t *testing.T) {
+	fresh := midas.NewSession(nil, nil)
+	fresh.AddFacts(sessionCorpusFacts()...)
+	want := fresh.Discover()
+	if want.Rounds < 2 {
+		t.Fatalf("corpus too shallow for a mid-run cancel test: %d rounds", want.Rounds)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sess := midas.NewSession(nil, &midas.Options{
+		Detect: countingDetector(func(n int64) {
+			if n == 1 {
+				cancel()
+			}
+		}),
+	})
+	sess.AddFacts(sessionCorpusFacts()...)
+
+	res, err := sess.DiscoverContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Rounds >= want.Rounds {
+		t.Errorf("canceled run completed %d rounds, full run needs %d", res.Rounds, want.Rounds)
+	}
+
+	full, err := sess.DiscoverContext(context.Background())
+	if err != nil {
+		t.Fatalf("discovery after mid-run cancel: %v", err)
+	}
+	if full.SourcesReused != 0 {
+		t.Errorf("aborted run must not store a prior, but %d sources were reused", full.SourcesReused)
+	}
+	if !reflect.DeepEqual(full.Slices, want.Slices) {
+		t.Error("recovery discovery differs from the default pipeline's result")
+	}
+}
