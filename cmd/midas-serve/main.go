@@ -7,6 +7,8 @@
 //
 //	midas-serve [-listen :8080] [-max-discoveries N]
 //	      [-request-timeout 30s] [-job-timeout 0]
+//	      [-read-timeout 0] [-idle-timeout 2m]
+//	      [-data-dir DIR] [-fsync batch] [-snapshot-bytes 4194304]
 //	      [-drain-grace 0s] [-drain-timeout 30s]
 //	      [-log-level info] [-log-format logfmt]
 //	      [-stats final-stats.json]
@@ -22,12 +24,24 @@
 //	POST   /api/sessions/{s}/absorb       absorb result slices into the KB
 //	GET    /api/sessions/{s}/progress     KB size and corpus coverage
 //
+// With -data-dir set, sessions are durable: every confirmed mutation is
+// written to a per-session write-ahead log before the 2xx ack (-fsync
+// picks the group-commit policy), compacting snapshots bound recovery
+// time, and on startup every prior session is restored and verified
+// against its stamped fingerprint — sessions that fail verification are
+// quarantined under <data-dir>/quarantine and logged, never served and
+// never deleted. Recovered sessions report "recovered": true in
+// GET /api/sessions until their first post-restart mutation... and after
+// it too: the flag marks provenance of this process's copy, not
+// staleness.
+//
 // On SIGTERM/SIGINT the service first flips /readyz to 503 and keeps
 // serving for -drain-grace (so load balancers observe the readiness
 // drop and stop routing before the listener closes), then drains
 // running discovery jobs (canceling them if -drain-timeout expires;
-// canceled jobs finish with partial results), writes the final metrics
-// snapshot to -stats — runtime gauges included — and exits 0.
+// canceled jobs finish with partial results), snapshots every durable
+// session, writes the final metrics snapshot to -stats — runtime gauges
+// included — and exits 0.
 //
 // Structured logs (access lines, job lifecycle) go to stderr; set
 // -log-format json to pipe them through jq, -log-level debug to also
@@ -47,6 +61,7 @@ import (
 
 	"midas/internal/obs"
 	"midas/internal/serve"
+	"midas/internal/store"
 )
 
 func main() {
@@ -55,6 +70,11 @@ func main() {
 		maxDisc      = flag.Int("max-discoveries", 0, "max concurrent discovery jobs before shedding with 429 (0 = GOMAXPROCS)")
 		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (sync discoveries return partial results at it; -1s disables)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "async discovery job budget (0 = unlimited)")
+		readTimeout  = flag.Duration("read-timeout", 0, "max duration for reading an entire request including the body (0 = header timeout only)")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "how long a keep-alive connection may sit idle before the server closes it")
+		dataDir      = flag.String("data-dir", "", "durable session state directory: write-ahead logs, snapshots, crash recovery (empty = memory only)")
+		fsyncPolicy  = flag.String("fsync", "batch", "WAL durability policy: always (fsync per mutation) | batch (group commit) | none (page cache only)")
+		snapBytes    = flag.Int64("snapshot-bytes", 4<<20, "per-session WAL size that triggers a compacting snapshot")
 		drainGrace   = flag.Duration("drain-grace", 0, "keep serving this long after readiness drops, so routers observe /readyz 503 before the listener closes")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs before canceling them")
 		statsPath    = flag.String("stats", "", "write a final JSON metrics snapshot to this file on shutdown")
@@ -69,16 +89,63 @@ func main() {
 
 	reg := obs.Default()
 	rc := obs.NewRuntimeCollector(reg, 10*time.Second)
+
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParsePolicy(*fsyncPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "midas-serve:", err)
+			os.Exit(1)
+		}
+		st, err = store.Open(store.Options{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			SnapshotBytes: *snapBytes,
+			Registry:      reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "midas-serve: opening data dir:", err)
+			os.Exit(1)
+		}
+	}
+
 	srv := serve.New(serve.Options{
 		MaxInFlight:    *maxDisc,
 		RequestTimeout: *reqTimeout,
 		JobTimeout:     *jobTimeout,
 		Registry:       reg,
+		Store:          st,
 	})
+
+	// Recovery runs before the listener binds: by the time /readyz can
+	// say yes, every surviving session answers with its pre-crash state.
+	if st != nil {
+		rec, err := srv.Recover(context.Background())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "midas-serve: recovering sessions:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "midas-serve: recovered %d session(s) from %s", len(rec.Sessions), *dataDir)
+		if len(rec.Quarantined) > 0 {
+			fmt.Fprintf(os.Stderr, " (%d quarantined — inspect %s/quarantine)", len(rec.Quarantined), *dataDir)
+		}
+		if len(rec.Dropped) > 0 {
+			fmt.Fprintf(os.Stderr, " (%d unacknowledged creation(s) dropped)", len(rec.Dropped))
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+
 	// ReadHeaderTimeout bounds how long a connection may sit between
 	// accept and a complete request header, so idle or trickling clients
-	// cannot pin accept slots indefinitely (Slowloris).
-	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// cannot pin accept slots indefinitely (Slowloris); ReadTimeout
+	// extends that bound over the body, and IdleTimeout reclaims
+	// keep-alive connections parked between requests.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -105,8 +172,9 @@ func main() {
 	// serving for the grace window — routers see /readyz 503 (and
 	// /healthz still 200) and stop sending traffic. Then drain running
 	// jobs with the listener still open (so probes and job polls keep
-	// answering mid-drain), close the listener, and flush the final
-	// snapshot with a last runtime-gauge sample.
+	// answering mid-drain), snapshot and close the store, close the
+	// listener, and flush the final snapshot with a last runtime-gauge
+	// sample.
 	fmt.Fprintln(os.Stderr, "midas-serve: draining...")
 	srv.SetReady(false)
 	if *drainGrace > 0 {
@@ -119,6 +187,11 @@ func main() {
 		httpSrv.Close()
 	}
 	srv.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "midas-serve: closing store:", err)
+		}
+	}
 	rc.Stop()
 	if *statsPath != "" {
 		if err := reg.WriteFile(*statsPath); err != nil {

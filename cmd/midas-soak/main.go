@@ -4,7 +4,10 @@
 // cache hits only on equal fingerprints, incremental results identical
 // to a from-scratch oracle rerun, serve/* metrics consistent with the
 // responses the clients saw, no goroutine leaks after drain, and
-// partial-only results when an injected deadline lands.
+// partial-only results when an injected deadline lands. With -restart
+// the server runs on a durable store and is hard-stopped and recovered
+// mid-workload: every acknowledged mutation must survive into the new
+// generation, verified by the same mirror oracles across the boundary.
 //
 // Every run is replayable: the workload and the fault plan both derive
 // from -seed, so a failing seed re-runs to the same workload against
@@ -17,6 +20,7 @@
 //	midas-soak -seeds 5 -ops 300                # seeds 1..5, ~300 ops each
 //	midas-soak -seed 7 -ops 300 -v              # replay seed 7, op-by-op
 //	midas-soak -facts data/facts.tsv            # draw facts from a corpus
+//	midas-soak -restart                         # kill + recover the server mid-workload
 //	midas-soak -break                           # prove the oracle bites
 package main
 
@@ -53,6 +57,7 @@ func main() {
 		facts    = flag.String("facts", "", "facts TSV to draw from (subject\\tpredicate\\tobject[\\tconf[\\turl]]); default synthetic")
 		maxFacts = flag.Int("max-facts", 400, "cap on fact rows ingested per session")
 		oplog    = flag.String("oplog", ".", "directory for failure artifacts")
+		restart  = flag.Bool("restart", false, "run on a durable store and hard-kill + recover the server mid-workload")
 		breakIt  = flag.Bool("break", false, "inject a deliberate invariant break (the harness must catch it)")
 		verbose  = flag.Bool("v", false, "log every operation")
 	)
@@ -65,7 +70,7 @@ func main() {
 	}
 	cfg := config{
 		ops: *ops, clients: *clients, maxFacts: *maxFacts,
-		breakIt: *breakIt, verbose: *verbose, pool: pool,
+		breakIt: *breakIt, restart: *restart, verbose: *verbose, pool: pool,
 	}
 
 	var run []int64
@@ -86,8 +91,8 @@ func main() {
 			status = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
 			failed++
 		}
-		fmt.Printf("seed %d: %s — %d ops, %d responses, %d shed, %d disconnects, faults %v in %v\n",
-			s, status, len(r.Ops), r.Requests, r.Shed, r.Disconnects, r.FaultCounts, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("seed %d: %s — %d ops, %d responses, %d shed, %d disconnects, %d restarts, faults %v in %v\n",
+			s, status, len(r.Ops), r.Requests, r.Shed, r.Disconnects, r.Restarts, r.FaultCounts, time.Since(start).Round(time.Millisecond))
 		if len(r.Violations) > 0 {
 			for i, v := range r.Violations {
 				if i == 10 {
@@ -99,8 +104,8 @@ func main() {
 			if path, err := writeArtifact(*oplog, r); err != nil {
 				fmt.Fprintf(os.Stderr, "midas-soak: writing artifact: %v\n", err)
 			} else {
-				fmt.Printf("  artifact: %s\n  replay:   midas-soak -seed %d -ops %d -clients %d%s\n",
-					path, s, *ops, *clients, breakFlag(*breakIt))
+				fmt.Printf("  artifact: %s\n  replay:   midas-soak -seed %d -ops %d -clients %d%s%s\n",
+					path, s, *ops, *clients, restartFlag(*restart), breakFlag(*breakIt))
 			}
 		}
 	}
@@ -112,6 +117,13 @@ func main() {
 func breakFlag(b bool) string {
 	if b {
 		return " -break"
+	}
+	return ""
+}
+
+func restartFlag(b bool) string {
+	if b {
+		return " -restart"
 	}
 	return ""
 }

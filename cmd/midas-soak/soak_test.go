@@ -23,6 +23,24 @@ func TestSoakCleanRun(t *testing.T) {
 	}
 }
 
+// TestSoakRestartRun: with -restart semantics, the server is backed by
+// a durable store, hard-killed mid-workload, and recovered — and the
+// workload's oracles hold across the boundary: zero violations, every
+// acknowledged mutation intact in the new generation.
+func TestSoakRestartRun(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		cfg := testConfig(false)
+		cfg.restart = true
+		r := runSeed(cfg, seed)
+		for _, v := range r.Violations {
+			t.Errorf("seed %d: [%s] w%d#%d: %s", seed, v.Kind, v.Worker, v.Seq, v.Detail)
+		}
+		if r.Restarts != 1 {
+			t.Errorf("seed %d: %d restarts, want 1", seed, r.Restarts)
+		}
+	}
+}
+
 // TestSoakBreakCaught: the deliberately injected invariant break (a
 // corrupted discovery result) is detected by the oracles, and the
 // failing seed replays to a failure again — the property that makes a

@@ -24,6 +24,10 @@ type worker struct {
 	id  int
 	rng *rand.Rand
 
+	// opGen is the server generation the current op started against;
+	// failures are judged against it (see restartHit).
+	opGen int64
+
 	sessions []*wsession
 	created  int
 }
@@ -54,8 +58,35 @@ func newWorker(h *seedHarness, id int) *worker {
 	return &worker{h: h, id: id, rng: rand.New(rand.NewSource(h.seed*1000 + int64(id)))}
 }
 
+// restartHit downgrades a failure that overlaps a server restart from
+// a violation to a taint: the op's outcome is unknowable (the request
+// may have died client-side, server-side, or against a frozen store),
+// so the session stands its oracles down instead of crying wolf.
+func (w *worker) restartHit(seq int, sn *wsession, note string) bool {
+	if !w.h.interrupted(w.opGen) {
+		return false
+	}
+	name := ""
+	if sn != nil {
+		sn.tainted = true
+		name = sn.name
+	}
+	w.h.record(w.id, seq, "restart-hit", name, 0, note)
+	return true
+}
+
+func (w *worker) removeSession(sn *wsession) {
+	for i, s := range w.sessions {
+		if s == sn {
+			w.sessions = append(w.sessions[:i], w.sessions[i+1:]...)
+			break
+		}
+	}
+}
+
 // step issues one operation drawn from the worker's op distribution.
 func (w *worker) step(seq int) {
+	w.opGen = w.h.gen.Load()
 	if len(w.sessions) == 0 {
 		w.createSession(seq)
 		return
@@ -90,7 +121,9 @@ func (w *worker) createSession(seq int) {
 	code, err := w.h.doJSON(w.h.hc, "POST", "/api/sessions", body, "application/json", nil)
 	w.h.record(w.id, seq, "create", name, code, "")
 	if err != nil || code != http.StatusCreated {
-		w.h.violate(w.id, seq, "create-session", fmt.Sprintf("%s: HTTP %d (%v)", name, code, err))
+		if !w.restartHit(seq, nil, "create") {
+			w.h.violate(w.id, seq, "create-session", fmt.Sprintf("%s: HTTP %d (%v)", name, code, err))
+		}
 		return
 	}
 	w.sessions = append(w.sessions, &wsession{
@@ -104,15 +137,16 @@ func (w *worker) deleteSession(seq int, sn *wsession) {
 	code, err := w.h.doJSON(w.h.hc, "DELETE", "/api/sessions/"+sn.name, nil, "", nil)
 	w.h.record(w.id, seq, "delete", sn.name, code, "")
 	if err != nil || code != http.StatusNoContent {
+		if w.restartHit(seq, sn, "delete") {
+			// The delete may or may not have landed; either way this
+			// worker is done with the session.
+			w.removeSession(sn)
+			return
+		}
 		w.h.violate(w.id, seq, "delete-session", fmt.Sprintf("%s: HTTP %d (%v)", sn.name, code, err))
 		return
 	}
-	for i, s := range w.sessions {
-		if s == sn {
-			w.sessions = append(w.sessions[:i], w.sessions[i+1:]...)
-			break
-		}
-	}
+	w.removeSession(sn)
 }
 
 // drawFacts picks a deterministic batch from the shared pool.
@@ -143,7 +177,7 @@ func (w *worker) ingestFacts(seq int, sn *wsession) {
 		code, err := w.h.doJSON(w.h.hc, "POST", "/api/sessions/"+sn.name+"/facts",
 			strings.NewReader(bad), "text/tab-separated-values", nil)
 		w.h.record(w.id, seq, "facts-bad", sn.name, code, "")
-		if err == nil && code != http.StatusBadRequest {
+		if err == nil && code != http.StatusBadRequest && !w.restartHit(seq, sn, "facts-bad") {
 			w.h.violate(w.id, seq, "facts-malformed", fmt.Sprintf("malformed batch: HTTP %d, want 400", code))
 		}
 		return
@@ -182,7 +216,9 @@ func (w *worker) ingestFacts(seq int, sn *wsession) {
 		// the batch, so this session's oracles are done.
 		sn.tainted = true
 	case code != http.StatusOK:
-		w.h.violate(w.id, seq, "facts-ingest", fmt.Sprintf("HTTP %d", code))
+		if !w.restartHit(seq, sn, "facts") {
+			w.h.violate(w.id, seq, "facts-ingest", fmt.Sprintf("HTTP %d", code))
+		}
 	case out.Added != len(facts):
 		w.h.violate(w.id, seq, "facts-count", fmt.Sprintf("added %d, sent %d", out.Added, len(facts)))
 	default:
@@ -280,7 +316,9 @@ func (w *worker) pollJob(seq int, sn *wsession, j *jobStatus) bool {
 		}
 		time.Sleep(time.Duration(1+w.rng.Intn(5)) * time.Millisecond)
 		if code, err := w.h.doJSON(w.h.hc, "GET", "/api/jobs/"+j.Job, nil, "", j); err != nil || code != http.StatusOK {
-			w.h.violate(w.id, seq, "job-poll", fmt.Sprintf("job %s: HTTP %d (%v)", j.Job, code, err))
+			if !w.restartHit(seq, sn, "job-poll") {
+				w.h.violate(w.id, seq, "job-poll", fmt.Sprintf("job %s: HTTP %d (%v)", j.Job, code, err))
+			}
 			return false
 		}
 	}
@@ -297,7 +335,9 @@ func (w *worker) fetchResult(seq int, sn *wsession, job string) *resultPayload {
 	var res resultPayload
 	code, err := w.h.doJSON(w.h.hc, "GET", "/api/jobs/"+job+"/result", nil, "", &res)
 	if err != nil || code != http.StatusOK {
-		w.h.violate(w.id, seq, "result-fetch", fmt.Sprintf("job %s: HTTP %d (%v)", job, code, err))
+		if !w.restartHit(seq, sn, "result-fetch") {
+			w.h.violate(w.id, seq, "result-fetch", fmt.Sprintf("job %s: HTTP %d (%v)", job, code, err))
+		}
 		return nil
 	}
 	return &res
@@ -313,7 +353,9 @@ func (w *worker) discoverAsync(seq int, sn *wsession) {
 	case code == http.StatusTooManyRequests:
 		return // shed; reconciled against serve/shed at the end
 	case code != http.StatusAccepted && code != http.StatusOK:
-		w.h.violate(w.id, seq, "discover", fmt.Sprintf("HTTP %d", code))
+		if !w.restartHit(seq, sn, "discover") {
+			w.h.violate(w.id, seq, "discover", fmt.Sprintf("HTTP %d", code))
+		}
 		return
 	}
 	if !w.pollJob(seq, sn, &j) {
@@ -349,7 +391,9 @@ func (w *worker) absorb(seq int, sn *wsession, res *resultPayload) {
 	case err != nil:
 		sn.tainted = true // absorb applies per-slice; outcome unknown
 	case code != http.StatusOK:
-		w.h.violate(w.id, seq, "absorb", fmt.Sprintf("HTTP %d", code))
+		if !w.restartHit(seq, sn, "absorb") {
+			w.h.violate(w.id, seq, "absorb", fmt.Sprintf("HTTP %d", code))
+		}
 	default:
 		for _, i := range idx {
 			sl := midas.Slice{Source: res.Slices[i].Source, Entities: res.Slices[i].Entities}
@@ -378,7 +422,9 @@ func (w *worker) discoverSync(seq int, sn *wsession) {
 	case code == http.StatusTooManyRequests:
 		return
 	case code != http.StatusOK:
-		w.h.violate(w.id, seq, "discover-sync", fmt.Sprintf("HTTP %d", code))
+		if !w.restartHit(seq, sn, "discover-sync") {
+			w.h.violate(w.id, seq, "discover-sync", fmt.Sprintf("HTTP %d", code))
+		}
 		return
 	}
 	if j.Status == serve.StateRunning {
@@ -413,7 +459,7 @@ func (w *worker) discoverSync(seq int, sn *wsession) {
 func (w *worker) disconnect(seq int, sn *wsession) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+w.rng.Intn(5))*time.Millisecond)
 	defer cancel()
-	req, _ := http.NewRequestWithContext(ctx, "POST", w.h.ts.URL+"/api/sessions/"+sn.name+"/discover?wait=true", nil)
+	req, _ := http.NewRequestWithContext(ctx, "POST", w.h.base()+"/api/sessions/"+sn.name+"/discover?wait=true", nil)
 	resp, err := w.h.hc.Do(req)
 	if err != nil {
 		w.h.disconns.Add(1)
@@ -443,7 +489,9 @@ func (w *worker) syncDiscoverComplete(seq int, sn *wsession) *resultPayload {
 			continue
 		}
 		if code != http.StatusOK {
-			w.h.violate(w.id, seq, "discover-sync", fmt.Sprintf("HTTP %d", code))
+			if !w.restartHit(seq, sn, "discover-sync") {
+				w.h.violate(w.id, seq, "discover-sync", fmt.Sprintf("HTTP %d", code))
+			}
 			return nil
 		}
 		if j.Status != serve.StateDone {
@@ -516,7 +564,7 @@ func (w *worker) reads(seq int, sn *wsession) {
 	path := paths[w.rng.Intn(len(paths))]
 	code, err := w.h.doJSON(w.h.hc, "GET", path, nil, "", nil)
 	w.h.record(w.id, seq, "read", sn.name, code, path)
-	if err == nil && code != http.StatusOK {
+	if err == nil && code != http.StatusOK && !w.restartHit(seq, sn, "read") {
 		w.h.violate(w.id, seq, "read", fmt.Sprintf("GET %s: HTTP %d", path, code))
 	}
 }
@@ -532,6 +580,7 @@ func (w *worker) finalChecks() {
 			continue
 		}
 		for round := 0; round < 3; round++ {
+			w.opGen = w.h.gen.Load()
 			res := w.syncDiscoverComplete(-1, sn)
 			if res == nil {
 				break

@@ -1,0 +1,59 @@
+package fact
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFactReadBinary throws arbitrary bytes at the binary corpus
+// decoder: any input must either be rejected with an error or produce a
+// corpus whose reported count matches what was stored and which
+// round-trips through its own serialization.
+func FuzzFactReadBinary(f *testing.F) {
+	seed := NewCorpus(nil)
+	seed.Add(Fact{Subject: "alpha entity", Predicate: "kind", Object: "alpha", Confidence: 0.9, URL: "http://a.example.com/p1"})
+	seed.Add(Fact{Subject: "beta entity", Predicate: "id", Object: "b-1", Confidence: 0.5, URL: "http://b.example.com/p2"})
+	var buf bytes.Buffer
+	if err := seed.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(corpusMagic))
+	f.Add([]byte(corpusMagic + "\x02\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // length cap: the interesting structure is small
+		}
+		c := NewCorpus(nil)
+		n, err := c.ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejected; no panic, no runaway allocation is the property
+		}
+		if n != len(c.Facts) {
+			t.Fatalf("ReadBinary reported %d, corpus holds %d", n, len(c.Facts))
+		}
+		var out bytes.Buffer
+		if err := c.WriteBinary(&out); err != nil {
+			t.Fatalf("re-serializing an accepted corpus: %v", err)
+		}
+		again := NewCorpus(nil)
+		m, err := again.ReadBinary(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading own serialization: %v", err)
+		}
+		if m != len(c.Facts) {
+			t.Fatalf("round trip changed count: %d -> %d", len(c.Facts), m)
+		}
+		for i, e := range c.Facts {
+			a, b := again.Facts[i], e
+			s1, p1, o1 := c.Space.StringTriple(e.Triple)
+			s2, p2, o2 := again.Space.StringTriple(a.Triple)
+			if s1 != s2 || p1 != p2 || o1 != o2 || a.Conf != b.Conf ||
+				c.URLs.String(e.URL) != again.URLs.String(a.URL) {
+				t.Fatalf("round trip changed fact %d", i)
+			}
+		}
+	})
+}

@@ -94,7 +94,10 @@ func (k *KB) ReadBinaryContext(ctx context.Context, r io.Reader) (int, error) {
 		if br.Err() != nil {
 			return nil
 		}
-		out := make([]string, 0, n)
+		// Preallocation is capped: every entry costs at least one stream
+		// byte, so a corrupt count fails at read time instead of forcing
+		// a huge allocation up front.
+		out := make([]string, 0, min(n, 4096))
 		for i := 0; i < n; i++ {
 			out = append(out, br.String())
 		}

@@ -322,6 +322,17 @@ func (k *KB) Epoch() uint64 {
 	return k.epoch
 }
 
+// RestoreEpoch forces the mutation counter to e. Crash recovery only:
+// a KB rebuilt from a snapshot saw exactly one Add per stored triple,
+// while the epoch of the KB that was snapshotted also counted duplicate
+// insert attempts — and session fingerprints fold the epoch, so the
+// rebuilt KB must resume from the stamped value, not its own count.
+func (k *KB) RestoreEpoch(e uint64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.epoch = e
+}
+
 // NumSubjects returns the number of distinct subjects.
 func (k *KB) NumSubjects() int {
 	k.mu.RLock()

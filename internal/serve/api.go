@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -15,6 +16,7 @@ import (
 
 	"midas"
 	"midas/internal/obs"
+	"midas/internal/store"
 )
 
 // routes mounts the JSON API. Every handler runs behind withMetrics,
@@ -220,7 +222,15 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	sn, err := s.createSession(req.Name, req.Options.toOptions())
+	// The options JSON persisted with the create record is the
+	// re-marshaled request shape, so recovery decodes exactly what this
+	// session was built from.
+	optionsJSON, err := json.Marshal(req.Options)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad options: %v", err)
+		return
+	}
+	sn, err := s.createSession(req.Name, req.Options.toOptions(), optionsJSON)
 	switch {
 	case errors.Is(err, errExists):
 		writeErr(w, http.StatusConflict, "session %q already exists", req.Name)
@@ -255,6 +265,9 @@ func sessionInfo(sn *session) map[string]any {
 		"session":      sn.name,
 		"corpus_facts": sn.sess.CorpusSize(),
 		"kb_facts":     sn.sess.KB().Size(),
+		"fingerprint":  fmt.Sprintf("%016x", sn.sess.Fingerprint()),
+		"kb_epoch":     sn.sess.KBEpoch(),
+		"recovered":    sn.recovered,
 	}
 }
 
@@ -265,11 +278,20 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
-	if !s.deleteSession(r.PathValue("name")) {
-		writeErr(w, http.StatusNotFound, "no session %q", r.PathValue("name"))
-		return
+	name := r.PathValue("name")
+	found, err := s.deleteSession(r.Context(), name)
+	switch {
+	case !found:
+		writeErr(w, http.StatusNotFound, "no session %q", name)
+	case err != nil:
+		// The session is gone from the registry either way; the error
+		// reports jobs that outlived the request deadline or durable
+		// files that could not be removed.
+		writeErr(w, http.StatusInternalServerError, "deleting session %q: %v", name, err)
+	default:
+		s.logger().Info(r.Context(), "session deleted", "session", name)
+		w.WriteHeader(http.StatusNoContent)
 	}
-	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleLoadKB(w http.ResponseWriter, r *http.Request) {
@@ -277,27 +299,64 @@ func (s *Server) handleLoadKB(w http.ResponseWriter, r *http.Request) {
 	if sn == nil {
 		return
 	}
-	var (
-		added int
-		err   error
-	)
-	body := ctxReader(r.Context(), r.Body)
-	switch format := r.URL.Query().Get("format"); format {
-	case "", "tsv":
-		added, err = sn.sess.KB().LoadTSV(body)
-	case "binary":
-		added, err = sn.sess.KB().LoadBinary(body)
-	case "ntriples":
-		added, err = sn.sess.KB().LoadNTriples(body)
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "tsv", "binary", "ntriples":
 	default:
 		writeErr(w, http.StatusBadRequest, "unknown KB format %q", format)
 		return
 	}
+	var body io.Reader = ctxReader(r.Context(), r.Body)
+	var raw []byte
+	if sn.slog != nil {
+		// Durable sessions log the load by content, so the body must be
+		// buffered; memory-only sessions keep the streaming path.
+		var err error
+		raw, err = io.ReadAll(body)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "reading KB body: %v", err)
+			return
+		}
+		body = bytes.NewReader(raw)
+	}
+	sn.wmu.Lock()
+	added, err := loadKB(sn.sess, format, body)
 	if err != nil {
+		if sn.slog != nil {
+			// The loaders apply while parsing, so a mid-body error leaves
+			// a partial prefix live that no WAL record describes. Snapshot
+			// immediately: the snapshot serializes the session as it now
+			// is, re-baselining the log onto the observed state.
+			if serr := sn.slog.Snapshot(sn.sess); serr != nil {
+				s.logger().Warn(r.Context(), "re-baseline snapshot failed", "session", sn.name, "err", serr)
+			}
+		}
+		sn.wmu.Unlock()
 		writeErr(w, http.StatusBadRequest, "loading KB: %v", err)
 		return
 	}
+	if sn.slog != nil {
+		if aerr := sn.slog.AppendKB(format, raw); aerr != nil {
+			sn.wmu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "persisting KB load: %v", aerr)
+			return
+		}
+	}
+	sn.wmu.Unlock()
+	s.maybeSnapshot(sn)
 	writeJSON(w, http.StatusOK, map[string]int{"added": added})
+}
+
+// loadKB dispatches one KB bulk load; format has been validated.
+func loadKB(sess *midas.Session, format string, body io.Reader) (int, error) {
+	switch format {
+	case "", "tsv":
+		return sess.KB().LoadTSV(body)
+	case "binary":
+		return sess.KB().LoadBinary(body)
+	default:
+		return sess.KB().LoadNTriples(body)
+	}
 }
 
 type apiFact struct {
@@ -401,7 +460,19 @@ func (s *Server) handleAddFacts(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad facts body: %v", err)
 		return
 	}
+	sn.wmu.Lock()
+	if sn.slog != nil {
+		// Durable before applied: if the append fails, the session memory
+		// is untouched and the 500 is honest — nothing to forget.
+		if aerr := sn.slog.AppendFacts(facts); aerr != nil {
+			sn.wmu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "persisting facts: %v", aerr)
+			return
+		}
+	}
 	sn.sess.AddFacts(facts...)
+	sn.wmu.Unlock()
+	s.maybeSnapshot(sn)
 	writeJSON(w, http.StatusOK, map[string]int{"added": len(facts)})
 }
 
@@ -592,15 +663,33 @@ func (s *Server) handleAbsorb(w http.ResponseWriter, r *http.Request) {
 			idx[i] = i
 		}
 	}
-	added, absorbed := 0, 0
+	// Validate every index before absorbing anything: the batch must be
+	// all-or-nothing so the logged record matches what was applied.
 	for _, i := range idx {
 		if i < 0 || i >= len(res.Slices) {
 			writeErr(w, http.StatusBadRequest, "slice index %d out of range [0,%d)", i, len(res.Slices))
 			return
 		}
+	}
+	sn.wmu.Lock()
+	if sn.slog != nil {
+		slices := make([]store.AbsorbSlice, len(idx))
+		for k, i := range idx {
+			slices[k] = store.AbsorbSlice{Source: res.Slices[i].Source, Entities: res.Slices[i].Entities}
+		}
+		if aerr := sn.slog.AppendAbsorb(slices); aerr != nil {
+			sn.wmu.Unlock()
+			writeErr(w, http.StatusInternalServerError, "persisting absorb: %v", aerr)
+			return
+		}
+	}
+	added, absorbed := 0, 0
+	for _, i := range idx {
 		added += sn.sess.Absorb(res.Slices[i])
 		absorbed++
 	}
+	sn.wmu.Unlock()
+	s.maybeSnapshot(sn)
 	writeJSON(w, http.StatusOK, map[string]int{"absorbed": absorbed, "added": added})
 }
 

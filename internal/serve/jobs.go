@@ -34,6 +34,13 @@ type job struct {
 	request string // ID of the request that started it
 	trace   int64  // trace holding the job's spans; 0 = none (cache hit)
 
+	// cancel aborts the job's context and done closes when the job body
+	// has returned — how session deletion stops in-flight discoveries
+	// and waits them out. Both nil for cache-hit jobs, which never run.
+	// Guarded by mu: the job is in the registry before they are set.
+	cancel context.CancelFunc
+	done   chan struct{}
+
 	mu       sync.Mutex
 	status   string
 	result   *midas.Result
@@ -131,6 +138,9 @@ func (s *Server) execute(ctx context.Context, sn *session, j *job, fp uint64) {
 	if err == nil && res != nil {
 		if res.Fingerprint == fp {
 			sn.storeCache(fp, res)
+			if sn.slog != nil {
+				sn.slog.SaveCache(fp, res)
+			}
 		}
 		if res.SourcesReused > 0 {
 			s.reg.Counter("serve/cache/partial").Inc()
@@ -199,6 +209,11 @@ func (s *Server) startDiscover(ctx context.Context, sn *session, wait bool, time
 		defer cancel()
 		stop := context.AfterFunc(s.baseCtx, cancel)
 		defer stop()
+		done := make(chan struct{})
+		defer close(done)
+		j.mu.Lock()
+		j.cancel, j.done = cancel, done
+		j.mu.Unlock()
 		runCtx = obs.ContextWithSpan(runCtx, jspan)
 		runCtx = obs.ContextWithLogFields(runCtx, "job", j.id, "session", sn.name)
 		s.execute(runCtx, sn, j, fp)
@@ -212,9 +227,14 @@ func (s *Server) startDiscover(ctx context.Context, sn *session, wait bool, time
 	jobCtx = obs.ContextWithSpan(jobCtx, jspan)
 	jobCtx = obs.ContextWithLogFields(jobCtx,
 		"request", j.request, "job", j.id, "session", sn.name)
+	done := make(chan struct{})
+	j.mu.Lock()
+	j.cancel, j.done = cancel, done
+	j.mu.Unlock()
 	s.jobsWG.Add(1)
 	go func() {
 		defer s.jobsWG.Done()
+		defer close(done)
 		defer cancel()
 		defer s.release()
 		s.execute(jobCtx, sn, j, fp)

@@ -14,6 +14,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"regexp"
@@ -24,6 +25,7 @@ import (
 
 	"midas"
 	"midas/internal/obs"
+	"midas/internal/store"
 )
 
 // Options configures a Server. The zero value serves with the defaults
@@ -52,6 +54,17 @@ type Options struct {
 	// private tracer owned by the server (request tracing is what feeds
 	// /profile, so unlike batch binaries it is always on).
 	Trace *obs.Tracer
+	// Store, when set, makes sessions durable: every confirmed mutation
+	// is written to the session's write-ahead log before the 2xx ack,
+	// compacting snapshots bound recovery time, and Recover restores
+	// prior sessions at startup. nil serves from memory only.
+	Store *store.Store
+	// RestoreOptions, when set, post-processes the midas.Options decoded
+	// from a recovered session's stored options JSON — the seam through
+	// which the soak harness re-plants its fault-injecting detector
+	// after a restart (Options.Detect is a function and cannot be
+	// persisted). nil uses the decoded options as-is.
+	RestoreOptions func(opts *midas.Options) *midas.Options
 	// TraceRetention bounds completed spans kept by the tracer while
 	// they wait to be folded into job profiles; oldest age out first,
 	// and a job whose trace ages out before its first /profile GET
@@ -117,7 +130,8 @@ type Server struct {
 	draining bool
 
 	jobsWG  sync.WaitGroup
-	running int64 // guarded by mu
+	snapWG  sync.WaitGroup // async threshold snapshots in flight
+	running int64          // guarded by mu
 
 	baseCtx    context.Context // canceled to hard-stop all jobs
 	cancelJobs context.CancelFunc
@@ -140,6 +154,18 @@ type Server struct {
 type session struct {
 	name string
 	sess *midas.Session
+
+	// wmu serializes mutations (facts, KB loads, absorbs) against each
+	// other, against WAL appends, and against snapshots, so every logged
+	// record reflects the order the session actually applied.
+	wmu sync.Mutex
+	// slog is the session's durable log; nil when the server runs
+	// without a store.
+	slog *store.Log
+	// recovered marks sessions restored from the store at startup.
+	recovered bool
+	// snapping guards the at-most-one async threshold snapshot.
+	snapping atomic.Bool
 
 	cmu      sync.Mutex
 	cacheFP  uint64
@@ -217,7 +243,13 @@ func New(opts Options) *Server {
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
 
-func (s *Server) createSession(name string, opts *midas.Options) (*session, error) {
+// createSession registers a new session and, when a store is
+// configured, opens its durable log — the create record (with
+// optionsJSON, replayed at recovery) is on disk before the caller acks.
+// The store call runs under s.mu: creation is rare, and holding the
+// lock closes the window where a session would be visible with no
+// durable existence.
+func (s *Server) createSession(name string, opts *midas.Options, optionsJSON []byte) (*session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if name == "" {
@@ -235,6 +267,13 @@ func (s *Server) createSession(name string, opts *midas.Options) (*session, erro
 		return nil, errExists
 	}
 	sn := &session{name: name, sess: s.newSession(opts)}
+	if s.opts.Store != nil {
+		l, err := s.opts.Store.Create(name, optionsJSON)
+		if err != nil {
+			return nil, fmt.Errorf("persisting session: %w", err)
+		}
+		sn.slog = l
+	}
 	s.sessions[name] = sn
 	s.reg.Gauge("serve/sessions").Set(float64(len(s.sessions)))
 	return sn, nil
@@ -246,15 +285,56 @@ func (s *Server) session(name string) *session {
 	return s.sessions[name]
 }
 
-func (s *Server) deleteSession(name string) bool {
+// deleteSession removes a session: deregister it (new requests 404
+// immediately), cancel its in-flight discovery jobs and wait for them
+// to wind down to their partial results, then tombstone and remove the
+// session's durable files. ctx bounds the wait; on expiry the files are
+// still removed — the jobs hold their own references and die with their
+// canceled contexts.
+func (s *Server) deleteSession(ctx context.Context, name string) (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[name]; !ok {
-		return false
+	sn, ok := s.sessions[name]
+	if !ok {
+		s.mu.Unlock()
+		return false, nil
 	}
 	delete(s.sessions, name)
 	s.reg.Gauge("serve/sessions").Set(float64(len(s.sessions)))
-	return true
+	var running []*job
+	for _, j := range s.jobs {
+		if j.session == name && j.statusNow() == StateRunning {
+			running = append(running, j)
+		}
+	}
+	s.mu.Unlock()
+
+	var waitErr error
+	for _, j := range running {
+		j.mu.Lock()
+		cancel, done := j.cancel, j.done
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		if done == nil {
+			continue
+		}
+		select {
+		case <-done:
+		case <-ctx.Done():
+			waitErr = ctx.Err()
+		}
+	}
+	if len(running) > 0 {
+		s.logger().Info(ctx, "session jobs canceled for delete",
+			"session", name, "jobs", len(running))
+	}
+	if sn.slog != nil {
+		if err := sn.slog.Delete(); err != nil {
+			return true, err
+		}
+	}
+	return true, waitErr
 }
 
 // Drain puts the server in draining mode — discovery requests are
@@ -285,8 +365,105 @@ func (s *Server) Drain(ctx context.Context) int {
 		s.cancelJobs()
 		<-done
 	}
+	s.snapshotAll(ctx)
 	s.logger().Info(ctx, "drain finished", "in_flight", inFlight, "canceled", canceled)
 	return inFlight
+}
+
+// snapshotAll compacts every durable session: threshold snapshots still
+// in flight are awaited, then each session gets a final snapshot so the
+// next startup recovers without replay. Best-effort — a session whose
+// snapshot fails still has its synced WAL.
+func (s *Server) snapshotAll(ctx context.Context) {
+	if s.opts.Store == nil {
+		return
+	}
+	s.snapWG.Wait()
+	s.mu.RLock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sn := range s.sessions {
+		sessions = append(sessions, sn)
+	}
+	s.mu.RUnlock()
+	for _, sn := range sessions {
+		if sn.slog == nil {
+			continue
+		}
+		sn.wmu.Lock()
+		err := sn.slog.Snapshot(sn.sess)
+		sn.wmu.Unlock()
+		if err != nil {
+			s.logger().Warn(ctx, "drain snapshot failed", "session", sn.name, "err", err)
+		}
+	}
+}
+
+// maybeSnapshot starts an async compacting snapshot when the session's
+// WAL has outgrown the store's threshold — at most one per session at a
+// time, taken under wmu so the snapshot sees a quiescent session.
+// Mutations keep flowing while the marshaled state is written; only the
+// segment swap holds the log lock.
+func (s *Server) maybeSnapshot(sn *session) {
+	if sn.slog == nil || !sn.slog.NeedsSnapshot() || !sn.snapping.CompareAndSwap(false, true) {
+		return
+	}
+	s.snapWG.Add(1)
+	go func() {
+		defer s.snapWG.Done()
+		defer sn.snapping.Store(false)
+		sn.wmu.Lock()
+		err := sn.slog.Snapshot(sn.sess)
+		sn.wmu.Unlock()
+		if err != nil {
+			s.logger().Warn(context.Background(), "snapshot failed", "session", sn.name, "err", err)
+		}
+	}()
+}
+
+// decodeStoredOptions rebuilds midas.Options from the options JSON a
+// create record stored (the apiOptions request shape, kept verbatim),
+// then lets the RestoreOptions seam re-attach what JSON cannot carry.
+func (s *Server) decodeStoredOptions(optionsJSON []byte) (*midas.Options, error) {
+	var opts *midas.Options
+	if len(optionsJSON) > 0 && string(optionsJSON) != "null" {
+		var api apiOptions
+		if err := json.Unmarshal(optionsJSON, &api); err != nil {
+			return nil, err
+		}
+		opts = api.toOptions()
+	}
+	if s.opts.RestoreOptions != nil {
+		opts = s.opts.RestoreOptions(opts)
+	}
+	return opts, nil
+}
+
+// Recover restores every session the store holds from before the last
+// shutdown or crash: verified sessions are registered (marked
+// recovered, result caches reattached), sessions that fail
+// verification are quarantined by the store and surface only in the
+// returned Recovery. Call once, after New and before serving traffic.
+func (s *Server) Recover(ctx context.Context) (*store.Recovery, error) {
+	if s.opts.Store == nil {
+		return &store.Recovery{}, nil
+	}
+	rec, err := s.opts.Store.Recover(ctx, s.decodeStoredOptions)
+	if err != nil {
+		return rec, err
+	}
+	s.mu.Lock()
+	for _, r := range rec.Sessions {
+		sn := &session{name: r.Name, sess: r.Session, slog: r.Log, recovered: true}
+		if r.CacheResult != nil {
+			sn.cacheFP, sn.cacheRes = r.CacheFingerprint, r.CacheResult
+		}
+		s.sessions[r.Name] = sn
+	}
+	s.reg.Gauge("serve/sessions").Set(float64(len(s.sessions)))
+	s.reg.Gauge("serve/sessions/recovered").Set(float64(len(rec.Sessions)))
+	s.reg.Gauge("serve/sessions/quarantined").Set(float64(len(rec.Quarantined)))
+	s.mu.Unlock()
+	return rec, nil
 }
 
 // SetReady flips the /readyz verdict. Binaries call SetReady(true) once

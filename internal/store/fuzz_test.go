@@ -1,0 +1,77 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"midas"
+)
+
+// FuzzWALRecords drives the WAL frame scanner and mutation decoder with
+// arbitrary bytes — the exact code path recovery trusts a crash-torn
+// segment to. Properties: no panic and no runaway allocation on any
+// input, scanning is deterministic, the valid-prefix count matches the
+// decoder callback count, and every decoded mutation re-encodes into a
+// frame the scanner accepts.
+func FuzzWALRecords(f *testing.F) {
+	facts := []midas.Fact{
+		{Subject: "alpha entity", Predicate: "kind", Object: "alpha", Confidence: 0.9, URL: "http://a.example.com/p1"},
+		{Subject: "alpha entity", Predicate: "id", Object: "a-1", Confidence: 0.5, URL: "http://a.example.com/p1"},
+	}
+	var seg bytes.Buffer
+	seg.Write(frameRecord(encodeCreate("s1", []byte(`{"workers":2}`))))
+	seg.Write(frameRecord(encodeFacts(facts)))
+	seg.Write(frameRecord(encodeKB("tsv", []byte("a\tp\tb\n"))))
+	seg.Write(frameRecord(encodeAbsorb([]AbsorbSlice{{Source: "a.example.com", Entities: []string{"alpha entity"}}})))
+	f.Add(seg.Bytes())
+	f.Add(seg.Bytes()[:seg.Len()-3]) // torn tail
+	f.Add(frameRecord([]byte{opFacts}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // huge declared length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // length cap: frames past 1 MiB add nothing
+		}
+		decoded := 0
+		n, clean, err := scanRecords(bytes.NewReader(data), func(payload []byte) error {
+			m, derr := decodeMutation(payload)
+			if derr != nil {
+				return nil // checksummed garbage payload: rejected, never panics
+			}
+			decoded++
+			// A decoded mutation must survive re-encoding: its frame is
+			// exactly what a live server would have written.
+			var re []byte
+			switch m.op {
+			case opCreate:
+				re = encodeCreate(m.name, m.options)
+			case opFacts:
+				re = encodeFacts(m.facts)
+			case opKB:
+				re = encodeKB(m.format, m.body)
+			case opAbsorb:
+				re = encodeAbsorb(m.slices)
+			}
+			rn, rclean, rerr := scanRecords(bytes.NewReader(frameRecord(re)), func(p []byte) error {
+				_, derr := decodeMutation(p)
+				return derr
+			})
+			if rn != 1 || !rclean || rerr != nil {
+				t.Fatalf("re-encoded op %d does not re-scan: n=%d clean=%v err=%v", m.op, rn, rclean, rerr)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("callback error escaped: %v", err)
+		}
+		if decoded > n {
+			t.Fatalf("decoded %d mutations from %d valid frames", decoded, n)
+		}
+		// Determinism: a second scan of the same bytes agrees exactly.
+		n2, clean2, _ := scanRecords(bytes.NewReader(data), func([]byte) error { return nil })
+		if n2 != n || clean2 != clean {
+			t.Fatalf("rescan diverged: (%d,%v) then (%d,%v)", n, clean, n2, clean2)
+		}
+	})
+}

@@ -1,0 +1,318 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"midas"
+	"midas/internal/binio"
+)
+
+// WAL record framing: uvarint payload length, payload, 8-byte
+// little-endian FNV-1a checksum of the payload. A record is valid only
+// if the full frame is present and the checksum matches; anything less
+// is a torn tail. Appends are sequential and the frame is written with
+// a single Write, so a tear can only occur at the end of a file — the
+// scanner stops at the first invalid frame and reports whether the file
+// ended cleanly.
+
+// maxRecordBytes caps a single WAL record (and the snapshot record) at
+// read time so a corrupt length cannot exhaust memory. KB bulk-load
+// bodies are stored verbatim, so the cap is generous.
+const maxRecordBytes = 1 << 30
+
+// Op types, the first uvarint of every WAL record payload.
+const (
+	opCreate = 1 // session created: name, options JSON
+	opFacts  = 2 // AddFacts batch, dictionary-encoded
+	opKB     = 3 // KB bulk load: format tag, body bytes verbatim
+	opAbsorb = 4 // Absorb batch: per slice, source + entities
+)
+
+func checksum(payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// frameRecord wraps payload in the WAL frame.
+func frameRecord(payload []byte) []byte {
+	var lb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lb[:], uint64(len(payload)))
+	buf := make([]byte, 0, n+len(payload)+8)
+	buf = append(buf, lb[:n]...)
+	buf = append(buf, payload...)
+	var cb [8]byte
+	binary.LittleEndian.PutUint64(cb[:], checksum(payload))
+	return append(buf, cb[:]...)
+}
+
+// scanRecords reads framed records from r, calling fn for each valid
+// payload. It returns the number of valid records, whether the stream
+// ended cleanly (false = torn tail: a truncated or checksum-failing
+// final frame, the expected crash artifact), and the first error from
+// fn — which aborts the scan and is distinct from tearing.
+func scanRecords(r io.Reader, fn func(payload []byte) error) (n int, clean bool, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	for {
+		length, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return n, true, nil
+		}
+		if err != nil {
+			return n, false, nil
+		}
+		if length > maxRecordBytes {
+			return n, false, nil
+		}
+		payload, ok := readFullCapped(br, length)
+		if !ok {
+			return n, false, nil
+		}
+		var sum [8]byte
+		if _, err := io.ReadFull(br, sum[:]); err != nil {
+			return n, false, nil
+		}
+		if binary.LittleEndian.Uint64(sum[:]) != checksum(payload) {
+			return n, false, nil
+		}
+		if err := fn(payload); err != nil {
+			return n, true, err
+		}
+		n++
+	}
+}
+
+// readFullCapped reads exactly n bytes from r, growing the buffer in
+// bounded chunks as data actually arrives — a corrupt declared length
+// can never force a huge allocation the stream cannot back.
+func readFullCapped(r io.Reader, n uint64) ([]byte, bool) {
+	const chunk = 1 << 16
+	buf := make([]byte, 0, min(n, chunk))
+	for uint64(len(buf)) < n {
+		k := min(n-uint64(len(buf)), chunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, k)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return nil, false
+		}
+	}
+	return buf, true
+}
+
+// mutation is one decoded WAL operation.
+type mutation struct {
+	op      int
+	name    string // opCreate
+	options []byte // opCreate: options JSON, verbatim
+	facts   []midas.Fact
+	format  string // opKB: "tsv" | "binary" | "ntriples"
+	body    []byte // opKB
+	slices  []AbsorbSlice
+}
+
+// AbsorbSlice is the replayable projection of an absorbed slice:
+// Session.Absorb reads only the source and the entity set.
+type AbsorbSlice struct {
+	Source   string
+	Entities []string
+}
+
+func encodeCreate(name string, optionsJSON []byte) []byte {
+	var buf bytes.Buffer
+	bw := binio.NewWriter(&buf)
+	bw.Uvarint(opCreate)
+	bw.String(name)
+	bw.Bytes(optionsJSON)
+	bw.Flush()
+	return buf.Bytes()
+}
+
+// encodeFacts dictionary-encodes a batch: repeated subjects, predicates,
+// objects, and URLs are stored once in a string table, rows reference
+// table indexes. Confidence is stored as raw Float64bits — replay must
+// feed AddFacts the exact float64 the live handler did, or the interned
+// float32 (and with it the session fingerprint) could drift.
+func encodeFacts(facts []midas.Fact) []byte {
+	var buf bytes.Buffer
+	bw := binio.NewWriter(&buf)
+	bw.Uvarint(opFacts)
+	idx := make(map[string]uint64)
+	var table []string
+	intern := func(s string) uint64 {
+		if i, ok := idx[s]; ok {
+			return i
+		}
+		i := uint64(len(table))
+		idx[s] = i
+		table = append(table, s)
+		return i
+	}
+	type row struct{ s, p, o, u, conf uint64 }
+	rows := make([]row, len(facts))
+	for i, f := range facts {
+		rows[i] = row{
+			s: intern(f.Subject), p: intern(f.Predicate), o: intern(f.Object),
+			u: intern(f.URL), conf: math.Float64bits(f.Confidence),
+		}
+	}
+	bw.Int(len(table))
+	for _, s := range table {
+		bw.String(s)
+	}
+	bw.Int(len(rows))
+	for _, r := range rows {
+		bw.Uvarint(r.s)
+		bw.Uvarint(r.p)
+		bw.Uvarint(r.o)
+		bw.Uvarint(r.u)
+		bw.Uvarint(r.conf)
+	}
+	bw.Flush()
+	return buf.Bytes()
+}
+
+func encodeKB(format string, body []byte) []byte {
+	var buf bytes.Buffer
+	bw := binio.NewWriter(&buf)
+	bw.Uvarint(opKB)
+	bw.String(format)
+	bw.Bytes(body)
+	bw.Flush()
+	return buf.Bytes()
+}
+
+func encodeAbsorb(slices []AbsorbSlice) []byte {
+	var buf bytes.Buffer
+	bw := binio.NewWriter(&buf)
+	bw.Uvarint(opAbsorb)
+	bw.Int(len(slices))
+	for _, sl := range slices {
+		bw.String(sl.Source)
+		bw.Int(len(sl.Entities))
+		for _, e := range sl.Entities {
+			bw.String(e)
+		}
+	}
+	bw.Flush()
+	return buf.Bytes()
+}
+
+// decodeMutation decodes one WAL record payload.
+func decodeMutation(payload []byte) (*mutation, error) {
+	br := binio.NewReader(bytes.NewReader(payload))
+	br.MaxBytes = maxRecordBytes
+	m := &mutation{op: int(br.Uvarint())}
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	switch m.op {
+	case opCreate:
+		m.name = br.String()
+		m.options = br.Bytes()
+	case opFacts:
+		nTable := br.Int()
+		if err := br.Err(); err != nil {
+			return nil, err
+		}
+		if nTable > len(payload) {
+			return nil, fmt.Errorf("%w: facts table count %d exceeds payload", binio.ErrCorrupt, nTable)
+		}
+		table := make([]string, nTable)
+		for i := range table {
+			table[i] = br.String()
+		}
+		nRows := br.Int()
+		if err := br.Err(); err != nil {
+			return nil, err
+		}
+		if nRows > len(payload) {
+			return nil, fmt.Errorf("%w: facts row count %d exceeds payload", binio.ErrCorrupt, nRows)
+		}
+		m.facts = make([]midas.Fact, 0, nRows)
+		for i := 0; i < nRows; i++ {
+			s, p, o, u := br.Uvarint(), br.Uvarint(), br.Uvarint(), br.Uvarint()
+			conf := br.Uvarint()
+			if err := br.Err(); err != nil {
+				return nil, err
+			}
+			if s >= uint64(nTable) || p >= uint64(nTable) || o >= uint64(nTable) || u >= uint64(nTable) {
+				return nil, fmt.Errorf("%w: facts row %d references out-of-range string", binio.ErrCorrupt, i)
+			}
+			m.facts = append(m.facts, midas.Fact{
+				Subject: table[s], Predicate: table[p], Object: table[o],
+				URL: table[u], Confidence: math.Float64frombits(conf),
+			})
+		}
+	case opKB:
+		m.format = br.String()
+		m.body = br.Bytes()
+	case opAbsorb:
+		nSlices := br.Int()
+		if err := br.Err(); err != nil {
+			return nil, err
+		}
+		if nSlices > len(payload) {
+			return nil, fmt.Errorf("%w: absorb slice count %d exceeds payload", binio.ErrCorrupt, nSlices)
+		}
+		m.slices = make([]AbsorbSlice, 0, nSlices)
+		for i := 0; i < nSlices; i++ {
+			sl := AbsorbSlice{Source: br.String()}
+			nEnts := br.Int()
+			if err := br.Err(); err != nil {
+				return nil, err
+			}
+			if nEnts > len(payload) {
+				return nil, fmt.Errorf("%w: absorb slice %d entity count %d exceeds payload", binio.ErrCorrupt, i, nEnts)
+			}
+			sl.Entities = make([]string, nEnts)
+			for k := range sl.Entities {
+				sl.Entities[k] = br.String()
+			}
+			m.slices = append(m.slices, sl)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown op %d", binio.ErrCorrupt, m.op)
+	}
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// apply replays a decoded mutation onto sess. Every logged mutation
+// succeeded on the live session before it was acked, so a replay
+// failure means divergence — the caller quarantines.
+func (m *mutation) apply(sess *midas.Session) error {
+	switch m.op {
+	case opFacts:
+		sess.AddFacts(m.facts...)
+	case opKB:
+		var err error
+		switch m.format {
+		case "", "tsv":
+			_, err = sess.KB().LoadTSV(bytes.NewReader(m.body))
+		case "binary":
+			_, err = sess.KB().LoadBinary(bytes.NewReader(m.body))
+		case "ntriples":
+			_, err = sess.KB().LoadNTriples(bytes.NewReader(m.body))
+		default:
+			err = fmt.Errorf("unknown KB format %q", m.format)
+		}
+		if err != nil {
+			return fmt.Errorf("replaying KB load: %w", err)
+		}
+	case opAbsorb:
+		for _, sl := range m.slices {
+			sess.Absorb(midas.Slice{Source: sl.Source, Entities: sl.Entities})
+		}
+	case opCreate:
+		return fmt.Errorf("%w: create record past the head of the log", binio.ErrCorrupt)
+	}
+	return nil
+}
